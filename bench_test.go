@@ -1,0 +1,390 @@
+// Root benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation (see DESIGN.md §3 for the index), plus
+// ablation benches for the design choices the implementation makes.
+//
+// Run everything once (regenerating each artifact a single time):
+//
+//	go test -bench=. -benchtime=1x -benchmem .
+//
+// The benches share one experiment environment (synthetic fast font,
+// small benign scale) built lazily on first use; per-iteration work is
+// the real pipeline stage, not a cached lookup.
+package shamfinder
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/homoglyph"
+	"repro/internal/simchar"
+	"repro/internal/ucd"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func benchSetup(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.Options{
+			Seed: 7, Scale: 0.0001, FastFont: true,
+		})
+	})
+	return benchEnv
+}
+
+// runExperiment executes one experiment builder b.N times.
+func runExperiment(b *testing.B, f func(e *experiments.Env) error) {
+	e := benchSetup(b)
+	// Warm the shared fixtures outside the timed region.
+	e.DB()
+	if _, err := e.Registry(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable01_CharacterSets(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		exp := experiments.Table1(e)
+		if len(exp.Comparisons) == 0 {
+			b.Fatal("no comparisons")
+		}
+		return nil
+	})
+}
+
+func BenchmarkTable02_FontCoverage(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		experiments.Table2(e)
+		return nil
+	})
+}
+
+func BenchmarkTable03_LatinHomoglyphs(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		experiments.Table3(e)
+		return nil
+	})
+}
+
+func BenchmarkTable04_UnicodeBlocks(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		experiments.Table4(e)
+		return nil
+	})
+}
+
+// BenchmarkTable05_BuildTime is the SimChar construction itself — the
+// paper's 10.9-hour pipeline stage.
+func BenchmarkTable05_BuildTime(b *testing.B) {
+	e := benchSetup(b)
+	font := e.Font()
+	idna := ucd.IDNASet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, tim := simchar.Build(font, idna, simchar.Options{})
+		if db.NumPairs() == 0 {
+			b.Fatal("empty SimChar")
+		}
+		b.ReportMetric(float64(tim.CandidatePairs), "candidate-pairs")
+	}
+}
+
+func BenchmarkTable06_DomainLists(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table6(e)
+		return err
+	})
+}
+
+func BenchmarkTable07_Languages(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table7(e)
+		return err
+	})
+}
+
+// benchDetector builds the detection inputs once.
+func benchDetector(b *testing.B, src homoglyph.Source) (*core.Detector, []string) {
+	e := benchSetup(b)
+	reg, err := e.Registry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := core.NewDetector(e.DB().WithSources(src), e.Refs().SLDs(10000))
+	idns := reg.IDNs()
+	labels := make([]string, len(idns))
+	for i, d := range idns {
+		labels[i] = strings.TrimSuffix(d, ".com")
+	}
+	return det, labels
+}
+
+// BenchmarkTable08_Detection measures the union-database Algorithm 1
+// sweep that produces Table 8's 3,280 detections.
+func BenchmarkTable08_Detection(b *testing.B) {
+	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches := det.Detect(labels)
+		if len(matches) == 0 {
+			b.Fatal("no detections")
+		}
+	}
+}
+
+func BenchmarkTable09_TopTargets(b *testing.B) {
+	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	matches := det.Detect(labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist := core.TargetHistogram(matches)
+		if len(hist) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+func BenchmarkTable10_PortScan(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table10(e)
+		return err
+	})
+}
+
+func BenchmarkTable11_PassiveDNS(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table11(e)
+		return err
+	})
+}
+
+func BenchmarkTable12_WebClasses(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table12(e)
+		return err
+	})
+}
+
+func BenchmarkTable13_Redirects(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table13(e)
+		return err
+	})
+}
+
+func BenchmarkTable14_Blacklists(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Table14(e)
+		return err
+	})
+}
+
+func BenchmarkFigure06_DeltaLadder(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		experiments.Figure6(e)
+		return nil
+	})
+}
+
+func BenchmarkFigure09_ThresholdStudy(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		experiments.Figure9(e)
+		return nil
+	})
+}
+
+func BenchmarkFigure10_Confusability(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		experiments.Figure10(e)
+		return nil
+	})
+}
+
+// BenchmarkDetectionThroughput measures Section 4.2's per-reference
+// scan rate (paper: 0.07 s/reference over 955k IDNs).
+func BenchmarkDetectionThroughput(b *testing.B) {
+	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	refs := len(det.References())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(labels)
+	}
+	b.StopTimer()
+	perRef := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(refs)
+	b.ReportMetric(perRef, "ns/reference")
+}
+
+// BenchmarkRevert measures Section 6.4's homograph-to-original
+// reversion.
+func BenchmarkRevert(b *testing.B) {
+	e := benchSetup(b)
+	reg, err := e.Registry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := e.DB()
+	labels := make([]string, 0, len(reg.Homographs))
+	for i := range reg.Homographs {
+		labels = append(labels, reg.Homographs[i].Label)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range labels {
+			if db.Revert(l) == "" {
+				b.Fatal("empty reversion")
+			}
+		}
+	}
+}
+
+// --- Ablation benches: the design choices DESIGN.md §3 calls out. ---
+
+// BenchmarkAblationNaiveVsBanded compares the paper's naive O(n²)
+// pairwise Δ scan against this implementation's banded pigeonhole
+// index, on the same font.
+func BenchmarkAblationNaiveVsBanded(b *testing.B) {
+	e := benchSetup(b)
+	font := e.Font()
+	idna := ucd.IDNASet()
+	b.Run("banded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simchar.Build(font, idna, simchar.Options{})
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simchar.Build(font, idna, simchar.Options{Naive: true})
+		}
+	})
+}
+
+// BenchmarkAblationLengthBuckets compares Algorithm 1's same-length
+// restriction against matching every IDN to every reference.
+func BenchmarkAblationLengthBuckets(b *testing.B) {
+	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	b.Run("bucketed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			det.Detect(labels)
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		refs := det.References()
+		db := det.DB()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, label := range labels {
+				for _, ref := range refs {
+					if confusableLabels(db, ref, label) {
+						n++
+					}
+				}
+			}
+		}
+	})
+}
+
+// confusableLabels is the unbucketed per-pair check used by the
+// exhaustive ablation (it still early-exits on length, as any correct
+// implementation must, but pays the full pairing loop).
+func confusableLabels(db *homoglyph.DB, ref, idn string) bool {
+	r := []rune(ref)
+	x := []rune(idn)
+	if len(r) != len(x) {
+		return false
+	}
+	for i := range r {
+		if r[i] == x[i] {
+			continue
+		}
+		if ok, _ := db.Confusable(r[i], x[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkAblationThreshold sweeps the SimChar Δ cutoff, showing how
+// pair count (and build time) grows with θ.
+func BenchmarkAblationThreshold(b *testing.B) {
+	e := benchSetup(b)
+	font := e.Font()
+	idna := ucd.IDNASet()
+	for _, theta := range []int{1, 2, 4, 6, 8} {
+		theta := theta
+		b.Run(thetaName(theta), func(b *testing.B) {
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				db, _ := simchar.Build(font, idna, simchar.Options{Threshold: theta})
+				pairs = db.NumPairs()
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+func thetaName(t int) string {
+	return "theta=" + string(rune('0'+t))
+}
+
+// BenchmarkSection22_BrowserGap evaluates the browser display policy
+// over every detected homograph.
+func BenchmarkSection22_BrowserGap(b *testing.B) {
+	runExperiment(b, func(e *experiments.Env) error {
+		_, err := experiments.Section22(e)
+		return err
+	})
+}
+
+// BenchmarkAblationMultiFont compares single-font SimChar against the
+// Section 7.1 multi-style union.
+func BenchmarkAblationMultiFont(b *testing.B) {
+	e := benchSetup(b)
+	e.DB() // warm
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.Table3(e)
+		}
+	})
+	b.Run("union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exp := experiments.Extension71(e)
+			if len(exp.Comparisons) == 0 {
+				b.Fatal("no comparisons")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRasterization compares the centered 1:1 embedding
+// (which keeps Δ equal to native pixel distance, as the paper's
+// Figure 6 requires) against nearest-neighbour magnification.
+func BenchmarkAblationRasterization(b *testing.B) {
+	e := benchSetup(b)
+	font := e.Font()
+	g, ok := font.Glyph('e')
+	if !ok {
+		b.Fatal("no glyph for e")
+	}
+	b.Run("centered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Rasterize()
+		}
+	})
+	b.Run("magnified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.RasterizeScaled()
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation and writes the paper-vs-measured record to
+// EXPERIMENTS.md (or stdout).
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [-refs N] [-fastfont] [-run table8,figure9] [-o EXPERIMENTS.md]
+//
+// With no -run filter all nineteen experiments execute in paper order.
+// -scale multiplies the benign registry population (homograph counts
+// are absolute; see DESIGN.md §1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 7, "deterministic seed for every stochastic choice")
+		scale    = flag.Float64("scale", 0.002, "benign-corpus scale factor (paper = 1.0)")
+		refs     = flag.Int("refs", 10000, "reference-list size (paper: Alexa top-10k)")
+		fastfont = flag.Bool("fastfont", false, "skip CJK/Hangul font generation (Tables 1/2/4 shrink)")
+		run      = flag.String("run", "", "comma-separated experiment ids (table1..table14, figure6/9/10, section4.2, section6.4); empty = all")
+		out      = flag.String("o", "", "write EXPERIMENTS.md here; empty = stdout only")
+	)
+	flag.Parse()
+
+	var filter map[string]bool
+	if *run != "" {
+		filter = make(map[string]bool)
+		for _, name := range strings.Split(*run, ",") {
+			filter[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+
+	env := experiments.NewEnv(experiments.Options{
+		Seed:     *seed,
+		Scale:    *scale,
+		RefCount: *refs,
+		FastFont: *fastfont,
+	})
+	doc, err := experiments.RunAll(env, filter, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := doc.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+		return
+	}
+	if err := doc.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,252 @@
+// Command shamfinder is the framework's CLI: detect IDN homographs in
+// a domain list, explain a single suspicious domain, revert a
+// homograph to its plausible original, or dump homoglyphs of a
+// character.
+//
+// Usage:
+//
+//	shamfinder detect -refs refs.txt [-domains zone.txt] [-db uc|simchar|both]
+//	shamfinder explain -refs refs.txt xn--ggle-55da.com
+//	shamfinder revert xn--ggle-55da.com
+//	shamfinder glyphs o
+//
+// refs.txt holds one reference domain per line (Alexa-style "rank,domain"
+// CSV also accepted); the domain list is read from -domains or stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/ranking"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "detect":
+		err = cmdDetect(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "revert":
+		err = cmdRevert(args)
+	case "glyphs":
+		err = cmdGlyphs(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shamfinder:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  shamfinder detect  -refs FILE [-domains FILE] [-db uc|simchar|both] [-fastfont]
+  shamfinder explain -refs FILE [-fastfont] DOMAIN
+  shamfinder revert  [-fastfont] DOMAIN
+  shamfinder glyphs  [-fastfont] CHAR`)
+}
+
+func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
+	cfg := shamfinder.Config{}
+	if fast {
+		cfg.FontScope = shamfinder.FontFast
+	}
+	switch strings.ToLower(db) {
+	case "", "both":
+		cfg.Sources = shamfinder.SourceBoth
+	case "uc":
+		cfg.Sources = shamfinder.SourceUC
+	case "simchar":
+		cfg.Sources = shamfinder.SourceSimChar
+	default:
+		return nil, fmt.Errorf("unknown -db %q (want uc, simchar or both)", db)
+	}
+	return shamfinder.New(cfg)
+}
+
+// loadRefs reads reference labels from a plain list or rank CSV,
+// stripping ".com" TLDs.
+func loadRefs(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, 512)
+	n, _ := f.Read(head)
+	f.Seek(0, io.SeekStart)
+	if strings.Contains(string(head[:n]), ",") {
+		list, err := ranking.ParseCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return list.SLDs(list.Len()), nil
+	}
+	var refs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		d := strings.TrimSpace(sc.Text())
+		if d == "" || strings.HasPrefix(d, "#") {
+			continue
+		}
+		refs = append(refs, strings.TrimSuffix(strings.ToLower(d), ".com"))
+	}
+	return refs, sc.Err()
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	refsPath := fs.String("refs", "", "reference domain list (required)")
+	domainsPath := fs.String("domains", "", "domain list to scan; empty = stdin")
+	db := fs.String("db", "both", "homoglyph database: uc, simchar or both")
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
+	fs.Parse(args)
+	if *refsPath == "" {
+		return fmt.Errorf("detect: -refs is required")
+	}
+	refs, err := loadRefs(*refsPath)
+	if err != nil {
+		return fmt.Errorf("loading refs: %w", err)
+	}
+	var in io.Reader = os.Stdin
+	if *domainsPath != "" {
+		f, err := os.Open(*domainsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	fw, err := newFramework(*fast, *db)
+	if err != nil {
+		return err
+	}
+	det := fw.NewDetector(refs)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	scanned, found := 0, 0
+	for sc.Scan() {
+		domain := strings.TrimSpace(sc.Text())
+		if domain == "" || !shamfinder.IsIDN(domain) {
+			continue
+		}
+		scanned++
+		label := strings.TrimSuffix(strings.ToLower(domain), ".com")
+		for _, m := range det.DetectLabel(label) {
+			found++
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", domain, m.Unicode, m.Reference+".com", diffsText(m))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scanned %d IDNs, detected %d homograph matches\n", scanned, found)
+	return nil
+}
+
+func diffsText(m shamfinder.Match) string {
+	parts := make([]string, len(m.Diffs))
+	for i, d := range m.Diffs {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	refsPath := fs.String("refs", "", "reference domain list (required)")
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
+	fs.Parse(args)
+	if *refsPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("explain: need -refs FILE and one DOMAIN")
+	}
+	refs, err := loadRefs(*refsPath)
+	if err != nil {
+		return err
+	}
+	fw, err := newFramework(*fast, "both")
+	if err != nil {
+		return err
+	}
+	det := fw.NewDetector(refs)
+	label := strings.TrimSuffix(strings.ToLower(fs.Arg(0)), ".com")
+	matches := det.DetectLabel(label)
+	if len(matches) == 0 {
+		fmt.Printf("%s: no homograph of any reference domain\n", fs.Arg(0))
+		return nil
+	}
+	for _, m := range matches {
+		fmt.Println(fw.Warn(m).Text())
+	}
+	return nil
+}
+
+func cmdRevert(args []string) error {
+	fs := flag.NewFlagSet("revert", flag.ExitOnError)
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("revert: need one DOMAIN")
+	}
+	fw, err := newFramework(*fast, "both")
+	if err != nil {
+		return err
+	}
+	domain := strings.ToLower(fs.Arg(0))
+	uni, err := shamfinder.ToUnicode(domain)
+	if err != nil {
+		return fmt.Errorf("decoding %q: %w", domain, err)
+	}
+	label, tld, _ := strings.Cut(uni, ".")
+	reverted := fw.Revert(label)
+	if tld != "" {
+		reverted += "." + tld
+	}
+	fmt.Printf("%s\t%s\t%s\n", domain, uni, reverted)
+	return nil
+}
+
+func cmdGlyphs(args []string) error {
+	fs := flag.NewFlagSet("glyphs", flag.ExitOnError)
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("glyphs: need one CHAR")
+	}
+	runes := []rune(fs.Arg(0))
+	if len(runes) != 1 {
+		return fmt.Errorf("glyphs: %q is not a single character", fs.Arg(0))
+	}
+	fw, err := newFramework(*fast, "both")
+	if err != nil {
+		return err
+	}
+	r := runes[0]
+	glyphs := fw.Homoglyphs(r)
+	fmt.Printf("%d homoglyphs of %c (U+%04X):\n", len(glyphs), r, r)
+	for _, g := range glyphs {
+		ok, src := fw.Confusable(r, g)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %c\tU+%04X\t%s\n", g, g, src)
+	}
+	return nil
+}

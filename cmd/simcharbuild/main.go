@@ -1,0 +1,70 @@
+// Command simcharbuild constructs the SimChar homoglyph database from
+// a bitmap font and reports the per-stage timings of the paper's
+// Table 5.
+//
+// Usage:
+//
+//	simcharbuild [-font unifont.hex] [-threshold 4] [-minpixels 10] [-fastfont] [-o simchar.txt]
+//
+// Without -font the built-in synthetic Unifont-format font is used
+// (DESIGN.md §1 explains the substitution).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		fontPath  = flag.String("font", "", "GNU Unifont .hex file; empty = synthetic font")
+		threshold = flag.Int("threshold", 0, "pixel-distance cutoff Δ (0 = paper's 4)")
+		minPixels = flag.Int("minpixels", 0, "sparse-glyph floor (0 = paper's 10)")
+		fast      = flag.Bool("fastfont", false, "skip CJK/Hangul in the synthetic font")
+		out       = flag.String("o", "", "write the SimChar database here; empty = stdout")
+	)
+	flag.Parse()
+
+	cfg := shamfinder.Config{
+		FontPath:  *fontPath,
+		Threshold: *threshold,
+		MinPixels: *minPixels,
+	}
+	if *fast {
+		cfg.FontScope = shamfinder.FontFast
+	}
+	start := time.Now()
+	fw, err := shamfinder.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcharbuild:", err)
+		os.Exit(1)
+	}
+	tim := fw.BuildTimings()
+	fmt.Fprintf(os.Stderr, "Table 5 — time taken for constructing SimChar\n")
+	fmt.Fprintf(os.Stderr, "  Generating images:              %v\n", tim.RasterizeImages)
+	fmt.Fprintf(os.Stderr, "  Computing Δ for all the pairs:  %v (%d candidate pairs, %d comparisons saved by banding)\n",
+		tim.ComputePairwise, tim.CandidatePairs, tim.ComparisonsSaved)
+	fmt.Fprintf(os.Stderr, "  Eliminating sparse characters:  %v\n", tim.EliminateSparse)
+	fmt.Fprintf(os.Stderr, "  Total (incl. font load):        %v\n", time.Since(start))
+	fmt.Fprintf(os.Stderr, "  SimChar pairs:                  %d\n", fw.DB().SimChar().NumPairs())
+	fmt.Fprintf(os.Stderr, "  SimChar characters:             %d\n", fw.DB().SimChar().Chars().Len())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simcharbuild:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fw.WriteSimChar(w); err != nil {
+		fmt.Fprintln(os.Stderr, "simcharbuild:", err)
+		os.Exit(1)
+	}
+}

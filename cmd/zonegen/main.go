@@ -1,0 +1,101 @@
+// Command zonegen generates the synthetic .com registry and writes its
+// artifacts: the RFC 1035 zone file (the Verisign stand-in), the flat
+// domain list (the domainlists.io stand-in), the Alexa-style reference
+// CSV, and the three blacklist feeds.
+//
+// Usage:
+//
+//	zonegen [-seed 7] [-scale 0.002] [-refs 10000] [-fastfont] -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/blacklist"
+	"repro/internal/ranking"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 7, "deterministic seed")
+		scale = flag.Float64("scale", 0.002, "benign-corpus scale (paper = 1.0)")
+		refsN = flag.Int("refs", 10000, "reference list size")
+		fast  = flag.Bool("fastfont", false, "skip CJK/Hangul font generation")
+		dir   = flag.String("dir", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "zonegen: -dir is required")
+		os.Exit(2)
+	}
+	if err := run(*seed, *scale, *refsN, *fast, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "zonegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, scale float64, refsN int, fast bool, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := shamfinder.Config{}
+	if fast {
+		cfg.FontScope = shamfinder.FontFast
+	}
+	fmt.Fprintln(os.Stderr, "building homoglyph database...")
+	fw, err := shamfinder.New(cfg)
+	if err != nil {
+		return err
+	}
+	refs := ranking.Generate(refsN, seed, ranking.PaperAnchors())
+	fmt.Fprintln(os.Stderr, "generating registry...")
+	reg, err := registry.Generate(registry.Options{
+		Seed: seed, Scale: scale, Refs: refs, DB: fw.DB(),
+	})
+	if err != nil {
+		return err
+	}
+
+	write := func(name string, fn func(w io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		return nil
+	}
+	if err := write("com.zone", reg.WriteZoneFile); err != nil {
+		return err
+	}
+	if err := write("domainlist.txt", reg.WriteDomainList); err != nil {
+		return err
+	}
+	if err := write("alexa.csv", refs.WriteCSV); err != nil {
+		return err
+	}
+	feeds := blacklist.FromRegistry(reg, blacklist.DefaultFiller(), seed)
+	for _, feed := range feeds.Feeds() {
+		feed := feed
+		if err := write(feed.Name+".hosts", feed.Write); err != nil {
+			return err
+		}
+	}
+	rows := reg.TableSix()
+	fmt.Fprintf(os.Stderr, "registry: %d domains (%d IDNs, %d homographs)\n",
+		rows[2].Domains, rows[2].IDNs, len(reg.Homographs))
+	return nil
+}

@@ -1,0 +1,174 @@
+// Phishing hunt: the paper's Section 5–6 pipeline end to end, on live
+// (simulated) infrastructure.
+//
+//  1. Generate a synthetic .com registry with injected homographs.
+//
+//  2. Extract IDNs from the domain list (Step 2 of the framework).
+//
+//  3. Detect homographs of the Alexa-style reference list (Step 3).
+//
+//  4. Probe DNS for NS/A records, port-scan the resolvable set, and
+//     classify the responsive websites over HTTP.
+//
+//  5. Cross-check against the blacklist feeds and print the hunt
+//     report.
+//
+//     go run ./examples/phishing-hunt
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/blacklist"
+	"repro/internal/dnsclient"
+	"repro/internal/dnsserver"
+	"repro/internal/hostsim"
+	"repro/internal/portscan"
+	"repro/internal/punycode"
+	"repro/internal/ranking"
+	"repro/internal/registry"
+	"repro/internal/webclassify"
+	"repro/internal/websim"
+)
+
+func main() {
+	const seed = 1337
+
+	log.Println("building homoglyph database (UC ∪ SimChar)...")
+	fw, err := shamfinder.New(shamfinder.Config{FontScope: shamfinder.FontFast})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Println("generating synthetic registry...")
+	refs := ranking.Generate(10000, seed, ranking.PaperAnchors())
+	reg, err := registry.Generate(registry.Options{
+		Seed: seed, Scale: 0.0001, Refs: refs, DB: fw.DB(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: extract IDNs from the full registration list.
+	var all []string
+	reg.ForEachDomain(func(d string, isIDN bool, _ registry.Membership) {
+		all = append(all, d)
+	})
+	idns := shamfinder.ExtractIDNs(all)
+	log.Printf("registry: %d domains, %d IDNs", len(all), len(idns))
+
+	// Step 3: Algorithm 1 against the top-10k references.
+	det := fw.NewDetector(refs.SLDs(10000))
+	labels := make([]string, len(idns))
+	for i, d := range idns {
+		labels[i] = strings.TrimSuffix(d, ".com")
+	}
+	start := time.Now()
+	matches := det.Detect(labels)
+	detected := make([]string, 0, len(matches))
+	seen := make(map[string]bool)
+	for _, m := range matches {
+		d := m.IDN + ".com"
+		if !seen[d] {
+			seen[d] = true
+			detected = append(detected, d)
+		}
+	}
+	log.Printf("detected %d homographs in %v", len(detected), time.Since(start).Round(time.Millisecond))
+
+	// Stand up the simulated serving infrastructure.
+	store := dnsserver.NewStore()
+	store.AddZone(reg.BuildProbeZone(0))
+	dns := dnsserver.NewServer(store)
+	if err := dns.ListenAndServe("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer dns.Close()
+
+	mapper, err := hostsim.NewMapper()
+	if err != nil {
+		log.Fatal(err)
+	}
+	web := websim.NewServer()
+	if err := web.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer web.Close()
+	websim.Deploy(reg, web, mapper)
+
+	// Step 4a: DNS probing.
+	client := dnsclient.New(dns.Addr())
+	probes := client.ProbeBatch(detected, 32)
+	var withA []string
+	for _, p := range probes {
+		if p.Err != nil {
+			log.Fatalf("probing %s: %v", p.Name, p.Err)
+		}
+		if p.HasA {
+			withA = append(withA, p.Name)
+		}
+	}
+	log.Printf("resolvable: %d of %d", len(withA), len(detected))
+
+	// Step 4b: port scan.
+	scanner := &portscan.Scanner{Resolve: mapper.Resolve, Timeout: time.Second, Workers: 64}
+	scan := scanner.Scan(withA, []int{80, 443})
+	sum := portscan.Summarize(scan)
+	log.Printf("port scan: %d on :80, %d on :443, %d active", sum.Port80, sum.Port443, sum.AnyOpen)
+
+	var active []string
+	for _, r := range scan {
+		if r.AnyOpen() {
+			active = append(active, r.Domain)
+		}
+	}
+
+	// Step 4c: web classification.
+	feeds := blacklist.FromRegistry(reg, blacklist.DefaultFiller(), seed)
+	classifier := &webclassify.Classifier{
+		Resolve:   mapper.Resolve,
+		UserAgent: "Mozilla/5.0 (X11; Linux x86_64) HuntBrowser/1.0",
+		Reverter: func(domain string) (string, bool) {
+			uni, err := punycode.ToUnicodeLabel(strings.TrimSuffix(domain, ".com"))
+			if err != nil {
+				return "", false
+			}
+			return fw.Revert(uni) + ".com", true
+		},
+		IsMalicious: feeds.AnyContains,
+	}
+	results := classifier.ClassifyBatch(active)
+	tally := webclassify.TallyResults(results)
+
+	fmt.Println("\n=== hunt report ===")
+	fmt.Printf("%-18s %d\n", "detected:", len(detected))
+	fmt.Printf("%-18s %d\n", "active:", len(active))
+	for cat, n := range tally.ByCategory {
+		fmt.Printf("  %-16s %d\n", cat, n)
+	}
+	fmt.Println("redirects:")
+	for class, n := range tally.ByRedirect {
+		fmt.Printf("  %-16s %d\n", class, n)
+	}
+
+	// Step 5: the catch — blacklisted or maliciously redirecting.
+	fmt.Println("\nconfirmed-malicious homographs:")
+	shown := 0
+	for _, r := range results {
+		bad := feeds.AnyContains(r.Domain) || r.RedirectClass == webclassify.RedirMalicious
+		if !bad || shown >= 10 {
+			continue
+		}
+		uni, _ := shamfinder.ToUnicode(r.Domain)
+		original := "?"
+		if o, ok := classifier.Reverter(r.Domain); ok {
+			original = o
+		}
+		fmt.Printf("  %-28s (%s) imitates %-20s [%s]\n", r.Domain, uni, original, r.Category)
+		shown++
+	}
+}

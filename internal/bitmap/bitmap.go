@@ -1,0 +1,262 @@
+// Package bitmap provides the binary glyph images and pixel-distance
+// metrics at the heart of SimChar (Section 3.3 of the paper): 32×32
+// single-bit images, the Δ differing-pixel count, and the MSE/PSNR
+// derivations the paper relates Δ to.
+package bitmap
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// N is the side length of a glyph image in pixels. The paper rasterizes
+// every glyph to 32×32 (Step I).
+const N = 32
+
+// Words is the number of 64-bit words backing one image.
+const Words = N * N / 64
+
+// Image is an N×N binary image. Bit (i,j) — row i, column j — is stored at
+// word (i*N+j)/64, bit (i*N+j)%64. The zero value is an all-white image.
+type Image struct {
+	w [Words]uint64
+}
+
+// Set turns the pixel at row i, column j on (black).
+func (im *Image) Set(i, j int) {
+	idx := i*N + j
+	im.w[idx>>6] |= 1 << uint(idx&63)
+}
+
+// Clear turns the pixel at row i, column j off (white).
+func (im *Image) Clear(i, j int) {
+	idx := i*N + j
+	im.w[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// At reports whether the pixel at row i, column j is black.
+func (im *Image) At(i, j int) bool {
+	idx := i*N + j
+	return im.w[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// PixelCount returns the number of black pixels.
+func (im *Image) PixelCount() int {
+	n := 0
+	for _, w := range im.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsSparse reports whether the image has fewer than min black pixels.
+// The paper's Step III eliminates characters with fewer than 10 black
+// pixels (punctuation, spacing and combining marks).
+func (im *Image) IsSparse(min int) bool {
+	return im.PixelCount() < min
+}
+
+// Delta returns the paper's Δ metric: the number of pixels at which the two
+// images differ. Δ = 0 means the glyphs are identical.
+func Delta(a, b *Image) int {
+	n := 0
+	for k := 0; k < Words; k++ {
+		n += bits.OnesCount64(a.w[k] ^ b.w[k])
+	}
+	return n
+}
+
+// DeltaCapped computes Δ but stops early once the count exceeds cap,
+// returning cap+1. This keeps the O(n²) pairwise scan cheap for the
+// overwhelmingly common far-apart pairs.
+func DeltaCapped(a, b *Image, cap int) int {
+	n := 0
+	for k := 0; k < Words; k++ {
+		n += bits.OnesCount64(a.w[k] ^ b.w[k])
+		if n > cap {
+			return cap + 1
+		}
+	}
+	return n
+}
+
+// MSE returns the mean square error between two binary images,
+// Δ/N² as derived in Section 3.3.
+func MSE(a, b *Image) float64 {
+	return float64(Delta(a, b)) / float64(N*N)
+}
+
+// PSNR returns the peak signal-to-noise ratio between two binary images:
+// 20·log10(N) − 10·log10(Δ). It is +Inf for identical images.
+func PSNR(a, b *Image) float64 {
+	d := Delta(a, b)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return 20*math.Log10(N) - 10*math.Log10(float64(d))
+}
+
+// Equal reports whether the images are pixel-identical.
+func Equal(a, b *Image) bool {
+	return a.w == b.w
+}
+
+// Bands is the number of horizontal bands used by the pigeonhole index.
+// With Δ ≤ threshold and Bands > threshold, at least one band of the two
+// images must be bit-identical, so candidate pairs can be found by hashing
+// bands (see internal/simchar).
+const Bands = 5
+
+// bandRows maps each band to its half-open row range. The five groups
+// cover all 32 rows exactly once (so the pigeonhole argument is exact) but
+// concentrate on rows 11..19 where centered glyph content actually varies,
+// keeping empty-band hash buckets small.
+var bandRows = [Bands][2]int{{0, 11}, {11, 14}, {14, 17}, {17, 20}, {20, 32}}
+
+// RowBits returns row i of the image as a 32-bit mask (bit j = column j).
+func (im *Image) RowBits(i int) uint32 {
+	idx := i * N
+	w := im.w[idx>>6]
+	if idx&63 != 0 {
+		return uint32(w >> 32)
+	}
+	return uint32(w)
+}
+
+// BandKey returns a hashable key for the band'th horizontal slice of the
+// image (see bandRows).
+func (im *Image) BandKey(band int) uint64 {
+	lo, hi := bandRows[band][0], bandRows[band][1]
+	// FNV-1a over the rows, mixed with the band number so the same band
+	// content in different bands does not collide.
+	h := uint64(14695981039346656037) ^ uint64(band)*1099511628211
+	for i := lo; i < hi; i++ {
+		h ^= uint64(im.RowBits(i))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Hash returns a 64-bit content hash of the whole image.
+func (im *Image) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range im.w {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Union draws the black pixels of src onto im.
+func (im *Image) Union(src *Image) {
+	for k := 0; k < Words; k++ {
+		im.w[k] |= src.w[k]
+	}
+}
+
+// Translate returns a copy of the image shifted by (di, dj) rows/columns;
+// pixels shifted outside the canvas are dropped.
+func (im *Image) Translate(di, dj int) *Image {
+	out := &Image{}
+	for i := 0; i < N; i++ {
+		ni := i + di
+		if ni < 0 || ni >= N {
+			continue
+		}
+		for j := 0; j < N; j++ {
+			nj := j + dj
+			if nj < 0 || nj >= N {
+				continue
+			}
+			if im.At(i, j) {
+				out.Set(ni, nj)
+			}
+		}
+	}
+	return out
+}
+
+// FlipPixels returns a copy with the pixels at the provided (row, col)
+// coordinates toggled. It is the precise tool the synthetic font uses to
+// manufacture glyph pairs at an exact Δ.
+func (im *Image) FlipPixels(coords ...[2]int) *Image {
+	out := *im
+	for _, c := range coords {
+		idx := c[0]*N + c[1]
+		out.w[idx>>6] ^= 1 << uint(idx&63)
+	}
+	return &out
+}
+
+// Clone returns an independent copy.
+func (im *Image) Clone() *Image {
+	out := *im
+	return &out
+}
+
+// String renders the image as N lines of '#' and '.', handy in test
+// failures and the Figure 6 ladder output.
+func (im *Image) String() string {
+	var sb strings.Builder
+	sb.Grow(N * (N + 1))
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			if im.At(i, j) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Parse reads the String() format back into an image. Lines shorter than N
+// are padded with white; extra content is an error.
+func Parse(s string) (*Image, error) {
+	im := &Image{}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > N {
+		return nil, fmt.Errorf("bitmap: %d lines exceeds %d", len(lines), N)
+	}
+	for i, line := range lines {
+		if len(line) > N {
+			return nil, fmt.Errorf("bitmap: line %d length %d exceeds %d", i, len(line), N)
+		}
+		for j := 0; j < len(line); j++ {
+			switch line[j] {
+			case '#', '1', 'X':
+				im.Set(i, j)
+			case '.', '0', ' ':
+			default:
+				return nil, fmt.Errorf("bitmap: bad pixel char %q at (%d,%d)", line[j], i, j)
+			}
+		}
+	}
+	return im, nil
+}
+
+// SideBySide renders a row of images separated by a gutter, used by the
+// Figure 6 Δ-ladder printout.
+func SideBySide(images ...*Image) string {
+	var sb strings.Builder
+	for i := 0; i < N; i++ {
+		for k, im := range images {
+			if k > 0 {
+				sb.WriteString("  ")
+			}
+			for j := 0; j < N; j++ {
+				if im.At(i, j) {
+					sb.WriteByte('#')
+				} else {
+					sb.WriteByte('.')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

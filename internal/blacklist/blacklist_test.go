@@ -1,0 +1,102 @@
+package blacklist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFeedBasics(t *testing.T) {
+	f := NewFeed("test")
+	f.Add("Evil.COM.")
+	if !f.Contains("evil.com") || !f.Contains("EVIL.com.") {
+		t.Error("normalization broken")
+	}
+	if f.Contains("good.com") {
+		t.Error("false positive")
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestMatchPreservesOrder(t *testing.T) {
+	f := NewFeed("test")
+	f.Add("b.com")
+	f.Add("d.com")
+	got := f.Match([]string{"a.com", "b.com", "c.com", "d.com"})
+	if len(got) != 2 || got[0] != "b.com" || got[1] != "d.com" {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f := NewFeed("rt")
+	f.Add("one.com")
+	f.Add("two.com")
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse("rt2", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !got.Contains("one.com") || !got.Contains("two.com") {
+		t.Errorf("round trip lost entries: %d", got.Len())
+	}
+}
+
+func TestParseFormats(t *testing.T) {
+	input := `# comment line
+
+127.0.0.1 hosts-style.com
+bare-style.com
+  0.0.0.0   spaced.com
+`
+	f, err := Parse("p", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"hosts-style.com", "bare-style.com", "spaced.com"} {
+		if !f.Contains(d) {
+			t.Errorf("missing %s", d)
+		}
+	}
+	if f.Len() != 3 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestSetAnyContains(t *testing.T) {
+	s := &Set{HpHosts: NewFeed("hp"), GSB: NewFeed("gsb"), Symantec: NewFeed("sym")}
+	s.GSB.Add("bad.com")
+	if !s.AnyContains("bad.com") || s.AnyContains("ok.com") {
+		t.Error("AnyContains mismatch")
+	}
+	if len(s.Feeds()) != 3 {
+		t.Error("Feeds() size")
+	}
+}
+
+func TestTableFourteenCounts(t *testing.T) {
+	s := &Set{HpHosts: NewFeed("hpHosts"), GSB: NewFeed("GSB"), Symantec: NewFeed("Symantec")}
+	// 3 homographs; hp lists all, gsb lists one.
+	for _, d := range []string{"h1.com", "h2.com", "h3.com"} {
+		s.HpHosts.Add(d)
+	}
+	s.GSB.Add("h2.com")
+	uc := []string{"h1.com"}
+	sim := []string{"h2.com", "h3.com"}
+	union := []string{"h1.com", "h2.com", "h3.com"}
+	rows := TableFourteen(s, uc, sim, union)
+	if rows[0].UC != 1 || rows[0].SimChar != 2 || rows[0].Union != 3 {
+		t.Errorf("hpHosts row = %+v", rows[0])
+	}
+	if rows[1].UC != 0 || rows[1].SimChar != 1 || rows[1].Union != 1 {
+		t.Errorf("GSB row = %+v", rows[1])
+	}
+	if rows[2].Union != 0 {
+		t.Errorf("Symantec row = %+v", rows[2])
+	}
+}

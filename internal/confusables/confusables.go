@@ -1,0 +1,218 @@
+// Package confusables implements the Unicode TR39 confusables database
+// ("UC" in the paper): the file format of confusables.txt, a lookup
+// structure mapping characters to their confusability skeletons, and the
+// embedded dataset this reproduction ships in place of the Unicode
+// consortium's manually maintained file.
+package confusables
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ucd"
+)
+
+// Entry is one confusable mapping: Source is visually confusable with the
+// Target sequence. TR39 calls Target the "skeleton" prototype.
+type Entry struct {
+	Source  rune
+	Target  []rune
+	Comment string
+}
+
+// DB is a parsed confusables database.
+type DB struct {
+	entries map[rune][]rune
+	comment map[rune]string
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{entries: make(map[rune][]rune), comment: make(map[rune]string)}
+}
+
+// Add inserts a mapping from source to target sequence.
+func (db *DB) Add(source rune, target []rune, comment string) {
+	cp := make([]rune, len(target))
+	copy(cp, target)
+	db.entries[source] = cp
+	if comment != "" {
+		db.comment[source] = comment
+	}
+}
+
+// Lookup returns the skeleton target for source, if listed.
+func (db *DB) Lookup(source rune) ([]rune, bool) {
+	t, ok := db.entries[source]
+	return t, ok
+}
+
+// Confusable reports whether a and b share a skeleton: either one maps to
+// the other, or both map to the same prototype. This is the pair test the
+// detection algorithm uses ("r[i] and x[i] are listed as a pair").
+func (db *DB) Confusable(a, b rune) bool {
+	if a == b {
+		return true
+	}
+	sa := db.SkeletonRune(a)
+	sb := db.SkeletonRune(b)
+	return sa == sb
+}
+
+// SkeletonRune resolves a single code point to its prototype, following
+// chains (bounded, to tolerate accidental cycles in hand-edited files).
+// Multi-rune targets resolve to the first rune, which suffices for the
+// per-character comparisons of Algorithm 1.
+func (db *DB) SkeletonRune(r rune) rune {
+	cur := r
+	for depth := 0; depth < 8; depth++ {
+		t, ok := db.entries[cur]
+		if !ok || len(t) == 0 {
+			return cur
+		}
+		if len(t) == 1 && t[0] == cur {
+			return cur
+		}
+		cur = t[0]
+	}
+	return cur
+}
+
+// Skeleton maps every rune of s to its prototype, TR39's skeleton(X)
+// operation restricted to single-rune targets.
+func (db *DB) Skeleton(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		sb.WriteRune(db.SkeletonRune(r))
+	}
+	return sb.String()
+}
+
+// Sources returns all source code points in ascending order.
+func (db *DB) Sources() []rune {
+	out := make([]rune, 0, len(db.entries))
+	for r := range db.entries {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of source entries.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Chars returns the set of all code points mentioned (sources and targets),
+// the paper's "number of characters" accounting for Table 1.
+func (db *DB) Chars() *ucd.RuneSet {
+	s := ucd.NewRuneSet()
+	for src, tgt := range db.entries {
+		s.Add(src)
+		for _, t := range tgt {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// Pairs returns the number of (source, prototype) homoglyph pairs.
+func (db *DB) Pairs() int { return len(db.entries) }
+
+// RestrictSources returns a new DB keeping only entries whose source is in
+// keep — e.g. UC ∩ IDNA, the paper's Figure 3 intersection.
+func (db *DB) RestrictSources(keep *ucd.RuneSet) *DB {
+	out := New()
+	for src, tgt := range db.entries {
+		if keep.Contains(src) {
+			out.Add(src, tgt, db.comment[src])
+		}
+	}
+	return out
+}
+
+// Parse reads the TR39 confusables.txt format:
+//
+//	0430 ;	0061 ;	MA	# ( а → a ) CYRILLIC SMALL LETTER A → LATIN SMALL LETTER A
+//
+// Lines may be prefixed with a BOM, blank, or comment-only.
+func Parse(r io.Reader) (*DB, error) {
+	db := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimPrefix(sc.Text(), "\uFEFF")
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ";")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("confusables: line %d: want 'source ; target [; type]'", lineNo)
+		}
+		src, err := parseHexSeq(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("confusables: line %d: source: %v", lineNo, err)
+		}
+		if len(src) != 1 {
+			// TR39 sources are single code points; sequences appear only in
+			// the (obsolete) SL/ML tables which we reject gracefully.
+			return nil, fmt.Errorf("confusables: line %d: multi-codepoint source unsupported", lineNo)
+		}
+		tgt, err := parseHexSeq(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("confusables: line %d: target: %v", lineNo, err)
+		}
+		if len(tgt) == 0 {
+			return nil, fmt.Errorf("confusables: line %d: empty target", lineNo)
+		}
+		db.Add(src[0], tgt, "")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("confusables: %w", err)
+	}
+	return db, nil
+}
+
+func parseHexSeq(s string) ([]rune, error) {
+	var out []rune
+	for _, tok := range strings.Fields(strings.TrimSpace(s)) {
+		v, err := strconv.ParseUint(tok, 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad code point %q", tok)
+		}
+		out = append(out, rune(v))
+	}
+	return out, nil
+}
+
+// Write serializes the database in confusables.txt format, sources
+// ascending, using the MA (mixed-script any-case) class throughout.
+func (db *DB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# confusables.txt — synthetic UC database (ShamFinder reproduction)"); err != nil {
+		return err
+	}
+	for _, src := range db.Sources() {
+		tgt := db.entries[src]
+		parts := make([]string, len(tgt))
+		for i, t := range tgt {
+			parts[i] = fmt.Sprintf("%04X", t)
+		}
+		comment := db.comment[src]
+		if comment == "" {
+			comment = fmt.Sprintf("( %c → %s )", src, string(tgt))
+		}
+		if _, err := fmt.Fprintf(bw, "%04X ;\t%s ;\tMA\t# %s\n", src, strings.Join(parts, " "), comment); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

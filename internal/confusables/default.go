@@ -1,0 +1,276 @@
+package confusables
+
+import (
+	"sync"
+
+	"repro/internal/ucd"
+)
+
+// This file builds the embedded UC dataset. The real confusables.txt is a
+// hand-maintained artifact of the Unicode consortium; the reproduction
+// ships a synthetic database with the same structural profile (DESIGN.md
+// §1): a curated core of real cross-script confusables, per-block quotas
+// matching the paper's Table 4 (right column), and a large tail of
+// non-IDNA compatibility characters (mathematical alphanumerics, fullwidth
+// forms, enclosed letters) that keeps UC∩IDNA a small fraction of UC, as
+// in the paper's Figure 3.
+
+// latinSeeds lists known-real confusable sources per Latin lowercase
+// target. These overlap the font's curated twins, giving the nonempty
+// SimChar∩UC intersection of Table 1.
+var latinSeeds = map[rune][]rune{
+	'a': {0x0430, 0x03B1, 0x0251},
+	'b': {0x0184, 0x042C, 0x15AF},
+	'c': {0x0441, 0x03F2, 0x1D04},
+	'd': {0x0501, 0x13E7, 0x146F},
+	'e': {0x0435, 0x04BD, 0x212F},
+	'f': {0x017F, 0x0584, 0x1E9D},
+	'g': {0x0261, 0x0581, 0x1D83},
+	'h': {0x04BB, 0x0570, 0x13C2},
+	'i': {0x0456, 0x03B9, 0x0269},
+	'j': {0x0458, 0x03F3},
+	'l': {0x04CF, 0x0627, 0x05D5},
+	'n': {0x0578, 0x057C},
+	'o': {0x043E, 0x03BF, 0x0585, 0x0ED0, 0x0966, 0x09E6, 0x0AE6, 0x0B66,
+		0x0BE6, 0x0C66, 0x0CE6, 0x0D66, 0x0E50, 0x17E0, 0x0F20, 0x07C0,
+		0x101D, 0x0647, 0x06D5, 0x0D20},
+	'p': {0x0440, 0x03C1, 0x2374},
+	'q': {0x051B, 0x0563, 0x0566},
+	'r': {0x0433, 0x1D26, 0xAB47},
+	's': {0x0455, 0x01BD, 0xA731},
+	'u': {0x057D, 0x03C5, 0x1D1C},
+	'v': {0x03BD, 0x0475, 0x05D8},
+	'w': {0x051D, 0x0461, 0x0561, 0x03C9},
+	'x': {0x0445, 0x04B3, 0x157D},
+	'y': {0x0443, 0x04AF, 0x10E7},
+	'z': {0x1D22, 0x0240},
+}
+
+// latinQuota is the paper's Table 3 (UC ∩ IDNA): homoglyph count per
+// Latin lowercase letter, 141 total.
+var latinQuota = map[rune]int{
+	'o': 34, 'l': 12, 'y': 10, 'i': 9, 'u': 9, 'w': 8, 'v': 6,
+	's': 5, 'r': 5, 'c': 4, 'd': 4, 'g': 4, 'f': 4,
+	'a': 3, 'b': 3, 'e': 3, 'h': 3, 'q': 3, 'p': 3, 'x': 3,
+	'j': 2, 'n': 2, 'z': 2,
+}
+
+// donorRanges supply additional PVALID sources when a letter's seed list
+// is shorter than its quota: small-caps and phonetic letters, archaic
+// Cyrillic, Latin Extended-D, Coptic, Glagolitic, Cherokee small letters.
+var donorRanges = [][2]rune{
+	{0x1D00, 0x1D7F}, // Phonetic Extensions
+	{0xA641, 0xA66D}, // Cyrillic Extended-B (lowercase odd)
+	{0xA723, 0xA78B}, // Latin Extended-D
+	{0x2C81, 0x2CB1}, // Coptic
+	{0x2C30, 0x2C5E}, // Glagolitic
+	{0xAB70, 0xABBF}, // Cherokee Supplement
+	{0x1E01, 0x1EFF}, // Latin Extended Additional (odd lowercase)
+}
+
+// blockQuota drives the within-block confusable quotas of Table 4 (right):
+// CJK 91, Combining Diacritical Marks 56, Arabic 52, Cyrillic 40 (26 here
+// plus ~14 Latin-targeted seeds above), Thai 36, everything else lower.
+var blockQuota = []struct {
+	lo, hi rune
+	n      int
+	stride rune // scan stride; larger strides spread sources over the block
+}{
+	{0x4E01, 0x9FFF, 91, 229}, // CJK: source → source-1
+	{0x0300, 0x036F, 56, 2},   // CDM: marks confusable with each other
+	{0x0620, 0x06D3, 52, 3},   // Arabic
+	{0x0460, 0x04FF, 26, 3},   // archaic Cyrillic
+	{0x0E01, 0x0E4E, 36, 1},   // Thai
+	{0x1401, 0x167F, 30, 17},  // Canadian Aboriginal syllabics
+	{0x0561, 0x0586, 20, 1},   // Armenian
+	{0x0E81, 0x0EC4, 20, 2},   // Lao
+	{0x0905, 0x0939, 20, 2},   // Devanagari
+	{0x05D0, 0x05EA, 18, 1},   // Hebrew
+	{0x0995, 0x09B9, 16, 2},   // Bengali
+	{0xA501, 0xA63F, 15, 9},   // Vai
+	{0x03B1, 0x03C9, 15, 1},   // Greek
+	{0x1200, 0x12BF, 14, 7},   // Ethiopic
+	{0x10D0, 0x10FA, 12, 2},   // Georgian
+	{0x1000, 0x102A, 10, 3},   // Myanmar
+}
+
+// buildDefault assembles the synthetic confusables database.
+func buildDefault() *DB {
+	db := New()
+	addLatinTargeted(db)
+	addBlockQuotas(db)
+	addCompatibilityTail(db)
+	return db
+}
+
+func addLatinTargeted(db *DB) {
+	// Deterministic donor stream for quota filling.
+	var donors []rune
+	for _, dr := range donorRanges {
+		for cp := dr[0]; cp <= dr[1]; cp += 2 {
+			if ucd.IsPValid(cp) {
+				donors = append(donors, cp)
+			}
+		}
+	}
+	di := 0
+	for letter := rune('a'); letter <= 'z'; letter++ {
+		quota := latinQuota[letter]
+		if quota == 0 {
+			continue
+		}
+		added := 0
+		for _, src := range latinSeeds[letter] {
+			if added >= quota {
+				break
+			}
+			if !ucd.IsPValid(src) {
+				continue
+			}
+			if _, dup := db.Lookup(src); dup {
+				continue
+			}
+			db.Add(src, []rune{letter}, "")
+			added++
+		}
+		for added < quota && di < len(donors) {
+			src := donors[di]
+			di++
+			if _, dup := db.Lookup(src); dup {
+				continue
+			}
+			db.Add(src, []rune{letter}, "")
+			added++
+		}
+	}
+}
+
+func addBlockQuotas(db *DB) {
+	for _, q := range blockQuota {
+		added := 0
+		var prevValid rune
+		for cp := q.lo; cp <= q.hi && added < q.n; cp += q.stride {
+			if !ucd.IsPValid(cp) {
+				continue
+			}
+			if _, dup := db.Lookup(cp); dup {
+				continue
+			}
+			target := prevValid
+			if target == 0 {
+				// First source of the block maps to the block start,
+				// keeping the entry within-block.
+				target = q.lo - 1
+				if !ucd.IsPValid(target) {
+					target = cp - 1
+				}
+			}
+			db.Add(cp, []rune{target}, "")
+			prevValid = cp
+			added++
+		}
+	}
+}
+
+// addCompatibilityTail adds the large non-IDNA portion of UC: styled and
+// compatibility characters that normalize or are visually identical to
+// plain letters, none of which are PVALID.
+func addCompatibilityTail(db *DB) {
+	// Mathematical alphanumeric symbols: 13 styles of A-Z a-z.
+	for style := 0; style < 13; style++ {
+		base := rune(0x1D400 + 52*style)
+		for k := 0; k < 26; k++ {
+			db.Add(base+rune(k), []rune{'A' + rune(k)}, "")
+			db.Add(base+26+rune(k), []rune{'a' + rune(k)}, "")
+		}
+	}
+	// Mathematical digits (bold through monospace).
+	for style := 0; style < 5; style++ {
+		base := rune(0x1D7CE + 10*style)
+		for k := 0; k < 10; k++ {
+			db.Add(base+rune(k), []rune{'0' + rune(k)}, "")
+		}
+	}
+	// Fullwidth Latin.
+	for k := rune(0); k < 26; k++ {
+		db.Add(0xFF21+k, []rune{'A' + k}, "")
+		db.Add(0xFF41+k, []rune{'a' + k}, "")
+	}
+	// Circled letters and digits.
+	for k := rune(0); k < 26; k++ {
+		db.Add(0x24B6+k, []rune{'A' + k}, "")
+		db.Add(0x24D0+k, []rune{'a' + k}, "")
+	}
+	for k := rune(0); k < 9; k++ {
+		db.Add(0x2460+k, []rune{'1' + k}, "")
+	}
+	// Roman numerals.
+	romans := []struct {
+		src rune
+		t   string
+	}{
+		{0x2160, "I"}, {0x2161, "II"}, {0x2162, "III"}, {0x2163, "IV"},
+		{0x2164, "V"}, {0x2165, "VI"}, {0x2169, "X"}, {0x216C, "L"},
+		{0x216D, "C"}, {0x216E, "D"}, {0x216F, "M"},
+		{0x2170, "i"}, {0x2171, "ii"}, {0x2174, "v"}, {0x2179, "x"},
+		{0x217C, "l"}, {0x217D, "c"}, {0x217E, "d"}, {0x217F, "m"},
+	}
+	for _, rn := range romans {
+		db.Add(rn.src, []rune(rn.t), "")
+	}
+	// Letterlike symbols.
+	letterlike := map[rune]rune{
+		0x2102: 'C', 0x210A: 'g', 0x210B: 'H', 0x210C: 'H', 0x210D: 'H',
+		0x210E: 'h', 0x2110: 'I', 0x2111: 'I', 0x2112: 'L', 0x2113: 'l',
+		0x2115: 'N', 0x2118: 'P', 0x2119: 'P', 0x211A: 'Q', 0x211B: 'R',
+		0x211C: 'R', 0x211D: 'R', 0x2124: 'Z', 0x2128: 'Z', 0x212C: 'B',
+		0x212D: 'C', 0x212F: 'e', 0x2130: 'E', 0x2131: 'F', 0x2133: 'M',
+		0x2134: 'o', 0x2139: 'i', 0x213C: 'p', 0x2146: 'd', 0x2147: 'e',
+		0x2148: 'i', 0x2149: 'j',
+	}
+	for src, t := range letterlike {
+		db.Add(src, []rune{t}, "")
+	}
+	// Uppercase Cyrillic and Greek lookalikes of Latin capitals.
+	caps := map[rune]rune{
+		0x0410: 'A', 0x0412: 'B', 0x0415: 'E', 0x041A: 'K', 0x041C: 'M',
+		0x041D: 'H', 0x041E: 'O', 0x0420: 'P', 0x0421: 'C', 0x0422: 'T',
+		0x0425: 'X', 0x0405: 'S', 0x0406: 'I', 0x0408: 'J',
+		0x0391: 'A', 0x0392: 'B', 0x0395: 'E', 0x0396: 'Z', 0x0397: 'H',
+		0x0399: 'I', 0x039A: 'K', 0x039C: 'M', 0x039D: 'N', 0x039F: 'O',
+		0x03A1: 'P', 0x03A4: 'T', 0x03A5: 'Y', 0x03A7: 'X',
+	}
+	for src, t := range caps {
+		db.Add(src, []rune{t}, "")
+	}
+	// CJK compatibility ideographs → unified ideographs.
+	for k := rune(0); k <= 0x16D; k++ {
+		target := rune(0x4E00 + (int(k)*37)%20992)
+		db.Add(0xF900+k, []rune{target}, "")
+	}
+	// Halfwidth Katakana → Katakana.
+	for k := rune(0); k < 56; k++ {
+		db.Add(0xFF66+k, []rune{0x30A1 + k}, "")
+	}
+	// Dash and circle lookalikes.
+	db.Add(0x2010, []rune{'-'}, "")
+	db.Add(0x2011, []rune{'-'}, "")
+	db.Add(0x2012, []rune{'-'}, "")
+	db.Add(0x2013, []rune{'-'}, "")
+	db.Add(0x2212, []rune{'-'}, "")
+	db.Add(0x25CB, []rune{'o'}, "")
+	db.Add(0x25E6, []rune{'o'}, "")
+	db.Add(0x3007, []rune{'o'}, "") // ideographic zero (PVALID exception)
+}
+
+var (
+	defaultOnce sync.Once
+	defaultDB   *DB
+)
+
+// Default returns the embedded UC database, built once. Callers must treat
+// it as read-only.
+func Default() *DB {
+	defaultOnce.Do(func() { defaultDB = buildDefault() })
+	return defaultDB
+}

@@ -1,0 +1,182 @@
+// Package core implements the ShamFinder detection engine — Algorithm 1 of
+// the paper: given a list of reference domain names and a set of extracted
+// IDNs, find the IDNs that are homographs of a reference, pinpointing the
+// differential characters so downstream countermeasures (blocklists, the
+// Figure 12 warning UI) can explain exactly which character was substituted.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/homoglyph"
+	"repro/internal/punycode"
+)
+
+// CharDiff records one substituted character in a detected homograph.
+type CharDiff struct {
+	Pos    int              // rune index within the label
+	Got    rune             // the character in the IDN
+	Want   rune             // the character in the reference
+	Source homoglyph.Source // which database vouched for the pair
+}
+
+// String renders the diff as "օ≈o@1 (SimChar)".
+func (d CharDiff) String() string {
+	return fmt.Sprintf("%c≈%c@%d (%s)", d.Got, d.Want, d.Pos, d.Source)
+}
+
+// Match is one detected homograph: the IDN (in both forms) and the
+// reference it imitates.
+type Match struct {
+	IDN       string // ASCII (xn--) form as seen in the zone
+	Unicode   string // decoded label
+	Reference string // targeted reference label (TLD removed)
+	Diffs     []CharDiff
+}
+
+// Detector holds the reference list bucketed by length and the homoglyph
+// database, ready to scan IDNs.
+type Detector struct {
+	db    *homoglyph.DB
+	byLen map[int][]string
+	refs  []string
+}
+
+// NewDetector builds a detector over reference labels (TLD part removed,
+// ASCII form). Duplicate references are collapsed.
+func NewDetector(db *homoglyph.DB, references []string) *Detector {
+	d := &Detector{db: db, byLen: make(map[int][]string)}
+	seen := make(map[string]bool, len(references))
+	for _, ref := range references {
+		ref = strings.ToLower(strings.TrimSpace(ref))
+		if ref == "" || seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		d.refs = append(d.refs, ref)
+		n := len([]rune(ref))
+		d.byLen[n] = append(d.byLen[n], ref)
+	}
+	return d
+}
+
+// References returns the deduplicated reference labels.
+func (d *Detector) References() []string {
+	out := make([]string, len(d.refs))
+	copy(out, d.refs)
+	return out
+}
+
+// matchAgainst implements the inner loop of Algorithm 1 for one
+// (reference, IDN) pair of equal rune length.
+func (d *Detector) matchAgainst(ref []rune, idn []rune) ([]CharDiff, bool) {
+	var diffs []CharDiff
+	for i := range ref {
+		if ref[i] == idn[i] {
+			continue
+		}
+		ok, src := d.db.Confusable(idn[i], ref[i])
+		if !ok {
+			return nil, false
+		}
+		diffs = append(diffs, CharDiff{Pos: i, Got: idn[i], Want: ref[i], Source: src})
+	}
+	// A homograph must differ somewhere; an identical string is the
+	// reference itself, not an attack.
+	if len(diffs) == 0 {
+		return nil, false
+	}
+	return diffs, true
+}
+
+// DetectLabel checks one IDN label (ASCII xn-- form, TLD removed) against
+// every same-length reference and returns all matches.
+func (d *Detector) DetectLabel(idnLabel string) []Match {
+	uni, err := punycode.ToUnicodeLabel(idnLabel)
+	if err != nil {
+		return nil
+	}
+	runes := []rune(uni)
+	var out []Match
+	for _, ref := range d.byLen[len(runes)] {
+		if diffs, ok := d.matchAgainst([]rune(ref), runes); ok {
+			out = append(out, Match{
+				IDN:       idnLabel,
+				Unicode:   uni,
+				Reference: ref,
+				Diffs:     diffs,
+			})
+		}
+	}
+	return out
+}
+
+// Detect scans a set of IDN labels and returns every (IDN, reference)
+// match, sorted by IDN then reference.
+func (d *Detector) Detect(idnLabels []string) []Match {
+	var out []Match
+	for _, idn := range idnLabels {
+		out = append(out, d.DetectLabel(idn)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IDN != out[j].IDN {
+			return out[i].IDN < out[j].IDN
+		}
+		return out[i].Reference < out[j].Reference
+	})
+	return out
+}
+
+// DetectedIDNs collapses matches to the distinct set of homograph IDNs —
+// the counting unit of the paper's Table 8.
+func DetectedIDNs(matches []Match) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range matches {
+		if !seen[m.IDN] {
+			seen[m.IDN] = true
+			out = append(out, m.IDN)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TargetHistogram counts matches per reference — Table 9's "top targeted
+// domains".
+func TargetHistogram(matches []Match) map[string]int {
+	h := map[string]int{}
+	byIDN := map[string]map[string]bool{}
+	for _, m := range matches {
+		if byIDN[m.Reference] == nil {
+			byIDN[m.Reference] = map[string]bool{}
+		}
+		byIDN[m.Reference][m.IDN] = true
+	}
+	for ref, idns := range byIDN {
+		h[ref] = len(idns)
+	}
+	return h
+}
+
+// Revert maps a (possibly undetected) IDN label back to its most plausible
+// original domain label — Section 6.4's countermeasure for homographs of
+// unpopular domains. If the label is a homograph of a known reference,
+// the reference wins (this resolves direction-ambiguous pairs such as
+// CJK 工 vs Katakana エ); otherwise every character is canonicalized
+// independently.
+func (d *Detector) Revert(idnLabel string) (string, error) {
+	if matches := d.DetectLabel(idnLabel); len(matches) > 0 {
+		return matches[0].Reference, nil
+	}
+	uni, err := punycode.ToUnicodeLabel(idnLabel)
+	if err != nil {
+		return "", err
+	}
+	return d.db.Revert(uni), nil
+}
+
+// DB exposes the detector's homoglyph database.
+func (d *Detector) DB() *homoglyph.DB { return d.db }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"repro/internal/ucd"
+)
+
+// Warning is the context behind a detected homograph, the information the
+// paper's Figure 12 UI presents instead of force-punycoding the name:
+// which character was substituted, what it looks like, which script/block
+// it came from, and what the user probably meant.
+type Warning struct {
+	Accessed    string // the homograph in Unicode form
+	Suggested   string // the reference domain the user probably meant
+	Substitutes []Substitution
+}
+
+// Substitution explains one substituted character.
+type Substitution struct {
+	Pos      int
+	Got      rune
+	GotName  string // e.g. "U+0ED0 (Lao, Lao block)"
+	Want     rune
+	WantName string
+	Database string // which DB flagged the pair
+}
+
+// describeRune names a code point by script and block, a readable stand-in
+// for the full Unicode character names the paper's mock-up shows.
+func describeRune(r rune) string {
+	return fmt.Sprintf("U+%04X (%s script, %s block)", r, ucd.ScriptOf(r), ucd.BlockOf(r))
+}
+
+// BuildWarning converts a detection match into its user-facing context.
+func BuildWarning(m Match) Warning {
+	w := Warning{Accessed: m.Unicode, Suggested: m.Reference}
+	for _, d := range m.Diffs {
+		w.Substitutes = append(w.Substitutes, Substitution{
+			Pos:      d.Pos,
+			Got:      d.Got,
+			GotName:  describeRune(d.Got),
+			Want:     d.Want,
+			WantName: describeRune(d.Want),
+			Database: d.Source.String(),
+		})
+	}
+	return w
+}
+
+// Text renders the warning as terminal-friendly text.
+func (w Warning) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "WARNING: use of homoglyph detected.\n")
+	fmt.Fprintf(&sb, "You are accessing %q. Did you mean %q?\n", w.Accessed, w.Suggested)
+	for _, s := range w.Substitutes {
+		fmt.Fprintf(&sb, "  position %d: %q %s imitates %q %s [flagged by %s]\n",
+			s.Pos, s.Got, s.GotName, s.Want, s.WantName, s.Database)
+	}
+	return sb.String()
+}
+
+// HTML renders the warning as the interstitial page of Figure 12, with the
+// substituted characters highlighted. The markup is self-contained so the
+// browser-warning example can serve it directly.
+func (w Warning) HTML() string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>Homograph warning</title>")
+	sb.WriteString("<style>body{font-family:sans-serif;max-width:40em;margin:4em auto}" +
+		".warn{border:3px solid #c00;padding:1.5em;border-radius:8px}" +
+		".hl{background:#fdd;color:#c00;font-weight:bold}" +
+		".domain{font-size:1.4em;letter-spacing:.05em}" +
+		"a.go{display:inline-block;margin:1em .5em 0 0;padding:.5em 1em;border-radius:4px;" +
+		"background:#eee;text-decoration:none;color:#000}a.safe{background:#cfc}</style></head><body>")
+	sb.WriteString("<div class=\"warn\"><h1>⚠ Use of homoglyph detected</h1>")
+	sb.WriteString("<p>You are accessing <span class=\"domain\">")
+	hl := map[int]bool{}
+	for _, s := range w.Substitutes {
+		hl[s.Pos] = true
+	}
+	for i, r := range []rune(w.Accessed) {
+		if hl[i] {
+			sb.WriteString("<span class=\"hl\">")
+			sb.WriteString(html.EscapeString(string(r)))
+			sb.WriteString("</span>")
+		} else {
+			sb.WriteString(html.EscapeString(string(r)))
+		}
+	}
+	sb.WriteString("</span>.</p>")
+	fmt.Fprintf(&sb, "<p>Did you mean <span class=\"domain\">%s</span>?</p><ul>",
+		html.EscapeString(w.Suggested))
+	for _, s := range w.Substitutes {
+		fmt.Fprintf(&sb, "<li><span class=\"hl\">%s</span> %s &rarr; %s %s</li>",
+			html.EscapeString(string(s.Got)), html.EscapeString(s.GotName),
+			html.EscapeString(string(s.Want)), html.EscapeString(s.WantName))
+	}
+	sb.WriteString("</ul>")
+	fmt.Fprintf(&sb, "<a class=\"go safe\" href=\"https://%s/\">Go to %s</a>",
+		html.EscapeString(w.Suggested), html.EscapeString(w.Suggested))
+	fmt.Fprintf(&sb, "<a class=\"go\" href=\"https://%s/?homograph-ack=1\">Proceed anyway</a>",
+		html.EscapeString(w.Accessed))
+	sb.WriteString("</div></body></html>")
+	return sb.String()
+}

@@ -1,0 +1,197 @@
+package dnsclient
+
+import (
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// flakyServer is a UDP-only DNS responder with programmable faults.
+type flakyServer struct {
+	conn *net.UDPConn
+	// dropFirst drops this many requests before answering.
+	dropFirst atomic.Int32
+	// wrongIDFirst answers this many requests with a corrupted ID
+	// before behaving (tests RFC 5452 ID filtering).
+	wrongIDFirst atomic.Int32
+	// garbageFirst sends undecodable bytes before the real answer.
+	garbageFirst atomic.Int32
+	// truncate sets the TC bit on every answer.
+	truncate atomic.Bool
+	requests atomic.Int32
+}
+
+func newFlakyServer(t *testing.T) *flakyServer {
+	t.Helper()
+	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &flakyServer{conn: conn}
+	t.Cleanup(func() { conn.Close() })
+	go s.serve()
+	return s
+}
+
+func (s *flakyServer) addr() string { return s.conn.LocalAddr().String() }
+
+func (s *flakyServer) serve() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.requests.Add(1)
+		var query dnswire.Message
+		if err := query.Unpack(buf[:n]); err != nil {
+			continue
+		}
+		if s.dropFirst.Load() > 0 {
+			s.dropFirst.Add(-1)
+			continue
+		}
+		if s.garbageFirst.Load() > 0 {
+			s.garbageFirst.Add(-1)
+			s.conn.WriteToUDP([]byte{0xde, 0xad}, raddr)
+			// Fall through: also send the real answer so the client
+			// can succeed within the same attempt.
+		}
+		resp := dnswire.NewResponse(&query, dnswire.RCodeSuccess)
+		resp.Header.Authoritative = true
+		resp.Answers = append(resp.Answers, dnswire.Record{
+			Name: query.Questions[0].Name, Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.7")},
+		})
+		if s.truncate.Load() {
+			resp.Header.Truncated = true
+			resp.Answers = nil
+		}
+		if s.wrongIDFirst.Load() > 0 {
+			s.wrongIDFirst.Add(-1)
+			resp.Header.ID ^= 0xFFFF
+		}
+		out, err := resp.Pack(nil)
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(out, raddr)
+	}
+}
+
+func TestRetryAfterDrops(t *testing.T) {
+	s := newFlakyServer(t)
+	s.dropFirst.Store(2)
+	c := New(s.addr())
+	c.Timeout = 200 * time.Millisecond
+	c.Retries = 3
+	resp, err := c.Query("example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("query failed despite retries: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %v", resp.Answers)
+	}
+	if got := s.requests.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	s := newFlakyServer(t)
+	s.dropFirst.Store(100)
+	c := New(s.addr())
+	c.Timeout = 100 * time.Millisecond
+	c.Retries = 1
+	if _, err := c.Query("example.com.", dnswire.TypeA); err == nil {
+		t.Fatal("query succeeded with every packet dropped")
+	}
+	if got := s.requests.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2 (1 + 1 retry)", got)
+	}
+}
+
+func TestIgnoresWrongID(t *testing.T) {
+	s := newFlakyServer(t)
+	s.wrongIDFirst.Store(1)
+	c := New(s.addr())
+	c.Timeout = 300 * time.Millisecond
+	c.Retries = 2
+	resp, err := c.Query("example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("query failed: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %v", resp.Answers)
+	}
+}
+
+func TestIgnoresGarbageDatagram(t *testing.T) {
+	s := newFlakyServer(t)
+	s.garbageFirst.Store(1)
+	c := New(s.addr())
+	c.Timeout = 300 * time.Millisecond
+	resp, err := c.Query("example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("query failed: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %v", resp.Answers)
+	}
+}
+
+func TestTruncationWithoutTCPFails(t *testing.T) {
+	// The flaky server is UDP-only; a TC answer forces the client to
+	// try TCP, which must fail cleanly (connection refused).
+	s := newFlakyServer(t)
+	s.truncate.Store(true)
+	c := New(s.addr())
+	c.Timeout = 200 * time.Millisecond
+	if _, err := c.Query("example.com.", dnswire.TypeA); err == nil {
+		t.Fatal("TC fallback succeeded with no TCP listener")
+	}
+}
+
+func TestProbeBatchEmpty(t *testing.T) {
+	c := New("127.0.0.1:1")
+	if got := c.ProbeBatch(nil, 4); len(got) != 0 {
+		t.Errorf("ProbeBatch(nil) = %v", got)
+	}
+}
+
+func TestProbeBatchPropagatesErrors(t *testing.T) {
+	c := New("127.0.0.1:1") // nothing listening
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 0
+	results := c.ProbeBatch([]string{"a.com.", "b.com."}, 2)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("%s: expected transport error", r.Name)
+		}
+	}
+}
+
+func TestQueryIDsDiffer(t *testing.T) {
+	s := newFlakyServer(t)
+	c := New(s.addr())
+	c.Timeout = 300 * time.Millisecond
+	r1, err := c.Query("a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Query("b.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Header.ID == r2.Header.ID {
+		t.Error("consecutive queries reused the same ID")
+	}
+}

@@ -1,0 +1,253 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Server answers DNS queries over UDP and TCP from a Store. Start it
+// with ListenAndServe on an address like "127.0.0.1:0"; Addr reports
+// the port actually bound so tests and the simulator can point clients
+// at it.
+type Server struct {
+	Store *Store
+
+	// ReadTimeout bounds how long a TCP connection may idle between
+	// queries. Zero means 5 seconds.
+	ReadTimeout time.Duration
+
+	mu      sync.Mutex
+	udpConn *net.UDPConn
+	tcpLn   net.Listener
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	queries atomic.Int64
+	OnQuery func(q dnswire.Question) // optional observation hook (passive DNS taps this)
+}
+
+// NewServer returns a server over the given store.
+func NewServer(store *Store) *Server {
+	return &Server{Store: store}
+}
+
+// ListenAndServe binds UDP and TCP sockets on addr and serves until
+// Close is called. It returns once both listeners are active.
+func (s *Server) ListenAndServe(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("dnsserver: already started")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: resolving %q: %w", addr, err)
+	}
+	// DNS serves the same port over UDP and TCP. With an ephemeral
+	// port request the UDP bind may land on a port whose TCP side is
+	// already taken by an unrelated process, so retry the pair a few
+	// times before giving up.
+	var uc *net.UDPConn
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		uc, err = net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return fmt.Errorf("dnsserver: udp listen: %w", err)
+		}
+		ln, err = net.Listen("tcp", uc.LocalAddr().String())
+		if err == nil {
+			break
+		}
+		uc.Close()
+		if udpAddr.Port != 0 || attempt >= 16 {
+			return fmt.Errorf("dnsserver: tcp listen: %w", err)
+		}
+	}
+	s.udpConn = uc
+	s.tcpLn = ln
+	s.done = make(chan struct{})
+	s.started = true
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return nil
+}
+
+// Addr returns the bound address, valid after ListenAndServe.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.udpConn == nil {
+		return ""
+	}
+	return s.udpConn.LocalAddr().String()
+}
+
+// Queries reports how many queries have been answered.
+func (s *Server) Queries() int64 { return s.queries.Load() }
+
+// Close shuts both listeners down and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	close(s.done)
+	s.udpConn.Close()
+	s.tcpLn.Close()
+	s.started = false
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := s.udpConn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue // transient read error; keep serving
+			}
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp := s.handle(pkt, true)
+			if resp != nil {
+				s.udpConn.WriteToUDP(resp, raddr)
+			}
+		}()
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+// serveTCPConn handles the RFC 1035 §4.2.2 two-octet length framing,
+// answering any number of pipelined queries on one connection.
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	timeout := s.ReadTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	lenBuf := make([]byte, 2)
+	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		if _, err := io.ReadFull(conn, lenBuf); err != nil {
+			return
+		}
+		n := int(lenBuf[0])<<8 | int(lenBuf[1])
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			return
+		}
+		resp := s.handle(msg, false)
+		if resp == nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		out[0] = byte(len(resp) >> 8)
+		out[1] = byte(len(resp))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// handle decodes one query and produces the packed response, or nil to
+// drop the packet (unparseable header).
+func (s *Server) handle(pkt []byte, udp bool) []byte {
+	var query dnswire.Message
+	if err := query.Unpack(pkt); err != nil {
+		// Try to salvage the ID for a FORMERR; otherwise drop.
+		if len(pkt) < 12 {
+			return nil
+		}
+		resp := &dnswire.Message{Header: dnswire.Header{
+			ID:       uint16(pkt[0])<<8 | uint16(pkt[1]),
+			Response: true,
+			RCode:    dnswire.RCodeFormatError,
+		}}
+		out, _ := resp.Pack(nil)
+		return out
+	}
+	if query.Header.Response || len(query.Questions) != 1 {
+		resp := dnswire.NewResponse(&query, dnswire.RCodeFormatError)
+		out, _ := resp.Pack(nil)
+		return out
+	}
+	s.queries.Add(1)
+	q := query.Questions[0]
+	if s.OnQuery != nil {
+		s.OnQuery(q)
+	}
+
+	var resp *dnswire.Message
+	switch {
+	case query.Header.Opcode != dnswire.OpcodeQuery:
+		resp = dnswire.NewResponse(&query, dnswire.RCodeNotImplemented)
+	case !s.Store.Authoritative(q.Name):
+		resp = dnswire.NewResponse(&query, dnswire.RCodeRefused)
+	default:
+		answers, exists := s.Store.Lookup(q.Name, q.Type)
+		switch {
+		case len(answers) > 0:
+			resp = dnswire.NewResponse(&query, dnswire.RCodeSuccess)
+			resp.Answers = answers
+		case exists:
+			resp = dnswire.NewResponse(&query, dnswire.RCodeSuccess) // NODATA
+		default:
+			resp = dnswire.NewResponse(&query, dnswire.RCodeNameError)
+		}
+		resp.Header.Authoritative = true
+		if resp.Header.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+			if soa, ok := s.Store.SOAFor(q.Name); ok {
+				resp.Authority = append(resp.Authority, soa)
+			}
+		}
+	}
+	if udp {
+		if err := resp.Truncate(dnswire.MaxUDPPayload); err != nil {
+			return nil
+		}
+	}
+	out, err := resp.Pack(nil)
+	if err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package dnsserver implements a concurrent authoritative DNS server
+// over UDP and TCP, serving a zone store built from parsed zone files
+// or programmatic registration. The ShamFinder measurement pipeline
+// probes this server exactly as the paper probed the live DNS: NS
+// lookups to find registered homographs, A lookups to find hosted
+// ones, and MX lookups for the Table 11 mail-capability column.
+package dnsserver
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dnswire"
+	"repro/internal/zonefile"
+)
+
+// Store is a thread-safe collection of resource records indexed by
+// owner name and type. The zero value is empty and ready to use.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]map[dnswire.Type][]dnswire.Record
+	zones   []string // canonical zone apexes, longest first
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{records: make(map[string]map[dnswire.Type][]dnswire.Record)}
+}
+
+// AddZone registers a zone apex (e.g. "com.") so the server can answer
+// authoritatively (AA bit, NXDOMAIN vs REFUSED) for names under it,
+// then loads all of the zone's records.
+func (s *Store) AddZone(z *zonefile.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addApexLocked(z.Origin)
+	for _, rec := range z.Records {
+		s.addLocked(rec)
+	}
+}
+
+// AddApex registers a zone apex without records.
+func (s *Store) AddApex(apex string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addApexLocked(dnswire.CanonicalName(apex))
+}
+
+func (s *Store) addApexLocked(apex string) {
+	for _, z := range s.zones {
+		if z == apex {
+			return
+		}
+	}
+	s.zones = append(s.zones, apex)
+	sort.Slice(s.zones, func(i, j int) bool { return len(s.zones[i]) > len(s.zones[j]) })
+}
+
+// Add inserts one record.
+func (s *Store) Add(rec dnswire.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(rec)
+}
+
+func (s *Store) addLocked(rec dnswire.Record) {
+	rec.Name = dnswire.CanonicalName(rec.Name)
+	byType, ok := s.records[rec.Name]
+	if !ok {
+		byType = make(map[dnswire.Type][]dnswire.Record)
+		s.records[rec.Name] = byType
+	}
+	typ := rec.Data.Type()
+	byType[typ] = append(byType[typ], rec)
+}
+
+// Remove deletes all records of the given type at name. TypeANY
+// removes the whole node.
+func (s *Store) Remove(name string, typ dnswire.Type) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name = dnswire.CanonicalName(name)
+	if typ == dnswire.TypeANY {
+		delete(s.records, name)
+		return
+	}
+	if byType, ok := s.records[name]; ok {
+		delete(byType, typ)
+		if len(byType) == 0 {
+			delete(s.records, name)
+		}
+	}
+}
+
+// Lookup returns the records of the given type at name, following at
+// most one CNAME (sufficient for the flat zones the simulator builds).
+// The boolean reports whether the name exists at all (for NXDOMAIN vs
+// NODATA).
+func (s *Store) Lookup(name string, typ dnswire.Type) (answers []dnswire.Record, nameExists bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name = dnswire.CanonicalName(name)
+	byType, ok := s.records[name]
+	if !ok {
+		return nil, false
+	}
+	if typ == dnswire.TypeANY {
+		for _, recs := range byType {
+			answers = append(answers, recs...)
+		}
+		return answers, true
+	}
+	if recs, ok := byType[typ]; ok {
+		return append(answers, recs...), true
+	}
+	// CNAME redirection: answer includes the CNAME plus the target's
+	// records of the requested type, if we host them.
+	if cnames, ok := byType[dnswire.TypeCNAME]; ok && len(cnames) > 0 {
+		answers = append(answers, cnames...)
+		target := cnames[0].Data.(dnswire.CNAME).Target
+		if tb, ok := s.records[dnswire.CanonicalName(target)]; ok {
+			answers = append(answers, tb[typ]...)
+		}
+		return answers, true
+	}
+	return nil, true
+}
+
+// Authoritative reports whether name falls under one of the store's
+// registered zone apexes.
+func (s *Store) Authoritative(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name = dnswire.CanonicalName(name)
+	for _, apex := range s.zones {
+		if name == apex || strings.HasSuffix(name, "."+apex) {
+			return true
+		}
+	}
+	return false
+}
+
+// SOAFor returns the apex SOA record covering name, used to fill the
+// authority section of negative responses.
+func (s *Store) SOAFor(name string) (dnswire.Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name = dnswire.CanonicalName(name)
+	for _, apex := range s.zones {
+		if name != apex && !strings.HasSuffix(name, "."+apex) {
+			continue
+		}
+		if byType, ok := s.records[apex]; ok {
+			if soas := byType[dnswire.TypeSOA]; len(soas) > 0 {
+				return soas[0], true
+			}
+		}
+	}
+	return dnswire.Record{}, false
+}
+
+// Len reports the number of owner names in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}

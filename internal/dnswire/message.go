@@ -1,0 +1,166 @@
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxUDPPayload is the classic RFC 1035 UDP message size limit. Replies
+// larger than the client's advertised limit are truncated (TC bit set)
+// so the client retries over TCP.
+const MaxUDPPayload = 512
+
+// EDNSPayload is the UDP payload size this codec advertises in OPT
+// records it emits.
+const EDNSPayload = 4096
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// Pack appends the wire form of m to buf and returns the extended
+// slice. Pass nil to allocate fresh. Name compression is applied across
+// all sections.
+func (m *Message) Pack(buf []byte) ([]byte, error) {
+	base := len(buf)
+	cmp := make(nameCompressor)
+	counts := [4]uint16{
+		uint16(len(m.Questions)),
+		uint16(len(m.Answers)),
+		uint16(len(m.Authority)),
+		uint16(len(m.Additional)),
+	}
+	buf = m.Header.pack(buf, counts)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = q.pack(buf, cmp); err != nil {
+			return buf[:base], fmt.Errorf("packing question %q: %w", q.Name, err)
+		}
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if buf, err = rr.pack(buf, cmp); err != nil {
+				return buf[:base], fmt.Errorf("packing record %q: %w", rr.Name, err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Unpack parses a complete DNS message from msg, replacing m's
+// contents. Section slices are reused when capacity allows.
+func (m *Message) Unpack(msg []byte) error {
+	counts, off, err := m.Header.unpack(msg)
+	if err != nil {
+		return err
+	}
+	// Each question is ≥5 octets, each record ≥11; reject counts that
+	// cannot fit to avoid huge allocations from hostile headers.
+	need := 5*int(counts[0]) + 11*(int(counts[1])+int(counts[2])+int(counts[3]))
+	if need > len(msg)-off {
+		return ErrTooManyRecords
+	}
+	m.Questions = m.Questions[:0]
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		q, off, err = unpackQuestion(msg, off)
+		if err != nil {
+			return fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	for s, dst := range []*[]Record{&m.Answers, &m.Authority, &m.Additional} {
+		*dst = (*dst)[:0]
+		for i := 0; i < int(counts[s+1]); i++ {
+			var rr Record
+			rr, off, err = unpackRecord(msg, off)
+			if err != nil {
+				return fmt.Errorf("section %d record %d: %w", s+1, i, err)
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	if off != len(msg) {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// Truncate trims m to fit within size octets when packed, setting the
+// TC bit if anything was dropped. Records are dropped whole, from the
+// additional section backwards, per the usual server behaviour.
+func (m *Message) Truncate(size int) error {
+	for {
+		buf, err := m.Pack(nil)
+		if err != nil {
+			return err
+		}
+		if len(buf) <= size {
+			return nil
+		}
+		m.Header.Truncated = true
+		switch {
+		case len(m.Additional) > 0:
+			m.Additional = m.Additional[:len(m.Additional)-1]
+		case len(m.Authority) > 0:
+			m.Authority = m.Authority[:len(m.Authority)-1]
+		case len(m.Answers) > 0:
+			m.Answers = m.Answers[:len(m.Answers)-1]
+		default:
+			return fmt.Errorf("dnswire: cannot truncate message below %d octets", len(buf))
+		}
+	}
+}
+
+// NewQuery builds a standard recursive query for one question.
+func NewQuery(id uint16, name string, typ Type) *Message {
+	return &Message{
+		Header: Header{ID: id, Opcode: OpcodeQuery, RecursionDesired: true},
+		Questions: []Question{{
+			Name:  CanonicalName(name),
+			Type:  typ,
+			Class: ClassIN,
+		}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query's ID,
+// question and RD flag.
+func NewResponse(query *Message, rcode RCode) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Opcode:           query.Header.Opcode,
+			RecursionDesired: query.Header.RecursionDesired,
+			RCode:            rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, query.Questions...)
+	return resp
+}
+
+// String renders the message in a dig-like multi-section dump, useful
+// in test failures.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id=%d %s qr=%t aa=%t tc=%t\n",
+		m.Header.ID, m.Header.RCode, m.Header.Response,
+		m.Header.Authoritative, m.Header.Truncated)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";; question: %s\n", q)
+	}
+	for name, sec := range map[string][]Record{
+		"answer": m.Answers, "authority": m.Authority, "additional": m.Additional,
+	} {
+		for _, rr := range sec {
+			fmt.Fprintf(&sb, ";; %s: %s\n", name, rr)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/browserpolicy"
+	"repro/internal/confusables"
+	"repro/internal/punycode"
+	"repro/internal/report"
+	"repro/internal/ucd"
+)
+
+// Section22 measures the paper's motivating gap: how many of the
+// detected IDN homographs would modern browsers still display in
+// Unicode form? The display model implements the post-2017
+// script-mixing and whole-script-confusable rules; everything the
+// model shows in Unicode reaches the user's eyes looking like the
+// target brand.
+func Section22(e *Env) (*report.Experiment, error) {
+	exp := &report.Experiment{
+		ID:          "Section 2.2",
+		Description: "Detected homographs that browser IDN policies still display in Unicode",
+		Bench:       "BenchmarkSection22_BrowserGap",
+	}
+	res, err := Detect(e)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, 0, len(res.UnionDomains))
+	for _, d := range res.UnionDomains {
+		uni, err := punycode.ToUnicodeLabel(strings.TrimSuffix(d, ".com"))
+		if err != nil {
+			continue
+		}
+		labels = append(labels, uni)
+	}
+	uc := confusables.Default().RestrictSources(ucd.IDNASet())
+	post := &browserpolicy.Policy{UC: uc}
+	pre := &browserpolicy.Policy{} // pre-2017: no whole-script check
+
+	postTally := post.Evaluate(labels)
+	preTally := pre.Evaluate(labels)
+
+	tbl := report.NewTable("Browser display of detected homographs",
+		"Policy", "Shown as Unicode", "Forced to Punycode")
+	tbl.AddRow("pre-2017 (no checks beyond mixing)", preTally.Unicode, preTally.Punycode)
+	tbl.AddRow("post-2017 (mixing + whole-script)", postTally.Unicode, postTally.Punycode)
+	exp.Tables = append(exp.Tables, tbl)
+
+	reasons := report.NewTable("Post-2017 decisions by reason", "Reason", "Count")
+	for _, r := range []browserpolicy.Reason{
+		browserpolicy.ReasonSingleScript, browserpolicy.ReasonAllowedMix,
+		browserpolicy.ReasonDisallowedMix, browserpolicy.ReasonWholeScript,
+	} {
+		reasons.AddRow(string(r), postTally.ByReason[r])
+	}
+	exp.Tables = append(exp.Tables, reasons)
+
+	exp.Addf("homographs evaluated", "3,280 detected", "%d", len(labels))
+	exp.Addf("still displayed as Unicode (post-2017)", "the paper's motivating gap", "%d (%.0f%%)",
+		postTally.Unicode, 100*float64(postTally.Unicode)/float64(len(labels)))
+	exp.Commentary = "Single-script diacritic variants (facébook) and legitimate-looking CJK/Kana combinations (エ業大学) pass every browser check and render in Unicode — the population only a homoglyph-database approach like ShamFinder catches. Script-mixing rules do catch the classic Latin/Cyrillic blends."
+	return exp, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+)
+
+// fastEnv shares one FastFont environment across the package's tests.
+func fastEnv(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal = NewEnv(Options{Seed: 7, Scale: 0.0001, FastFont: true})
+	})
+	return envVal
+}
+
+func TestUnicodeTables(t *testing.T) {
+	e := fastEnv(t)
+	t1 := Table1(e)
+	if len(t1.Comparisons) == 0 || len(t1.Tables) == 0 {
+		t.Error("Table1 empty")
+	}
+	t3 := Table3(e)
+	// SimChar must beat UC ∩ IDNA on Latin homoglyph totals.
+	var simTotal, ucTotal string
+	for _, c := range t3.Comparisons {
+		if strings.HasPrefix(c.Metric, "SimChar total") {
+			simTotal = c.Measured
+		}
+		if strings.HasPrefix(c.Metric, "UC ∩ IDNA total") {
+			ucTotal = c.Measured
+		}
+	}
+	if simTotal == "" || ucTotal == "" {
+		t.Fatalf("Table3 comparisons missing: %+v", t3.Comparisons)
+	}
+}
+
+func TestFigure6Ladder(t *testing.T) {
+	e := fastEnv(t)
+	exp := Figure6(e)
+	if len(exp.Tables) == 0 {
+		t.Fatal("no ladder table")
+	}
+	out := exp.Tables[0].String()
+	if !strings.Contains(out, "0") {
+		t.Errorf("ladder output:\n%s", out)
+	}
+}
+
+func TestDetectionPipeline(t *testing.T) {
+	e := fastEnv(t)
+	res, err := Detect(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnionDomains) < len(res.UCDomains) || len(res.UnionDomains) < len(res.SimDomains) {
+		t.Errorf("union %d smaller than parts %d/%d",
+			len(res.UnionDomains), len(res.UCDomains), len(res.SimDomains))
+	}
+	// The union must detect at least the injected 3,280 homographs.
+	if len(res.UnionDomains) < 3280 {
+		t.Errorf("union detections = %d, want >= 3280", len(res.UnionDomains))
+	}
+	// SimChar alone should dominate UC alone by several times.
+	if len(res.SimDomains) < 3*len(res.UCDomains) {
+		t.Errorf("SimChar %d not >> UC %d", len(res.SimDomains), len(res.UCDomains))
+	}
+}
+
+func TestProbePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe pipeline spins up the full serving stack")
+	}
+	e := fastEnv(t)
+	out, err := Probe(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.WithNS) < len(out.WithA) {
+		t.Errorf("NS %d < A %d", len(out.WithNS), len(out.WithA))
+	}
+	if out.ScanSum.AnyOpen == 0 {
+		t.Fatal("no active homographs found")
+	}
+	if out.ScanSum.AnyOpen != len(out.Active) {
+		t.Errorf("active mismatch: %d vs %d", out.ScanSum.AnyOpen, len(out.Active))
+	}
+	total := 0
+	for _, n := range out.Tally.ByCategory {
+		total += n
+	}
+	if total != len(out.Active) {
+		t.Errorf("classified %d of %d active", total, len(out.Active))
+	}
+	if out.PDNS.Len() == 0 {
+		t.Error("passive DNS collected nothing")
+	}
+}
+
+func TestTableRunsProduceComparisons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	e := fastEnv(t)
+	doc, err := RunAll(e, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Experiments) != len(All()) {
+		t.Fatalf("ran %d of %d experiments", len(doc.Experiments), len(All()))
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 8", "Figure 9", "Table 14", "Section 6.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func TestRunAllFilter(t *testing.T) {
+	e := fastEnv(t)
+	doc, err := RunAll(e, map[string]bool{"table3": true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "Table 3" {
+		t.Errorf("filter broken: %v", doc.Experiments)
+	}
+}

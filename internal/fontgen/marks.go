@@ -1,0 +1,90 @@
+package fontgen
+
+import "repro/internal/hexfont"
+
+// Mark is a diacritical mark drawn onto a base letterform. Marks above sit
+// in rows 0..2 (clear of ascenders, which start at row 3); marks below sit
+// in rows 14..15. Each mark has a fixed pixel cost, which — because the
+// rasterizer embeds glyphs 1:1 — is exactly the Δ the marked letter scores
+// against its base. Marks costing ≤ 4 pixels land inside the SimChar
+// threshold; heavier marks populate the Δ=5..8 rungs of Figure 9.
+type Mark uint8
+
+const (
+	MarkNone        Mark = iota
+	MarkDot              // 1 px
+	MarkDotBelow         // 1 px
+	MarkGrave            // 2 px
+	MarkDiaeresis        // 2 px
+	MarkAcute            // 3 px
+	MarkOgonek           // 3 px
+	MarkCedilla          // 3 px
+	MarkHorn             // 3 px
+	MarkMacron           // 4 px
+	MarkBreve            // 4 px
+	MarkBar              // 4 px (stroke through, protruding pixels only)
+	MarkSlash            // 4 px (ø-style corner slash)
+	MarkCircumflex       // 5 px
+	MarkCaron            // 5 px
+	MarkHook             // 5 px
+	MarkRing             // 6 px
+	MarkTilde            // 6 px
+	MarkDoubleAcute      // 6 px
+)
+
+// markPixels lists the (row, col) pixels of each mark.
+var markPixels = map[Mark][][2]int{
+	MarkDot:         {{1, 3}},
+	MarkDotBelow:    {{15, 3}},
+	MarkGrave:       {{0, 2}, {1, 3}},
+	MarkDiaeresis:   {{1, 2}, {1, 5}},
+	MarkAcute:       {{0, 5}, {1, 4}, {2, 3}},
+	MarkOgonek:      {{14, 4}, {15, 5}, {15, 6}},
+	MarkCedilla:     {{14, 3}, {15, 2}, {15, 3}},
+	MarkHorn:        {{5, 6}, {6, 6}, {6, 7}},
+	MarkMacron:      {{1, 2}, {1, 3}, {1, 4}, {1, 5}},
+	MarkBreve:       {{0, 2}, {1, 3}, {1, 4}, {0, 5}},
+	MarkBar:         {{4, 6}, {4, 7}, {5, 6}, {5, 7}},
+	MarkSlash:       {{6, 6}, {6, 7}, {14, 0}, {14, 1}},
+	MarkCircumflex:  {{2, 1}, {1, 2}, {0, 3}, {1, 4}, {2, 5}},
+	MarkCaron:       {{0, 1}, {1, 2}, {2, 3}, {1, 4}, {0, 5}},
+	MarkHook:        {{0, 2}, {0, 3}, {0, 4}, {1, 5}, {2, 4}},
+	MarkRing:        {{0, 3}, {0, 4}, {1, 2}, {1, 5}, {2, 3}, {2, 4}},
+	MarkTilde:       {{1, 1}, {0, 2}, {0, 3}, {1, 4}, {0, 5}, {1, 6}},
+	MarkDoubleAcute: {{0, 3}, {1, 2}, {2, 1}, {0, 6}, {1, 5}, {2, 4}},
+}
+
+// Cost returns the pixel cost of the mark, which equals the Δ it induces.
+func (m Mark) Cost() int { return len(markPixels[m]) }
+
+// WithinThreshold reports whether a letter carrying this mark stays within
+// the SimChar Δ≤4 threshold of its base.
+func (m Mark) WithinThreshold(threshold int) bool { return m.Cost() <= threshold }
+
+// String names the mark.
+func (m Mark) String() string {
+	names := map[Mark]string{
+		MarkNone: "none", MarkDot: "dot above", MarkDotBelow: "dot below",
+		MarkGrave: "grave", MarkDiaeresis: "diaeresis", MarkAcute: "acute",
+		MarkOgonek: "ogonek", MarkCedilla: "cedilla", MarkHorn: "horn",
+		MarkMacron: "macron", MarkBreve: "breve", MarkBar: "bar",
+		MarkSlash: "slash", MarkCircumflex: "circumflex", MarkCaron: "caron",
+		MarkHook: "hook above", MarkRing: "ring above", MarkTilde: "tilde",
+		MarkDoubleAcute: "double acute",
+	}
+	if s, ok := names[m]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// applyMark draws the mark onto a copy of the glyph. Mark pixels are
+// guaranteed by construction not to overlap the base letterforms, so the
+// resulting Δ equals the mark's cost; the tests assert this.
+func applyMark(g *hexfont.Glyph, m Mark) *hexfont.Glyph {
+	out := g.Clone()
+	for _, p := range markPixels[m] {
+		out.Set(p[0], p[1])
+	}
+	return out
+}

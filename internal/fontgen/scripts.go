@@ -1,0 +1,157 @@
+package fontgen
+
+import (
+	"repro/internal/hexfont"
+	"repro/internal/stats"
+)
+
+// Procedural glyph synthesis for the script blocks where individual
+// letterforms do not matter to the homograph analysis: each code point gets
+// a deterministic pseudo-random arrangement of strokes dense enough to pass
+// the sparse filter and — with overwhelming probability — far from every
+// other glyph, so homoglyph pairs only arise where the spec says so.
+
+// region is an inclusive pixel rectangle within the 16×16 native canvas.
+type region struct {
+	r0, c0, r1, c1 int
+}
+
+func (rg region) cells() [][2]int {
+	var out [][2]int
+	for i := rg.r0; i <= rg.r1; i++ {
+		for j := rg.c0; j <= rg.c1; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// strokeGlyph draws count pseudo-random 2-3 pixel strokes seeded by seed
+// into the region, on a glyph of the given width. Density is high enough
+// (≥ 12 px) to clear the sparse filter.
+func strokeGlyph(width int, seed uint64, rg region, target int) *hexfont.Glyph {
+	g := &hexfont.Glyph{Width: width}
+	rng := stats.NewRNG(seed)
+	cells := rg.cells()
+	if target > len(cells) {
+		target = len(cells)
+	}
+	placed := 0
+	for placed < target {
+		c := cells[rng.Intn(len(cells))]
+		i, j := c[0], c[1]
+		if !g.At(i, j) {
+			g.Set(i, j)
+			placed++
+		}
+		// Extend into a short stroke half the time, for a hand-drawn feel.
+		if rng.Intn(2) == 0 {
+			di, dj := 0, 1
+			if rng.Intn(2) == 0 {
+				di, dj = 1, 0
+			}
+			ni, nj := i+di, j+dj
+			if ni <= rg.r1 && nj <= rg.c1 && !g.At(ni, nj) && placed < target {
+				g.Set(ni, nj)
+				placed++
+			}
+		}
+	}
+	return g
+}
+
+// scriptSeed derives a stable seed for a code point within a generator
+// family, keeping families independent of one another.
+func scriptSeed(family uint64, cp rune) uint64 {
+	return stats.Mix(family*0x1000000 + uint64(cp))
+}
+
+// Generator family identifiers (arbitrary but fixed).
+const (
+	famGreek uint64 = iota + 1
+	famCyrillic
+	famArmenian
+	famHebrew
+	famArabic
+	famThai
+	famLao
+	famKana
+	famCA
+	famVai
+	famYi
+	famGeorgian
+	famEthiopic
+	famCJK
+	famBrahmic
+	famCherokeeSup
+	famMyanmar
+)
+
+// halfBody is the canvas region procedural halfwidth letters draw into.
+var halfBody = region{6, 0, 13, 7}
+
+// fullBody is the canvas region fullwidth glyphs draw into.
+var fullBody = region{2, 2, 13, 13}
+
+// proceduralRanges lists the block ranges filled with stroke glyphs when
+// the code point is not claimed by the curated spec. Width selects half- or
+// fullwidth rendering; target is the black-pixel budget.
+var proceduralRanges = []struct {
+	lo, hi rune
+	family uint64
+	width  int
+	body   region
+	target int
+}{
+	{0x03B1, 0x03C9, famGreek, 8, halfBody, 18},       // Greek lowercase
+	{0x0430, 0x045F, famCyrillic, 8, halfBody, 18},    // Cyrillic lowercase + extensions
+	{0x0460, 0x04FF, famCyrillic, 8, halfBody, 20},    // historic Cyrillic
+	{0x0500, 0x052F, famCyrillic, 8, halfBody, 20},    // Cyrillic Supplement
+	{0x0561, 0x0586, famArmenian, 8, halfBody, 18},    // Armenian lowercase
+	{0x05D0, 0x05EA, famHebrew, 8, halfBody, 16},      // Hebrew letters
+	{0x0E01, 0x0E2E, famThai, 8, halfBody, 17},        // Thai consonants
+	{0x0E81, 0x0EAE, famLao, 8, halfBody, 17},         // Lao consonants
+	{0x10D0, 0x10FA, famGeorgian, 8, halfBody, 18},    // Georgian mkhedruli
+	{0x1200, 0x12BF, famEthiopic, 8, halfBody, 19},    // Ethiopic subset
+	{0x1000, 0x102A, famMyanmar, 8, halfBody, 18},     // Myanmar consonants
+	{0xAB70, 0xABBF, famCherokeeSup, 8, halfBody, 18}, // Cherokee small letters
+	{0x0905, 0x0939, famBrahmic, 8, halfBody, 19},     // Devanagari
+	{0x0995, 0x09B9, famBrahmic, 8, halfBody, 19},     // Bengali subset
+	{0x0B85, 0x0BB9, famBrahmic, 8, halfBody, 19},     // Tamil subset
+	{0x0B15, 0x0B39, famBrahmic, 8, halfBody, 19},     // Oriya subset
+	{0x3041, 0x3096, famKana, 16, fullBody, 24},       // Hiragana
+	{0x30A1, 0x30FA, famKana, 16, fullBody, 24},       // Katakana
+	{0x1400, 0x167F, famCA, 8, halfBody, 15},          // Canadian Aboriginal syllabics
+	{0xA500, 0xA63F, famVai, 8, halfBody, 16},         // Vai
+	{0xA000, 0xA48C, famYi, 16, fullBody, 22},         // Yi syllables
+}
+
+// derivedPair renders CP as a copy of From with the listed pixel flips —
+// the mechanism behind within-script near-twins (paper Figure 5: Oriya
+// ଲ/ଳ, CJK 里/圼, Katakana エ / CJK 工).
+type derivedPair struct {
+	CP    rune
+	From  rune
+	Flips [][2]int
+}
+
+// curatedDerived lists hand-picked near-twins, including the exact example
+// pairs the paper shows in Figures 2, 5 and 12.
+var curatedDerived = []derivedPair{
+	{0x0B33, 0x0B32, [][2]int{{13, 6}, {13, 7}, {12, 7}}}, // Oriya la/lla (Fig. 5)
+	{0x05DF, 0x05D5, [][2]int{{14, 4}, {15, 4}}},          // Hebrew final nun = vav + descender
+	{0x05E8, 0x05D3, [][2]int{{6, 0}, {6, 1}}},            // Hebrew resh ≈ dalet
+	{0x0E14, 0x0E15, [][2]int{{6, 3}, {7, 3}}},            // Thai do dek ≈ to tao
+	{0x0E1A, 0x0E1B, [][2]int{{2, 5}, {3, 5}}},            // Thai bo baimai ≈ po pla
+}
+
+// curatedFullDerived are fullwidth near-twins: famous CJK/Kana confusables.
+var curatedFullDerived = []derivedPair{
+	{0x573C, 0x91CC, [][2]int{{13, 4}, {13, 5}}}, // 圼 ≈ 里 (Fig. 5)
+	{0x4E8C, 0x30CB, nil},                        // 二 = ニ twin
+	{0x5DE5, 0x30A8, nil},                        // 工 = エ twin (paper §2.2)
+	{0x529B, 0x30AB, [][2]int{{3, 12}, {4, 12}}}, // 力 ≈ カ
+	{0x53E3, 0x30ED, nil},                        // 口 = ロ twin
+	{0x535C, 0x30C8, [][2]int{{8, 9}}},           // 卜 ≈ ト
+	{0x30FC, 0x4E00, [][2]int{{8, 2}, {8, 13}}},  // ー prolonged sound mark ≈ 一
+}

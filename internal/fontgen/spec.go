@@ -1,0 +1,196 @@
+package fontgen
+
+// This file is the curated homoglyph specification: which code points are
+// rendered as marked, identical, or slightly perturbed versions of the
+// ASCII letterforms. It encodes the real-world structure the paper's
+// SimChar discovers — Latin/Cyrillic/Greek/Armenian twins, accented
+// variants whose diacritics cost only a few pixels, and the famous digit
+// lookalikes ('໐' for 'o' in Figure 12).
+
+// diacritic renders code point CP as Base plus Mark.
+type diacritic struct {
+	CP   rune
+	Base rune
+	Mark Mark
+}
+
+// diacritics lists composed Latin letters (Latin-1 Supplement, Extended-A,
+// Extended-B/IPA, Extended Additional) with the mark that distinguishes
+// them from their base letter. Marks with cost ≤ 4 put the letter inside
+// SimChar; heavier marks provide the Δ=5..8 ladder of Figures 6 and 9.
+var diacritics = []diacritic{
+	// Latin-1 Supplement.
+	{0x00E0, 'a', MarkGrave}, {0x00E1, 'a', MarkAcute}, {0x00E2, 'a', MarkCircumflex},
+	{0x00E3, 'a', MarkTilde}, {0x00E4, 'a', MarkDiaeresis}, {0x00E5, 'a', MarkRing},
+	{0x00E7, 'c', MarkCedilla},
+	{0x00E8, 'e', MarkGrave}, {0x00E9, 'e', MarkAcute}, {0x00EA, 'e', MarkCircumflex},
+	{0x00EB, 'e', MarkDiaeresis},
+	{0x00EC, 'i', MarkGrave}, {0x00ED, 'i', MarkAcute}, {0x00EE, 'i', MarkCircumflex},
+	{0x00EF, 'i', MarkDiaeresis},
+	{0x00F1, 'n', MarkTilde},
+	{0x00F2, 'o', MarkGrave}, {0x00F3, 'o', MarkAcute}, {0x00F4, 'o', MarkCircumflex},
+	{0x00F5, 'o', MarkTilde}, {0x00F6, 'o', MarkDiaeresis}, {0x00F8, 'o', MarkSlash},
+	{0x00F9, 'u', MarkGrave}, {0x00FA, 'u', MarkAcute}, {0x00FB, 'u', MarkCircumflex},
+	{0x00FC, 'u', MarkDiaeresis},
+	{0x00FD, 'y', MarkAcute}, {0x00FF, 'y', MarkDiaeresis},
+	// Latin Extended-A (lowercase members).
+	{0x0101, 'a', MarkMacron}, {0x0103, 'a', MarkBreve}, {0x0105, 'a', MarkOgonek},
+	{0x0107, 'c', MarkAcute}, {0x0109, 'c', MarkCircumflex}, {0x010B, 'c', MarkDot},
+	{0x010D, 'c', MarkCaron},
+	{0x010F, 'd', MarkCaron}, {0x0111, 'd', MarkBar},
+	{0x0113, 'e', MarkMacron}, {0x0115, 'e', MarkBreve}, {0x0117, 'e', MarkDot},
+	{0x0119, 'e', MarkOgonek}, {0x011B, 'e', MarkCaron},
+	{0x011D, 'g', MarkCircumflex}, {0x011F, 'g', MarkBreve}, {0x0121, 'g', MarkDot},
+	{0x0123, 'g', MarkGrave}, // real ģ uses a turned comma above; grave keeps Δ small
+	{0x0125, 'h', MarkCircumflex}, {0x0127, 'h', MarkBar},
+	{0x0129, 'i', MarkTilde}, {0x012B, 'i', MarkMacron}, {0x012D, 'i', MarkBreve},
+	{0x012F, 'i', MarkOgonek},
+	{0x0135, 'j', MarkCircumflex},
+	{0x0137, 'k', MarkCedilla},
+	{0x013A, 'l', MarkAcute}, {0x013C, 'l', MarkCedilla}, {0x013E, 'l', MarkCaron},
+	{0x0142, 'l', MarkBar},
+	{0x0144, 'n', MarkAcute}, {0x0146, 'n', MarkCedilla}, {0x0148, 'n', MarkCaron},
+	{0x014D, 'o', MarkMacron}, {0x014F, 'o', MarkBreve}, {0x0151, 'o', MarkDoubleAcute},
+	{0x0155, 'r', MarkAcute}, {0x0157, 'r', MarkCedilla}, {0x0159, 'r', MarkCaron},
+	{0x015B, 's', MarkAcute}, {0x015D, 's', MarkCircumflex}, {0x015F, 's', MarkCedilla},
+	{0x0161, 's', MarkCaron},
+	{0x0163, 't', MarkCedilla}, {0x0165, 't', MarkCaron}, {0x0167, 't', MarkBar},
+	{0x0169, 'u', MarkTilde}, {0x016B, 'u', MarkMacron}, {0x016D, 'u', MarkBreve},
+	{0x016F, 'u', MarkRing}, {0x0171, 'u', MarkDoubleAcute}, {0x0173, 'u', MarkOgonek},
+	{0x0175, 'w', MarkCircumflex},
+	{0x0177, 'y', MarkCircumflex},
+	{0x017A, 'z', MarkAcute}, {0x017C, 'z', MarkDot}, {0x017E, 'z', MarkCaron},
+	// Latin Extended-B and IPA selections.
+	{0x01A1, 'o', MarkHorn}, {0x01B0, 'u', MarkHorn},
+	{0x01CE, 'a', MarkCaron}, {0x01D0, 'i', MarkCaron}, {0x01D2, 'o', MarkCaron},
+	{0x01D4, 'u', MarkCaron},
+	{0x01EB, 'o', MarkOgonek},
+	{0x01F5, 'g', MarkAcute},
+	{0x0219, 's', MarkOgonek}, {0x021B, 't', MarkOgonek},
+	{0x0227, 'a', MarkDot}, {0x022F, 'o', MarkDot}, {0x0233, 'y', MarkMacron},
+	{0x1E03, 'b', MarkDot}, {0x1E05, 'b', MarkDotBelow},
+	{0x1E0B, 'd', MarkDot}, {0x1E0D, 'd', MarkDotBelow},
+	{0x1E1F, 'f', MarkDot},
+	{0x1E21, 'g', MarkMacron},
+	{0x1E23, 'h', MarkDot}, {0x1E25, 'h', MarkDotBelow},
+	{0x1E2B, 'h', MarkBreve},
+	{0x1E31, 'k', MarkAcute}, {0x1E33, 'k', MarkDotBelow},
+	{0x1E37, 'l', MarkDotBelow},
+	{0x1E3F, 'm', MarkAcute}, {0x1E41, 'm', MarkDot}, {0x1E43, 'm', MarkDotBelow},
+	{0x1E45, 'n', MarkDot}, {0x1E47, 'n', MarkDotBelow},
+	{0x1E55, 'p', MarkAcute}, {0x1E57, 'p', MarkDot},
+	{0x1E59, 'r', MarkDot}, {0x1E5B, 'r', MarkDotBelow},
+	{0x1E61, 's', MarkDot}, {0x1E63, 's', MarkDotBelow},
+	{0x1E6B, 't', MarkDot}, {0x1E6D, 't', MarkDotBelow},
+	{0x1E7D, 'v', MarkTilde}, {0x1E7F, 'v', MarkDotBelow},
+	{0x1E81, 'w', MarkGrave}, {0x1E83, 'w', MarkAcute}, {0x1E87, 'w', MarkDot},
+	{0x1E89, 'w', MarkDotBelow},
+	{0x1E8B, 'x', MarkDot}, {0x1E8D, 'x', MarkDiaeresis},
+	{0x1E8F, 'y', MarkDot},
+	{0x1E91, 'z', MarkCircumflex}, {0x1E93, 'z', MarkDotBelow},
+	{0x1E97, 't', MarkDiaeresis},
+	{0x1E98, 'w', MarkRing}, {0x1E99, 'y', MarkRing},
+	{0x1EA1, 'a', MarkDotBelow}, {0x1EA3, 'a', MarkHook},
+	{0x1EB9, 'e', MarkDotBelow}, {0x1EBB, 'e', MarkHook}, {0x1EBD, 'e', MarkTilde},
+	{0x1EC9, 'i', MarkHook}, {0x1ECB, 'i', MarkDotBelow},
+	{0x1ECD, 'o', MarkDotBelow}, {0x1ECF, 'o', MarkHook},
+	{0x1EE5, 'u', MarkDotBelow}, {0x1EE7, 'u', MarkHook},
+	{0x1EF3, 'y', MarkGrave}, {0x1EF5, 'y', MarkDotBelow}, {0x1EF7, 'y', MarkHook},
+	{0x1EF9, 'y', MarkTilde},
+}
+
+// twin renders code point CP pixel-identically to Base (Δ = 0). These are
+// the classic cross-script homographs: Cyrillic а/е/о/р/с/у/х, Greek
+// omicron, Armenian oh, and the zero digits of a dozen Brahmic scripts
+// that render as a plain circle.
+type twin struct {
+	CP   rune
+	Base rune
+}
+
+var twins = []twin{
+	// Cyrillic lookalikes of Latin lowercase letters.
+	{0x0430, 'a'}, // а
+	{0x0435, 'e'}, // е
+	{0x043E, 'o'}, // о
+	{0x0440, 'p'}, // р
+	{0x0441, 'c'}, // с
+	{0x0443, 'y'}, // у
+	{0x0445, 'x'}, // х
+	{0x0455, 's'}, // ѕ
+	{0x0456, 'i'}, // і
+	{0x0458, 'j'}, // ј
+	{0x04BB, 'h'}, // һ
+	{0x0501, 'd'}, // ԁ
+	{0x051B, 'q'}, // ԛ
+	{0x051D, 'w'}, // ԝ
+	{0x0461, 'w'}, // ѡ (omega)
+	{0x04CF, 'l'}, // ӏ palochka
+	{0x043C, 'm'}, // м
+	// Greek lookalikes.
+	{0x03BF, 'o'}, // ο omicron
+	{0x03F2, 'c'}, // ϲ lunate sigma
+	{0x03F3, 'j'}, // ϳ yot
+	// Armenian lookalikes.
+	{0x0585, 'o'}, // օ
+	{0x0578, 'n'}, // ո vo
+	{0x057D, 'u'}, // ս seh
+	{0x0570, 'h'}, // հ ho
+	{0x0561, 'w'}, // ա ayb... rendered as w-like per Unifont
+	// IPA.
+	{0x0261, 'g'}, // ɡ script g
+	{0x026A, 'i'}, // ɪ small capital i
+	// Round zero digits and letters across scripts (all render as the 'o'
+	// circle): the Figure 12 example uses Lao digit zero.
+	{0x0ED0, 'o'}, // ໐ Lao zero
+	{0x0966, 'o'}, // ० Devanagari zero
+	{0x09E6, 'o'}, // ০ Bengali zero
+	{0x0AE6, 'o'}, // ૦ Gujarati zero
+	{0x0B66, 'o'}, // ୦ Oriya zero
+	{0x0BE6, 'o'}, // ௦ Tamil zero
+	{0x0C66, 'o'}, // ౦ Telugu zero
+	{0x0CE6, 'o'}, // ೦ Kannada zero
+	{0x0D66, 'o'}, // ൦ Malayalam zero
+	{0x0E50, 'o'}, // ๐ Thai zero
+	{0x17E0, 'o'}, // ០ Khmer zero
+	{0x0F20, 'o'}, // ༠ Tibetan zero
+	{0x07C0, 'o'}, // ߀ NKo zero
+	{0x101D, 'o'}, // ဝ Myanmar wa
+	{0x10FF, 'o'}, // ჿ Georgian labial sign
+}
+
+// variant renders CP as Base with specific extra/removed pixels (given as
+// flips), producing a precise nonzero Δ. These model near-twins whose
+// shapes differ by a stroke detail: dotless ı, Greek η with its descender,
+// izhitsa's tail on v, and the long s that is an f without a crossbar.
+type variant struct {
+	CP    rune
+	Base  rune
+	Flips [][2]int
+}
+
+var variants = []variant{
+	{0x0131, 'i', [][2]int{{4, 2}, {4, 3}}},                   // ı = i minus its dot (Δ=2)
+	{0x0237, 'j', [][2]int{{4, 3}, {4, 4}}},                   // ȷ dotless j (Δ=2)
+	{0x017F, 'f', [][2]int{{7, 0}, {7, 3}, {7, 4}}},           // ſ long s = f minus crossbar ends (Δ=3)
+	{0x0269, 'i', [][2]int{{4, 2}, {4, 3}, {13, 5}}},          // ɩ iota = dotless i with tail (Δ=3)
+	{0x03B9, 'i', [][2]int{{4, 2}, {4, 3}, {13, 5}, {12, 5}}}, // Greek ι (Δ=4)
+	{0x03B7, 'n', [][2]int{{14, 5}, {15, 5}}},                 // η = n plus right descender (Δ=2)
+	{0x03BD, 'v', [][2]int{{7, 1}}},                           // ν (Δ=1)
+	{0x03C5, 'u', [][2]int{{13, 1}, {12, 5}}},                 // υ rounded bottoms (Δ=2)
+	{0x03BA, 'k', [][2]int{{3, 0}, {4, 0}, {5, 0}, {6, 0}}},   // κ = k without ascender top (Δ=4)
+	{0x03C1, 'p', [][2]int{{15, 0}, {15, 1}}},                 // ρ = p with shortened stem (Δ=2)
+	{0x03C4, 't', [][2]int{{5, 2}, {5, 3}, {6, 2}, {6, 3}}},   // τ = t minus top stub (Δ=4)
+	{0x03B5, 'e', [][2]int{{10, 4}, {10, 5}, {11, 1}}},        // ε open e (Δ=3)
+	{0x03C9, 'w', [][2]int{{13, 2}, {13, 4}, {12, 3}}},        // ω round w (Δ=3)
+	{0x03BC, 'u', [][2]int{{14, 0}, {15, 0}}},                 // μ = u with left descender (Δ=2)
+	{0x0475, 'v', [][2]int{{8, 6}}},                           // ѵ izhitsa = v with flick (Δ=1)
+	{0x0446, 'u', [][2]int{{14, 5}, {15, 6}}},                 // ц = u-like with tail (Δ=2)
+	{0x0457, 'i', [][2]int{{4, 2}, {1, 2}, {1, 5}}},           // ї = і with diaeresis
+	{0x04BD, 'e', [][2]int{{10, 0}, {10, 1}, {11, 5}}},        // ҽ abkhazian che (Δ=3)
+	{0x0581, 'g', [][2]int{{7, 6}, {8, 6}}},                   // ց armenian co (Δ=2)
+	{0x0584, 'p', [][2]int{{3, 3}, {4, 3}}},                   // ք armenian keh (Δ=2)
+	{0x057C, 'n', [][2]int{{14, 0}, {15, 0}}},                 // ռ armenian ra (Δ=2)
+	{0x0563, 'q', [][2]int{{15, 5}, {15, 6}}},                 // գ armenian gim (Δ=2)
+	{0x0572, 'n', [][2]int{{14, 5}, {15, 5}, {15, 4}}},        // ղ armenian ghad (Δ=3)
+}

@@ -1,0 +1,249 @@
+// Package hexfont reads and writes bitmap fonts in the GNU Unifont .hex
+// format and rasterizes glyphs to the 32×32 binary images used by the
+// SimChar pipeline (paper Section 3.3, Step I).
+//
+// The .hex format stores one glyph per line as "CODEPOINT:ROWDATA" where
+// ROWDATA is 32 hex digits for a halfwidth (8×16) glyph or 64 hex digits
+// for a fullwidth (16×16) glyph.
+package hexfont
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitmap"
+)
+
+// GlyphHeight is the native row count of Unifont glyphs.
+const GlyphHeight = 16
+
+// Glyph is one native-resolution Unifont glyph. Rows always has
+// GlyphHeight entries; for Width==8 only the high byte of each row is used.
+type Glyph struct {
+	Width int // 8 or 16
+	Rows  [GlyphHeight]uint16
+}
+
+// At reports whether the native pixel at row i, column j is set.
+func (g *Glyph) At(i, j int) bool {
+	if i < 0 || i >= GlyphHeight || j < 0 || j >= g.Width {
+		return false
+	}
+	shift := uint(15 - j)
+	if g.Width == 8 {
+		shift = uint(15 - j) // high byte holds the 8 columns
+	}
+	return g.Rows[i]&(1<<shift) != 0
+}
+
+// Set turns on the native pixel at row i, column j.
+func (g *Glyph) Set(i, j int) {
+	if i < 0 || i >= GlyphHeight || j < 0 || j >= g.Width {
+		return
+	}
+	g.Rows[i] |= 1 << uint(15-j)
+}
+
+// PixelCount returns the number of set pixels in the native glyph.
+func (g *Glyph) PixelCount() int {
+	n := 0
+	for i := 0; i < GlyphHeight; i++ {
+		for j := 0; j < g.Width; j++ {
+			if g.At(i, j) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Rasterize embeds the native glyph centered on a 32×32 canvas with a 1:1
+// pixel mapping (halfwidth glyphs at columns 12..19, fullwidth at 8..23,
+// rows 8..23). Centering rather than magnifying keeps the Δ metric equal to
+// the native pixel difference, which is what makes a 3-pixel acute accent
+// land at Δ=3 as in the paper's Figure 6.
+func (g *Glyph) Rasterize() *bitmap.Image {
+	im := &bitmap.Image{}
+	rowOff := (bitmap.N - GlyphHeight) / 2
+	colOff := (bitmap.N - g.Width) / 2
+	for i := 0; i < GlyphHeight; i++ {
+		for j := 0; j < g.Width; j++ {
+			if g.At(i, j) {
+				im.Set(i+rowOff, j+colOff)
+			}
+		}
+	}
+	return im
+}
+
+// RasterizeScaled magnifies the native glyph to fill the 32×32 canvas
+// (×2 vertically, ×2 or ×4 horizontally). It exists for the ablation bench
+// comparing centered embedding against nearest-neighbour magnification,
+// under which every native pixel difference costs 4–8 canvas pixels.
+func (g *Glyph) RasterizeScaled() *bitmap.Image {
+	im := &bitmap.Image{}
+	xscale := 2
+	if g.Width == 8 {
+		xscale = 4
+	}
+	for i := 0; i < GlyphHeight; i++ {
+		for j := 0; j < g.Width; j++ {
+			if !g.At(i, j) {
+				continue
+			}
+			for di := 0; di < 2; di++ {
+				for dj := 0; dj < xscale; dj++ {
+					im.Set(i*2+di, j*xscale+dj)
+				}
+			}
+		}
+	}
+	return im
+}
+
+// Clone returns an independent copy of the glyph.
+func (g *Glyph) Clone() *Glyph {
+	out := *g
+	return &out
+}
+
+// Flip toggles the native pixel at row i, column j.
+func (g *Glyph) Flip(i, j int) {
+	if i < 0 || i >= GlyphHeight || j < 0 || j >= g.Width {
+		return
+	}
+	g.Rows[i] ^= 1 << uint(15-j)
+}
+
+// Font is a collection of glyphs keyed by code point.
+type Font struct {
+	glyphs map[rune]*Glyph
+}
+
+// New returns an empty font.
+func New() *Font {
+	return &Font{glyphs: make(map[rune]*Glyph)}
+}
+
+// SetGlyph installs (or replaces) the glyph for r.
+func (f *Font) SetGlyph(r rune, g *Glyph) {
+	f.glyphs[r] = g
+}
+
+// Glyph returns the glyph for r and whether the font covers r.
+func (f *Font) Glyph(r rune) (*Glyph, bool) {
+	g, ok := f.glyphs[r]
+	return g, ok
+}
+
+// Covers reports whether the font has a glyph for r.
+func (f *Font) Covers(r rune) bool {
+	_, ok := f.glyphs[r]
+	return ok
+}
+
+// Len returns the number of glyphs in the font.
+func (f *Font) Len() int { return len(f.glyphs) }
+
+// Runes returns the covered code points in ascending order.
+func (f *Font) Runes() []rune {
+	out := make([]rune, 0, len(f.glyphs))
+	for r := range f.glyphs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parse reads a font in .hex format. Blank lines and lines starting with
+// '#' are skipped. Malformed lines abort with a line-numbered error.
+func Parse(r io.Reader) (*Font, error) {
+	f := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("hexfont: line %d: missing ':'", lineNo)
+		}
+		cp, err := strconv.ParseUint(line[:colon], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("hexfont: line %d: bad code point %q: %v", lineNo, line[:colon], err)
+		}
+		data := line[colon+1:]
+		g := &Glyph{}
+		switch len(data) {
+		case 32: // 8×16: one byte per row
+			g.Width = 8
+			for i := 0; i < GlyphHeight; i++ {
+				b, err := strconv.ParseUint(data[i*2:i*2+2], 16, 8)
+				if err != nil {
+					return nil, fmt.Errorf("hexfont: line %d: bad row data: %v", lineNo, err)
+				}
+				g.Rows[i] = uint16(b) << 8
+			}
+		case 64: // 16×16: two bytes per row
+			g.Width = 16
+			for i := 0; i < GlyphHeight; i++ {
+				w, err := strconv.ParseUint(data[i*4:i*4+4], 16, 16)
+				if err != nil {
+					return nil, fmt.Errorf("hexfont: line %d: bad row data: %v", lineNo, err)
+				}
+				g.Rows[i] = uint16(w)
+			}
+		default:
+			return nil, fmt.Errorf("hexfont: line %d: row data must be 32 or 64 hex digits, got %d", lineNo, len(data))
+		}
+		f.glyphs[rune(cp)] = g
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hexfont: %w", err)
+	}
+	return f, nil
+}
+
+// Write serializes the font in .hex format, code points ascending.
+func (f *Font) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range f.Runes() {
+		g := f.glyphs[r]
+		if _, err := fmt.Fprintf(bw, "%04X:", r); err != nil {
+			return err
+		}
+		for i := 0; i < GlyphHeight; i++ {
+			if g.Width == 8 {
+				if _, err := fmt.Fprintf(bw, "%02X", byte(g.Rows[i]>>8)); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(bw, "%04X", g.Rows[i]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RasterizeAll renders every glyph, returning a map from code point to
+// image. This is the paper's "generating images" step timed in Table 5.
+func (f *Font) RasterizeAll() map[rune]*bitmap.Image {
+	out := make(map[rune]*bitmap.Image, len(f.glyphs))
+	for r, g := range f.glyphs {
+		out[r] = g.Rasterize()
+	}
+	return out
+}

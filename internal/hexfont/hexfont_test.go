@@ -1,0 +1,203 @@
+package hexfont
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmap"
+)
+
+const sampleHex = `# comment line
+0041:0000000018242442427E424242420000
+4E00:000000000000000000000000000000007FFC0000000000000000000000000000
+`
+
+func TestParseBasic(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleHex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	g, ok := f.Glyph('A')
+	if !ok || g.Width != 8 {
+		t.Fatalf("glyph A: ok=%v width=%d", ok, g.Width)
+	}
+	// Row 4 of A is 0x18 = 00011000 → pixels at columns 3,4.
+	if !g.At(4, 3) || !g.At(4, 4) || g.At(4, 2) {
+		t.Fatal("glyph A row 4 pixels wrong")
+	}
+	cjk, ok := f.Glyph(0x4E00)
+	if !ok || cjk.Width != 16 {
+		t.Fatalf("glyph 4E00: ok=%v width=%d", ok, cjk.Width)
+	}
+	// Row 8 is 0x7FFC → 13 pixels at columns 1..13.
+	n := 0
+	for j := 0; j < 16; j++ {
+		if cjk.At(8, j) {
+			n++
+		}
+	}
+	if n != 13 {
+		t.Fatalf("glyph 4E00 row 8 has %d pixels, want 13", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"0041 missing colon",
+		"ZZZZ:0000000018242442427E424242420000",
+		"0041:00",
+		"0041:" + strings.Repeat("GG", 16),
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) expected error", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleHex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != f.Len() {
+		t.Fatalf("round-trip len = %d, want %d", back.Len(), f.Len())
+	}
+	for _, r := range f.Runes() {
+		a, _ := f.Glyph(r)
+		b, ok := back.Glyph(r)
+		if !ok || a.Rows != b.Rows || a.Width != b.Width {
+			t.Fatalf("glyph %#U does not round-trip", r)
+		}
+	}
+}
+
+func TestRasterizeCentered(t *testing.T) {
+	g := &Glyph{Width: 8}
+	g.Set(0, 0)
+	g.Set(15, 7)
+	im := g.Rasterize()
+	// Halfwidth: rows offset by 8, cols by 12.
+	if !im.At(8, 12) || !im.At(23, 19) {
+		t.Fatalf("centered rasterization wrong:\n%s", im)
+	}
+	if im.PixelCount() != 2 {
+		t.Fatalf("PixelCount = %d, want 2 (1:1 mapping)", im.PixelCount())
+	}
+	full := &Glyph{Width: 16}
+	full.Set(0, 0)
+	if !full.Rasterize().At(8, 8) {
+		t.Fatal("fullwidth offset wrong")
+	}
+}
+
+func TestRasterizeDeltaEqualsNativeDiff(t *testing.T) {
+	a := &Glyph{Width: 8}
+	a.Set(5, 3)
+	a.Set(6, 4)
+	b := a.Clone()
+	b.Flip(2, 2)
+	b.Flip(2, 3)
+	b.Flip(3, 3)
+	if d := bitmap.Delta(a.Rasterize(), b.Rasterize()); d != 3 {
+		t.Fatalf("Δ = %d, want 3 (native diff preserved)", d)
+	}
+}
+
+func TestRasterizeScaled(t *testing.T) {
+	g := &Glyph{Width: 8}
+	g.Set(0, 0)
+	im := g.RasterizeScaled()
+	// One native pixel becomes a 2×4 block for halfwidth glyphs.
+	if im.PixelCount() != 8 {
+		t.Fatalf("scaled PixelCount = %d, want 8", im.PixelCount())
+	}
+	full := &Glyph{Width: 16}
+	full.Set(0, 0)
+	if full.RasterizeScaled().PixelCount() != 4 {
+		t.Fatal("scaled fullwidth pixel should be 2x2")
+	}
+}
+
+func TestFlipAndClone(t *testing.T) {
+	g := &Glyph{Width: 16}
+	g.Flip(3, 3)
+	if !g.At(3, 3) {
+		t.Fatal("Flip on should set")
+	}
+	c := g.Clone()
+	c.Flip(3, 3)
+	if !g.At(3, 3) || c.At(3, 3) {
+		t.Fatal("Clone must be independent; double flip must clear")
+	}
+	// Out-of-range flips are no-ops.
+	g.Flip(-1, 0)
+	g.Flip(0, 16)
+	if g.PixelCount() != 1 {
+		t.Fatal("out-of-range Flip must not corrupt")
+	}
+}
+
+func TestFontAccessors(t *testing.T) {
+	f := New()
+	if f.Covers('a') || f.Len() != 0 {
+		t.Fatal("empty font should cover nothing")
+	}
+	g := &Glyph{Width: 8}
+	f.SetGlyph('a', g)
+	f.SetGlyph('b', g)
+	if !f.Covers('a') || f.Len() != 2 {
+		t.Fatal("SetGlyph/Covers broken")
+	}
+	rs := f.Runes()
+	if len(rs) != 2 || rs[0] != 'a' || rs[1] != 'b' {
+		t.Fatalf("Runes = %v", rs)
+	}
+	imgs := f.RasterizeAll()
+	if len(imgs) != 2 {
+		t.Fatalf("RasterizeAll len = %d", len(imgs))
+	}
+}
+
+func TestWriteHalfAndFullWidthFormats(t *testing.T) {
+	f := New()
+	h := &Glyph{Width: 8}
+	h.Set(0, 0)
+	w := &Glyph{Width: 16}
+	w.Set(0, 15)
+	f.SetGlyph('x', h)
+	f.SetGlyph(0x4E01, w)
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// 'x' (0078) sorts before 4E01.
+	if !strings.HasPrefix(lines[0], "0078:80") {
+		t.Errorf("halfwidth line = %q", lines[0])
+	}
+	if len(lines[0]) != 5+32 {
+		t.Errorf("halfwidth line length = %d, want 37", len(lines[0]))
+	}
+	if !strings.HasPrefix(lines[1], "4E01:0001") {
+		t.Errorf("fullwidth line = %q", lines[1])
+	}
+	if len(lines[1]) != 5+64 {
+		t.Errorf("fullwidth line length = %d, want 69", len(lines[1]))
+	}
+}

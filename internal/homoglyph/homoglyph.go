@@ -1,0 +1,162 @@
+// Package homoglyph provides the unified homoglyph database the ShamFinder
+// framework queries during detection: the union of the UC confusables
+// database and the automatically built SimChar database (paper Figure 2).
+// It also implements the homograph→original reversion of Section 6.4.
+package homoglyph
+
+import (
+	"sort"
+
+	"repro/internal/confusables"
+	"repro/internal/simchar"
+	"repro/internal/ucd"
+)
+
+// Source identifies which component database(s) vouch for a pair.
+type Source uint8
+
+const (
+	// SourceNone means the pair is not in the database.
+	SourceNone Source = 0
+	// SourceUC marks pairs from the TR39 confusables database.
+	SourceUC Source = 1 << iota
+	// SourceSimChar marks pairs from the pixel-distance database.
+	SourceSimChar
+)
+
+// String names the source combination.
+func (s Source) String() string {
+	switch s {
+	case SourceUC:
+		return "UC"
+	case SourceSimChar:
+		return "SimChar"
+	case SourceUC | SourceSimChar:
+		return "UC∪SimChar"
+	default:
+		return "none"
+	}
+}
+
+// DB is the unified homoglyph database.
+type DB struct {
+	uc  *confusables.DB
+	sim *simchar.DB
+	use Source
+}
+
+// New builds a database from the available components; either may be nil.
+// The use mask restricts which components answer queries, letting the
+// evaluation compare UC-only (the prior work of Quinkert et al.) against
+// SimChar and the union (paper Tables 8 and 14).
+func New(uc *confusables.DB, sim *simchar.DB, use Source) *DB {
+	if use == SourceNone {
+		use = SourceUC | SourceSimChar
+	}
+	return &DB{uc: uc, sim: sim, use: use}
+}
+
+// WithSources returns a view of the same database restricted to the mask.
+func (db *DB) WithSources(use Source) *DB {
+	return &DB{uc: db.uc, sim: db.sim, use: use}
+}
+
+// Confusable reports whether a and b are listed as a homoglyph pair, and
+// by which component.
+func (db *DB) Confusable(a, b rune) (bool, Source) {
+	if a == b {
+		return true, db.use
+	}
+	var src Source
+	if db.use&SourceUC != 0 && db.uc != nil && db.uc.Confusable(a, b) {
+		src |= SourceUC
+	}
+	if db.use&SourceSimChar != 0 && db.sim != nil && db.sim.Confusable(a, b) {
+		src |= SourceSimChar
+	}
+	return src != 0, src
+}
+
+// Homoglyphs returns every character listed as confusable with r, sorted.
+func (db *DB) Homoglyphs(r rune) []rune {
+	set := map[rune]bool{}
+	if db.use&SourceSimChar != 0 && db.sim != nil {
+		for _, h := range db.sim.Homoglyphs(r) {
+			set[h] = true
+		}
+	}
+	if db.use&SourceUC != 0 && db.uc != nil {
+		// UC is directed (source → prototype); collect both directions.
+		for _, src := range db.uc.Sources() {
+			if db.uc.Confusable(src, r) && src != r {
+				set[src] = true
+			}
+		}
+		if tgt, ok := db.uc.Lookup(r); ok && len(tgt) == 1 && tgt[0] != r {
+			set[tgt[0]] = true
+		}
+	}
+	out := make([]rune, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Canonical maps r to its most plausible original character: the UC
+// skeleton if listed, otherwise the smallest ASCII partner in SimChar,
+// otherwise r itself. This drives the Section 6.4 reversion and the
+// Figure 12 warning UI ("Lao Digit Zero → Latin Small Letter O").
+func (db *DB) Canonical(r rune) rune {
+	if r < 0x80 {
+		return r
+	}
+	if db.use&SourceUC != 0 && db.uc != nil {
+		if s := db.uc.SkeletonRune(r); s != r {
+			return s
+		}
+	}
+	if db.use&SourceSimChar != 0 && db.sim != nil {
+		for _, h := range db.sim.Homoglyphs(r) {
+			if h < 0x80 {
+				return h
+			}
+		}
+		// No ASCII partner: fall back to the smallest partner so chains
+		// (e.g. Hangul tail twins) still canonicalize deterministically.
+		if hs := db.sim.Homoglyphs(r); len(hs) > 0 && hs[0] < r {
+			return hs[0]
+		}
+	}
+	return r
+}
+
+// Revert maps every rune of a (Unicode-form) label to its canonical
+// counterpart, reconstructing the domain a homograph targets (§6.4).
+func (db *DB) Revert(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		out = append(out, db.Canonical(r))
+	}
+	return string(out)
+}
+
+// Chars returns the set of non-ASCII characters known to the database
+// under the current mask (Table 1 accounting).
+func (db *DB) Chars() *ucd.RuneSet {
+	s := ucd.NewRuneSet()
+	if db.use&SourceSimChar != 0 && db.sim != nil {
+		s = s.Union(db.sim.Chars())
+	}
+	if db.use&SourceUC != 0 && db.uc != nil {
+		s = s.Union(db.uc.Chars())
+	}
+	return s
+}
+
+// UC returns the UC component (may be nil).
+func (db *DB) UC() *confusables.DB { return db.uc }
+
+// SimChar returns the SimChar component (may be nil).
+func (db *DB) SimChar() *simchar.DB { return db.sim }

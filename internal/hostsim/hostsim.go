@@ -1,0 +1,95 @@
+// Package hostsim maps (domain, port) pairs onto real loopback
+// listeners. The paper port-scans TCP/80 and TCP/443 on the public
+// addresses of detected homographs; offline we cannot bind hundreds of
+// public IPs, so the simulator substitutes a resolver: domains whose
+// ground truth says a port is open resolve to the shared web
+// simulator's listener for that scheme, and closed ports resolve to a
+// loopback port that is guaranteed to refuse connections. The scanning
+// and HTTP code paths are identical to probing real hosts — real
+// net.Dial, real refusals, real TLS.
+package hostsim
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Mapper resolves (domain, port) to a dialable "host:port" address.
+type Mapper struct {
+	mu      sync.RWMutex
+	open    map[string]string // "domain:port" -> listener address
+	refused string            // address that refuses connections
+}
+
+// NewMapper allocates a mapper and reserves a loopback port that
+// refuses connections (used for every closed domain/port).
+func NewMapper() (*Mapper, error) {
+	refused, err := ClosedPort()
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{
+		open:    make(map[string]string),
+		refused: refused,
+	}, nil
+}
+
+// ClosedPort returns a loopback "host:port" where nothing listens: it
+// binds an ephemeral port and immediately closes it. The kernel will
+// refuse subsequent connections (until ephemeral reuse, which is
+// harmless within a test run).
+func ClosedPort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("hostsim: reserving closed port: %w", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+func key(domain string, port int) string {
+	return strings.ToLower(strings.TrimSuffix(domain, ".")) + ":" + itoa(port)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// Open declares that domain answers on port at the given listener
+// address.
+func (m *Mapper) Open(domain string, port int, addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.open[key(domain, port)] = addr
+}
+
+// Resolve returns the address to dial for (domain, port). Closed
+// ports resolve to the refused address, so dialing errors look exactly
+// like scanning a host with the port closed.
+func (m *Mapper) Resolve(domain string, port int) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if addr, ok := m.open[key(domain, port)]; ok {
+		return addr
+	}
+	return m.refused
+}
+
+// IsOpen reports whether the mapper has a listener for (domain, port).
+func (m *Mapper) IsOpen(domain string, port int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.open[key(domain, port)]
+	return ok
+}
+
+// RefusedAddr exposes the closed-port address (tests use it).
+func (m *Mapper) RefusedAddr() string { return m.refused }
+
+// Len reports how many (domain, port) pairs are open.
+func (m *Mapper) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.open)
+}

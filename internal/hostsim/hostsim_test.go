@@ -1,0 +1,79 @@
+package hostsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestClosedPortRefuses(t *testing.T) {
+	addr, err := ClosedPort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Error("closed port accepted a connection")
+	}
+}
+
+func TestMapperResolve(t *testing.T) {
+	m, err := NewMapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	m.Open("active.com", 80, ln.Addr().String())
+
+	if got := m.Resolve("active.com", 80); got != ln.Addr().String() {
+		t.Errorf("open resolve = %q", got)
+	}
+	if got := m.Resolve("active.com", 443); got != m.RefusedAddr() {
+		t.Errorf("closed port resolve = %q", got)
+	}
+	if got := m.Resolve("other.com", 80); got != m.RefusedAddr() {
+		t.Errorf("unknown domain resolve = %q", got)
+	}
+	// Case and trailing-dot insensitivity.
+	if got := m.Resolve("ACTIVE.com.", 80); got != ln.Addr().String() {
+		t.Errorf("case-insensitive resolve = %q", got)
+	}
+	if !m.IsOpen("active.com", 80) || m.IsOpen("active.com", 443) {
+		t.Error("IsOpen mismatch")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestMapperEndToEnd(t *testing.T) {
+	m, err := NewMapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	m.Open("up.com", 80, ln.Addr().String())
+
+	if _, err := net.DialTimeout("tcp", m.Resolve("up.com", 80), time.Second); err != nil {
+		t.Errorf("open port unreachable: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", m.Resolve("down.com", 80), time.Second); err == nil {
+		t.Error("closed mapping accepted a connection")
+	}
+}

@@ -1,0 +1,88 @@
+package idntable
+
+import (
+	"sync"
+
+	"repro/internal/ucd"
+)
+
+var (
+	builtinOnce sync.Once
+	builtinMap  map[string]*Table
+)
+
+// builtins constructs the shipped tables once. The inventories follow
+// the registries' published policies in shape:
+//
+//	com — Verisign's table spans ~97 blocks: most living scripts.
+//	jp  — JPRS permits LDH + Hiragana + Katakana + JIS-subset CJK only
+//	      (Section 2.1's example of inclusion thwarting Latin
+//	      homographs).
+//	de  — DENIC permits Latin letters with a fixed diacritic list.
+//	ru  — the Cyrillic ccTLD permits Cyrillic only.
+//	рф (xn--p1ai) — likewise Cyrillic-only, the TLD Section 7.1 calls
+//	      out as future measurement work.
+func builtins() map[string]*Table {
+	builtinOnce.Do(func() {
+		builtinMap = map[string]*Table{}
+
+		com := ucd.NewRuneSet()
+		for _, blk := range []struct{ lo, hi rune }{
+			{0x00C0, 0x024F}, // Latin-1 Supplement .. Latin Extended-B
+			{0x0370, 0x03FF}, // Greek
+			{0x0400, 0x052F}, // Cyrillic + Supplement
+			{0x0530, 0x058F}, // Armenian
+			{0x0590, 0x05FF}, // Hebrew
+			{0x0600, 0x06FF}, // Arabic
+			{0x0900, 0x0DFF}, // Indic blocks
+			{0x0E00, 0x0EFF}, // Thai, Lao
+			{0x0F00, 0x0FFF}, // Tibetan
+			{0x1000, 0x109F}, // Myanmar
+			{0x10A0, 0x10FF}, // Georgian
+			{0x1100, 0x11FF}, // Hangul Jamo
+			{0x1200, 0x137F}, // Ethiopic
+			{0x1400, 0x167F}, // Canadian Aboriginal
+			{0x1780, 0x17FF}, // Khmer
+			{0x1E00, 0x1EFF}, // Latin Extended Additional
+			{0x3040, 0x30FF}, // Hiragana, Katakana
+			{0x3400, 0x4DBF}, // CJK Extension A
+			{0x4E00, 0x9FFF}, // CJK Unified
+			{0xA500, 0xA63F}, // Vai
+			{0xAC00, 0xD7A3}, // Hangul Syllables
+		} {
+			com.AddRange(blk.lo, blk.hi)
+		}
+		builtinMap["com"] = &Table{TLD: "com", Permitted: restrictPValid(com)}
+
+		jp := ucd.NewRuneSet()
+		jp.AddRange(0x3041, 0x3096) // Hiragana
+		jp.AddRange(0x30A1, 0x30FA) // Katakana
+		jp.Add(0x30FC)              // prolonged sound mark
+		jp.AddRange(0x4E00, 0x9FFF) // CJK (JIS subset approximated)
+		builtinMap["jp"] = &Table{TLD: "jp", Permitted: restrictPValid(jp)}
+
+		de := ucd.NewRuneSet()
+		for _, r := range []rune("àáâãäåæçèéêëìíîïðñòóôõöøùúûüýþÿāăąćĉċčďđēĕėęěĝğġģĥħĩīĭįıĵķĺļľłńņňŋōŏőœŕŗřśŝşšţťŧũūŭůűųŵŷźżžß") {
+			de.Add(r)
+		}
+		builtinMap["de"] = &Table{TLD: "de", Permitted: restrictPValid(de)}
+
+		ru := ucd.NewRuneSet()
+		ru.AddRange(0x0430, 0x045F)
+		builtinMap["ru"] = &Table{TLD: "ru", Permitted: restrictPValid(ru)}
+		builtinMap["xn--p1ai"] = &Table{TLD: "xn--p1ai", Permitted: restrictPValid(ru.Clone())}
+	})
+	return builtinMap
+}
+
+// restrictPValid drops code points IDNA2008 forbids regardless of
+// registry policy.
+func restrictPValid(s *ucd.RuneSet) *ucd.RuneSet {
+	out := ucd.NewRuneSet()
+	for _, r := range s.Runes() {
+		if ucd.IsPValid(r) {
+			out.Add(r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+// Package idntable models the IANA per-TLD IDN tables of Section 2.1:
+// each registry publishes the code points it permits (the
+// "inclusion-based" approach ICANN's 2003 guideline requires), so
+// whether a homograph is registrable depends on the TLD. The JP
+// registry, for example, permits LDH + Hiragana + Katakana + a CJK
+// subset, which is why "ácm.jp" cannot be registered while .com —
+// whose table spans 97 Unicode blocks — accepts homoglyphs from
+// almost every script.
+//
+// The package parses the common one-codepoint-per-line table format
+// IANA distributes, ships built-in tables for a representative set of
+// TLDs, and answers the question the attacker and the defender both
+// ask: which homoglyphs of this label survive this TLD's table?
+package idntable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ucd"
+)
+
+// Table is one TLD's permitted code-point inventory.
+type Table struct {
+	TLD       string // without dot, e.g. "com"
+	Permitted *ucd.RuneSet
+}
+
+// Allows reports whether every character of label is permitted.
+// ASCII letters, digits and hyphen (LDH) are always permitted, per
+// the IDNA base requirement.
+func (t *Table) Allows(label string) bool {
+	for _, r := range label {
+		if !t.AllowsRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllowsRune reports whether one code point is permitted.
+func (t *Table) AllowsRune(r rune) bool {
+	if r == '-' || (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') {
+		return true
+	}
+	if r >= 'A' && r <= 'Z' {
+		return true // registries compare case-insensitively
+	}
+	return t.Permitted != nil && t.Permitted.Contains(r)
+}
+
+// FilterHomoglyphs keeps only the homoglyph candidates this TLD's
+// table permits — the registrable attack surface of one character.
+func (t *Table) FilterHomoglyphs(candidates []rune) []rune {
+	var out []rune
+	for _, r := range candidates {
+		if t.AllowsRune(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Parse reads the IANA one-codepoint-per-line format:
+//
+//	U+00E9     # LATIN SMALL LETTER E WITH ACUTE
+//	0x4E00..0x9FFF                 (ranges allowed)
+//	3042                           (bare hex allowed)
+//
+// Blank lines and # comments are ignored.
+func Parse(tld string, r io.Reader) (*Table, error) {
+	set := ucd.NewRuneSet()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		lo, hi, err := parseRange(line)
+		if err != nil {
+			return nil, fmt.Errorf("idntable: %s line %d: %w", tld, lineNo, err)
+		}
+		set.AddRange(lo, hi)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("idntable: %w", err)
+	}
+	return &Table{TLD: strings.TrimPrefix(strings.ToLower(tld), "."), Permitted: set}, nil
+}
+
+func parseRange(s string) (lo, hi rune, err error) {
+	parts := strings.SplitN(s, "..", 2)
+	lo, err = parseCodepoint(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	hi = lo
+	if len(parts) == 2 {
+		hi, err = parseCodepoint(parts[1])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("range %q is inverted", s)
+	}
+	return lo, hi, nil
+}
+
+func parseCodepoint(s string) (rune, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "U+"), "0x")
+	v, err := strconv.ParseUint(s, 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad code point %q", s)
+	}
+	return rune(v), nil
+}
+
+// Write emits the table in the parseable format, as contiguous ranges.
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# IDN table for .%s\n", t.TLD)
+	runes := t.Permitted.Runes()
+	for i := 0; i < len(runes); {
+		j := i
+		for j+1 < len(runes) && runes[j+1] == runes[j]+1 {
+			j++
+		}
+		if i == j {
+			fmt.Fprintf(bw, "U+%04X\n", runes[i])
+		} else {
+			fmt.Fprintf(bw, "U+%04X..U+%04X\n", runes[i], runes[j])
+		}
+		i = j + 1
+	}
+	return bw.Flush()
+}
+
+// Builtin returns the built-in table for a TLD, if shipped.
+func Builtin(tld string) (*Table, bool) {
+	tld = strings.TrimPrefix(strings.ToLower(tld), ".")
+	t, ok := builtins()[tld]
+	return t, ok
+}
+
+// BuiltinTLDs lists the shipped tables.
+func BuiltinTLDs() []string {
+	m := builtins()
+	out := make([]string, 0, len(m))
+	for tld := range m {
+		out = append(out, tld)
+	}
+	// Small fixed set; insertion sort keeps it dependency-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

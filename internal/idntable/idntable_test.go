@@ -1,0 +1,156 @@
+package idntable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormats(t *testing.T) {
+	input := `
+# comment
+U+00E9          # é
+0x4E00..0x4E05
+3042
+U+0061..U+007A  # a-z (redundant with LDH but legal)
+`
+	tbl, err := Parse(".COM", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.TLD != "com" {
+		t.Errorf("TLD = %q", tbl.TLD)
+	}
+	for _, r := range []rune{0x00E9, 0x4E00, 0x4E05, 0x3042, 'a'} {
+		if !tbl.AllowsRune(r) {
+			t.Errorf("AllowsRune(%U) = false", r)
+		}
+	}
+	if tbl.AllowsRune(0x4E06) {
+		t.Error("code point outside range permitted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"U+ZZZZ",
+		"0x10..0x05", // inverted
+		"not-hex",
+	}
+	for _, c := range cases {
+		if _, err := Parse("x", strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestLDHAlwaysAllowed(t *testing.T) {
+	tbl := &Table{TLD: "empty"}
+	for _, r := range []rune("abc-XYZ019") {
+		if !tbl.AllowsRune(r) {
+			t.Errorf("LDH rune %q rejected", r)
+		}
+	}
+	if tbl.AllowsRune('é') {
+		t.Error("empty table permitted a non-LDH rune")
+	}
+}
+
+func TestAllowsLabel(t *testing.T) {
+	jp, ok := Builtin("jp")
+	if !ok {
+		t.Fatal("no jp table")
+	}
+	cases := []struct {
+		label string
+		want  bool
+	}{
+		{"example", true},  // plain LDH
+		{"にほん", true},      // Hiragana
+		{"テスト", true},      // Katakana
+		{"日本語", true},      // CJK
+		{"ácm", false},     // the paper's Section 2.1 example
+		{"gооgle", false},  // Cyrillic о not in the JP table
+		{"mixedにほん", true}, // LDH + kana
+	}
+	for _, c := range cases {
+		if got := jp.Allows(c.label); got != c.want {
+			t.Errorf("jp.Allows(%q) = %t, want %t", c.label, got, c.want)
+		}
+	}
+}
+
+func TestComPermitsCrossScript(t *testing.T) {
+	com, ok := Builtin("com")
+	if !ok {
+		t.Fatal("no com table")
+	}
+	// The attacks the paper measures are registrable under .com.
+	for _, label := range []string{"gооgle", "ácm", "ρaypal", "エ業大学"} {
+		if !com.Allows(label) {
+			t.Errorf("com.Allows(%q) = false", label)
+		}
+	}
+}
+
+func TestCyrillicTLDs(t *testing.T) {
+	rf, ok := Builtin("xn--p1ai")
+	if !ok {
+		t.Fatal("no рф table")
+	}
+	if !rf.Allows("домен") {
+		t.Error("Cyrillic label rejected by рф")
+	}
+	if rf.Allows("домéн") {
+		t.Error("Latin é permitted by рф")
+	}
+}
+
+func TestFilterHomoglyphs(t *testing.T) {
+	jp, _ := Builtin("jp")
+	candidates := []rune{0x043E /* Cyrillic о */, 0x30A8 /* エ */, 'o'}
+	got := jp.FilterHomoglyphs(candidates)
+	if len(got) != 2 || got[0] != 0x30A8 || got[1] != 'o' {
+		t.Errorf("FilterHomoglyphs = %U", got)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	de, _ := Builtin("de")
+	var buf bytes.Buffer
+	if err := de.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse("de", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := de.Permitted.Runes()
+	gotRunes := got.Permitted.Runes()
+	if len(want) != len(gotRunes) {
+		t.Fatalf("round trip: %d -> %d runes", len(want), len(gotRunes))
+	}
+	for i := range want {
+		if want[i] != gotRunes[i] {
+			t.Fatalf("rune %d: %U != %U", i, want[i], gotRunes[i])
+		}
+	}
+}
+
+func TestBuiltinTLDs(t *testing.T) {
+	tlds := BuiltinTLDs()
+	if len(tlds) < 5 {
+		t.Fatalf("builtins = %v", tlds)
+	}
+	for i := 1; i < len(tlds); i++ {
+		if tlds[i-1] >= tlds[i] {
+			t.Errorf("BuiltinTLDs not sorted: %v", tlds)
+		}
+	}
+	if _, ok := Builtin("nonexistent"); ok {
+		t.Error("bogus TLD has a table")
+	}
+	if _, ok := Builtin(".COM"); !ok {
+		t.Error("dot/case-insensitive lookup failed")
+	}
+}

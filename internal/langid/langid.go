@@ -1,0 +1,192 @@
+// Package langid identifies the most plausible language of a short
+// Unicode string, standing in for the LangID Python module the paper
+// uses to produce Table 7 (top languages among .com IDNs).
+//
+// The classifier is two-stage, mirroring how langid.py behaves on
+// domain-name-sized inputs: a Unicode-script gate first (a Hangul
+// string can only be Korean; Kana implies Japanese), then a
+// character-frequency score over language-specific letter pools to
+// separate languages that share a script (German vs Turkish vs French
+// in Latin; Russian vs Ukrainian in Cyrillic).
+package langid
+
+import (
+	"sort"
+	"unicode"
+)
+
+// Language is an ISO-639-1-style language code with a display name.
+type Language struct {
+	Code string
+	Name string
+}
+
+// Languages the classifier distinguishes. The paper's Table 7 reports
+// Chinese, Korean, Japanese, German and Turkish as the top five; the
+// remaining entries give the classifier realistic confusion targets.
+var (
+	Chinese    = Language{"zh", "Chinese"}
+	Korean     = Language{"ko", "Korean"}
+	Japanese   = Language{"ja", "Japanese"}
+	German     = Language{"de", "German"}
+	Turkish    = Language{"tr", "Turkish"}
+	French     = Language{"fr", "French"}
+	Spanish    = Language{"es", "Spanish"}
+	Russian    = Language{"ru", "Russian"}
+	Arabic     = Language{"ar", "Arabic"}
+	Thai       = Language{"th", "Thai"}
+	Vietnamese = Language{"vi", "Vietnamese"}
+	English    = Language{"en", "English"}
+	Unknown    = Language{"und", "Undetermined"}
+)
+
+// All lists every language the classifier can return.
+var All = []Language{
+	Chinese, Korean, Japanese, German, Turkish, French,
+	Spanish, Russian, Arabic, Thai, Vietnamese, English,
+}
+
+// signature letters: characters that strongly indicate one language
+// within a shared script. The sets are disjoint so a single signature
+// letter is decisive; evaluation order is fixed for determinism.
+var signatures = []struct {
+	lang Language
+	sig  []rune
+}{
+	{German, []rune("äöüß")},
+	{Turkish, []rune("ğşı")},
+	{French, []rune("éèàçùîû")},
+	{Spanish, []rune("ñáíóú")},
+	{Vietnamese, []rune("ăâđêôơưạảấầẩẫậắằẳẵặẹẻẽềểễệỉịọỏốồổỗộớờởỡợụủứừửữựỳỵỷỹ")},
+}
+
+// Identify returns the most plausible language for s with a score in
+// (0, 1]. Empty or purely numeric strings return Unknown with score 0.
+func Identify(s string) (Language, float64) {
+	counts := scriptCounts(s)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return Unknown, 0
+	}
+	frac := func(k script) float64 { return float64(counts[k]) / float64(total) }
+
+	// Script gate: unambiguous writing systems.
+	switch {
+	case counts[scrHangul] > 0 && frac(scrHangul) >= 0.5:
+		return Korean, frac(scrHangul)
+	case counts[scrKana] > 0:
+		// Any Kana at all marks Japanese even in mixed Kana/Han text.
+		return Japanese, frac(scrKana) + frac(scrHan)
+	case counts[scrHan] > 0 && frac(scrHan) >= 0.5:
+		return Chinese, frac(scrHan)
+	case counts[scrThai] > 0 && frac(scrThai) >= 0.5:
+		return Thai, frac(scrThai)
+	case counts[scrArabic] > 0 && frac(scrArabic) >= 0.5:
+		return Arabic, frac(scrArabic)
+	case counts[scrCyrillic] > 0 && frac(scrCyrillic) >= 0.5:
+		return Russian, frac(scrCyrillic)
+	}
+
+	// Latin-script languages: score signature letters.
+	if counts[scrLatin] == 0 {
+		return Unknown, 0
+	}
+	best, bestScore := English, 0.0
+	for _, entry := range signatures {
+		score := 0.0
+		for _, r := range s {
+			for _, m := range entry.sig {
+				if unicode.ToLower(r) == m {
+					score++
+					break
+				}
+			}
+		}
+		score /= float64(total)
+		if score > bestScore {
+			best, bestScore = entry.lang, score
+		}
+	}
+	if bestScore == 0 {
+		return English, frac(scrLatin)
+	}
+	return best, bestScore
+}
+
+type script uint8
+
+const (
+	scrLatin script = iota
+	scrHan
+	scrHangul
+	scrKana
+	scrCyrillic
+	scrArabic
+	scrThai
+	scrOther
+	scrCount
+)
+
+func scriptCounts(s string) [scrCount]int {
+	var counts [scrCount]int
+	for _, r := range s {
+		switch {
+		case r < 128:
+			if unicode.IsLetter(r) {
+				counts[scrLatin]++
+			}
+		case unicode.Is(unicode.Hangul, r):
+			counts[scrHangul]++
+		case unicode.Is(unicode.Hiragana, r) || unicode.Is(unicode.Katakana, r):
+			counts[scrKana]++
+		case unicode.Is(unicode.Han, r):
+			counts[scrHan]++
+		case unicode.Is(unicode.Cyrillic, r):
+			counts[scrCyrillic]++
+		case unicode.Is(unicode.Arabic, r):
+			counts[scrArabic]++
+		case unicode.Is(unicode.Thai, r):
+			counts[scrThai]++
+		case unicode.Is(unicode.Latin, r):
+			counts[scrLatin]++
+		default:
+			counts[scrOther]++
+		}
+	}
+	return counts
+}
+
+// Tally counts languages across a set of strings and returns rows
+// sorted by descending count — the shape of the paper's Table 7.
+type TallyRow struct {
+	Language Language
+	Count    int
+	Fraction float64
+}
+
+// TallyAll identifies every string and aggregates.
+func TallyAll(labels []string) []TallyRow {
+	counts := make(map[Language]int)
+	for _, l := range labels {
+		lang, _ := Identify(l)
+		counts[lang]++
+	}
+	rows := make([]TallyRow, 0, len(counts))
+	for lang, c := range counts {
+		rows = append(rows, TallyRow{
+			Language: lang,
+			Count:    c,
+			Fraction: float64(c) / float64(len(labels)),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Language.Code < rows[j].Language.Code
+	})
+	return rows
+}

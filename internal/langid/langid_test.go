@@ -1,0 +1,135 @@
+package langid
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestIdentifyScriptGate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Language
+	}{
+		{"北京大学", Chinese},
+		{"한국어도메인", Korean},
+		{"ひらがなドメイン", Japanese},
+		{"テスト", Japanese},     // pure Katakana
+		{"日本のひらがな", Japanese}, // Han + Kana => Japanese, not Chinese
+		{"домен", Russian},
+		{"مثال", Arabic},
+		{"ไทยแลนด", Thai},
+		{"example", English},
+	}
+	for _, c := range cases {
+		got, score := Identify(c.in)
+		if got != c.want {
+			t.Errorf("Identify(%q) = %v (%.2f), want %v", c.in, got, score, c.want)
+		}
+		if score <= 0 {
+			t.Errorf("Identify(%q) score = %v", c.in, score)
+		}
+	}
+}
+
+func TestIdentifyLatinSignatures(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Language
+	}{
+		{"münchengrün", German},
+		{"straße", German},
+		{"ğüzelşehir", Turkish},
+		{"ıstanbul", Turkish},
+		{"créditagricole", French},
+		{"mañana", Spanish},
+		{"việtnam", Vietnamese},
+	}
+	for _, c := range cases {
+		if got, _ := Identify(c.in); got != c.want {
+			t.Errorf("Identify(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIdentifyDegenerate(t *testing.T) {
+	for _, s := range []string{"", "12345", "---"} {
+		if got, score := Identify(s); got != Unknown || score != 0 {
+			t.Errorf("Identify(%q) = %v, %v; want Unknown, 0", s, got, score)
+		}
+	}
+}
+
+func TestPoolLabelsClassifyCorrectly(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for _, p := range Pools() {
+		correct := 0
+		const n = 200
+		for i := 0; i < n; i++ {
+			label := p.Label(rng, 4+rng.Intn(8))
+			got, _ := Identify(label)
+			if got == p.Language {
+				correct++
+			}
+		}
+		// Each pool's labels must be classified as its own language at
+		// least 90% of the time, or Table 7 falls apart.
+		if correct < n*9/10 {
+			t.Errorf("%s: only %d/%d labels classified correctly", p.Language.Name, correct, n)
+		}
+	}
+}
+
+func TestPoolLabelLength(t *testing.T) {
+	rng := stats.NewRNG(1)
+	p := PoolFor(Chinese)
+	for _, n := range []int{1, 5, 20} {
+		label := p.Label(rng, n)
+		if got := len([]rune(label)); got != n {
+			t.Errorf("Label(%d) has %d runes", n, got)
+		}
+	}
+	if got := len([]rune(p.Label(rng, 0))); got != 1 {
+		t.Errorf("Label(0) has %d runes, want clamped 1", got)
+	}
+}
+
+func TestPoolForFallback(t *testing.T) {
+	p := PoolFor(Language{"xx", "Bogus"})
+	if p.Language != English {
+		t.Errorf("fallback pool = %v", p.Language)
+	}
+}
+
+func TestTallyAll(t *testing.T) {
+	labels := []string{
+		"北京", "上海", "广州", // 3 Chinese
+		"한국", "서울", // 2 Korean
+		"münchen", // 1 German
+	}
+	rows := TallyAll(labels)
+	if rows[0].Language != Chinese || rows[0].Count != 3 {
+		t.Errorf("top row = %+v", rows[0])
+	}
+	if rows[1].Language != Korean || rows[1].Count != 2 {
+		t.Errorf("second row = %+v", rows[1])
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Fraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %f", sum)
+	}
+}
+
+func TestTallyDeterministic(t *testing.T) {
+	labels := []string{"北京", "한국", "münchen", "ğüzel"}
+	a := TallyAll(labels)
+	b := TallyAll(labels)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tally not deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+}

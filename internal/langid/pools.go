@@ -1,0 +1,76 @@
+package langid
+
+import "repro/internal/stats"
+
+// Pool is the character inventory used to synthesise labels in one
+// language. The registry generator samples from these pools so the
+// classifier (and the paper's Table 7) sees realistic script mixes.
+type Pool struct {
+	Language Language
+	// Core letters drawn for most positions.
+	Core []rune
+	// Accents are language-signature characters mixed in at
+	// AccentRate so Latin languages are separable.
+	Accents    []rune
+	AccentRate float64
+}
+
+// Pools returns the label-synthesis inventory for every supported
+// language. Core pools use only IDNA-permitted letters.
+func Pools() []Pool {
+	return []Pool{
+		{Language: Chinese, Core: runesRange(0x4E00, 0x4E80)},
+		{Language: Korean, Core: runesRange(0xAC00, 0xAC80)},
+		{Language: Japanese, Core: append(runesRange(0x3042, 0x3060), runesRange(0x30A2, 0x30C0)...)},
+		{Language: German, Core: []rune("abcdefghiklmnoprstuvwz"), Accents: []rune("äöüß"), AccentRate: 0.25},
+		{Language: Turkish, Core: []rune("abcdefghiklmnoprstuvyz"), Accents: []rune("ğşı"), AccentRate: 0.3},
+		{Language: French, Core: []rune("abcdefghiklmnoprstuv"), Accents: []rune("éèàç"), AccentRate: 0.25},
+		{Language: Spanish, Core: []rune("abcdefghiklmnoprstuv"), Accents: []rune("ñáíóú"), AccentRate: 0.25},
+		{Language: Russian, Core: runesRange(0x0430, 0x0450)},
+		{Language: Arabic, Core: runesRange(0x0627, 0x0640)},
+		{Language: Thai, Core: runesRange(0x0E01, 0x0E2E)},
+		{Language: Vietnamese, Core: []rune("abcdeghiklmnopqrstuvxy"), Accents: []rune("ăâđêôơư"), AccentRate: 0.35},
+		{Language: English, Core: []rune("abcdefghijklmnopqrstuvwxyz")},
+	}
+}
+
+// PoolFor returns the pool for a language, falling back to English.
+func PoolFor(lang Language) Pool {
+	for _, p := range Pools() {
+		if p.Language == lang {
+			return p
+		}
+	}
+	return Pool{Language: English, Core: []rune("abcdefghijklmnopqrstuvwxyz")}
+}
+
+// Label draws a pseudo-random label of the given rune length from the
+// pool using rng. Labels always contain at least one accent character
+// when the pool has accents, so the language signature is present.
+func (p Pool) Label(rng *stats.RNG, length int) string {
+	if length < 1 {
+		length = 1
+	}
+	runes := make([]rune, length)
+	hasAccent := false
+	for i := range runes {
+		if len(p.Accents) > 0 && rng.Float64() < p.AccentRate {
+			runes[i] = p.Accents[rng.Intn(len(p.Accents))]
+			hasAccent = true
+		} else {
+			runes[i] = p.Core[rng.Intn(len(p.Core))]
+		}
+	}
+	if len(p.Accents) > 0 && !hasAccent {
+		runes[rng.Intn(length)] = p.Accents[rng.Intn(len(p.Accents))]
+	}
+	return string(runes)
+}
+
+func runesRange(lo, hi rune) []rune {
+	rs := make([]rune, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		rs = append(rs, r)
+	}
+	return rs
+}

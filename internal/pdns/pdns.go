@@ -1,0 +1,175 @@
+// Package pdns implements the passive-DNS view of Section 6.2: a
+// collector that counts name resolutions observed at cache servers
+// (wired to the authoritative server's query hook in the simulation),
+// plus a seeded mode that loads historical counts from the registry's
+// ground truth, and the Top-N report behind Table 11. A Zipf load
+// driver can replay realistic query streams through a live resolver so
+// the collection path is exercised end to end.
+package pdns
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dnswire"
+	"repro/internal/stats"
+)
+
+// DB accumulates resolution counts per domain name.
+type DB struct {
+	mu     sync.RWMutex
+	counts map[string]int64
+}
+
+// NewDB returns an empty passive-DNS database.
+func NewDB() *DB {
+	return &DB{counts: make(map[string]int64)}
+}
+
+func normalize(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// Observe records one resolution of name. It is the shape of
+// dnsserver.Server.OnQuery, so a collector is attached with:
+//
+//	srv.OnQuery = func(q dnswire.Question) { db.Observe(q.Name) }
+func (db *DB) Observe(name string) {
+	db.mu.Lock()
+	db.counts[normalize(name)]++
+	db.mu.Unlock()
+}
+
+// Hook adapts Observe to the dnsserver.OnQuery signature.
+func (db *DB) Hook() func(q dnswire.Question) {
+	return func(q dnswire.Question) { db.Observe(q.Name) }
+}
+
+// Seed loads a historical cumulative count (the years of data a real
+// passive-DNS operator has that a fresh simulation does not).
+func (db *DB) Seed(name string, count int64) {
+	db.mu.Lock()
+	db.counts[normalize(name)] += count
+	db.mu.Unlock()
+}
+
+// Count returns the cumulative resolutions of name.
+func (db *DB) Count(name string) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.counts[normalize(name)]
+}
+
+// Len reports how many distinct names have been observed.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.counts)
+}
+
+// Entry is one row of a Top-N report.
+type Entry struct {
+	Name  string
+	Count int64
+}
+
+// Top returns the n names with the most resolutions, descending;
+// ties break lexicographically for determinism.
+func (db *DB) Top(n int) []Entry {
+	db.mu.RLock()
+	entries := make([]Entry, 0, len(db.counts))
+	for name, c := range db.counts {
+		entries = append(entries, Entry{name, c})
+	}
+	db.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// TopFiltered returns the top n names among those keep() accepts —
+// Table 11 filters to detected homographs.
+func (db *DB) TopFiltered(n int, keep func(name string) bool) []Entry {
+	db.mu.RLock()
+	entries := make([]Entry, 0, len(db.counts))
+	for name, c := range db.counts {
+		if keep(name) {
+			entries = append(entries, Entry{name, c})
+		}
+	}
+	db.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// Driver replays a query load with a Zipf popularity profile over a
+// domain population, calling lookup for each query — typically a
+// dnsclient.Client.Query wrapper pointed at the simulated
+// authoritative server.
+type Driver struct {
+	// Domains is the population, most popular first.
+	Domains []string
+	// Queries is the total number of lookups to issue.
+	Queries int
+	// Skew is the Zipf exponent. Zero means 1.1.
+	Skew float64
+	// Workers bounds concurrency. Zero means 8.
+	Workers int
+}
+
+// Run issues the load. Lookup errors are counted, not fatal: a cache
+// fleet tolerates individual failures.
+func (d *Driver) Run(seed uint64, lookup func(name string) error) (sent, failed int) {
+	if len(d.Domains) == 0 || d.Queries <= 0 {
+		return 0, 0
+	}
+	skew := d.Skew
+	if skew == 0 {
+		skew = 1.1
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	// Pre-draw the query sequence deterministically, then fan out.
+	rng := stats.NewRNG(seed)
+	zipf := stats.NewZipf(rng, len(d.Domains), skew)
+	names := make([]string, d.Queries)
+	for i := range names {
+		names[i] = d.Domains[zipf.Rank()-1]
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sem := make(chan struct{}, workers)
+	for _, name := range names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := lookup(name); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}(name)
+	}
+	wg.Wait()
+	return len(names), failed
+}

@@ -1,0 +1,137 @@
+package pdns
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestObserveAndCount(t *testing.T) {
+	db := NewDB()
+	db.Observe("a.com.")
+	db.Observe("A.COM")
+	db.Observe("b.com")
+	if got := db.Count("a.com"); got != 2 {
+		t.Errorf("Count(a.com) = %d", got)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestSeedAccumulates(t *testing.T) {
+	db := NewDB()
+	db.Seed("big.com", 1000)
+	db.Observe("big.com")
+	if got := db.Count("big.com"); got != 1001 {
+		t.Errorf("Count = %d", got)
+	}
+}
+
+func TestTopOrderingAndTies(t *testing.T) {
+	db := NewDB()
+	db.Seed("small.com", 1)
+	db.Seed("big.com", 100)
+	db.Seed("mid-b.com", 50)
+	db.Seed("mid-a.com", 50)
+	top := db.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top = %v", top)
+	}
+	if top[0].Name != "big.com" {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	// Ties break lexicographically.
+	if top[1].Name != "mid-a.com" || top[2].Name != "mid-b.com" {
+		t.Errorf("tie order = %v", top[1:])
+	}
+	if got := db.Top(100); len(got) != 4 {
+		t.Errorf("Top(100) = %d entries", len(got))
+	}
+}
+
+func TestTopFiltered(t *testing.T) {
+	db := NewDB()
+	db.Seed("xn--evil.com", 500)
+	db.Seed("benign.com", 900)
+	top := db.TopFiltered(5, func(name string) bool {
+		return strings.HasPrefix(name, "xn--")
+	})
+	if len(top) != 1 || top[0].Name != "xn--evil.com" {
+		t.Errorf("filtered = %v", top)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	db := NewDB()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				db.Observe("hot.com")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := db.Count("hot.com"); got != 2000 {
+		t.Errorf("Count = %d, want 2000", got)
+	}
+}
+
+func TestDriverRun(t *testing.T) {
+	db := NewDB()
+	d := &Driver{
+		Domains: []string{"pop.com", "mid.com", "rare.com"},
+		Queries: 500,
+		Workers: 4,
+	}
+	sent, failed := d.Run(42, func(name string) error {
+		db.Observe(name)
+		return nil
+	})
+	if sent != 500 || failed != 0 {
+		t.Fatalf("sent=%d failed=%d", sent, failed)
+	}
+	// Zipf skew: the top domain must dominate.
+	if db.Count("pop.com") <= db.Count("rare.com") {
+		t.Errorf("zipf shape broken: pop=%d rare=%d", db.Count("pop.com"), db.Count("rare.com"))
+	}
+}
+
+func TestDriverCountsFailures(t *testing.T) {
+	d := &Driver{Domains: []string{"x.com"}, Queries: 10}
+	_, failed := d.Run(1, func(string) error { return errors.New("boom") })
+	if failed != 10 {
+		t.Errorf("failed = %d", failed)
+	}
+}
+
+func TestDriverDegenerate(t *testing.T) {
+	d := &Driver{}
+	if sent, _ := d.Run(1, func(string) error { return nil }); sent != 0 {
+		t.Errorf("empty driver sent %d", sent)
+	}
+}
+
+func TestDriverDeterministicSequence(t *testing.T) {
+	run := func() map[string]int64 {
+		db := NewDB()
+		d := &Driver{Domains: []string{"a.com", "b.com", "c.com"}, Queries: 200, Workers: 1}
+		d.Run(7, func(name string) error {
+			db.Observe(name)
+			return nil
+		})
+		return map[string]int64{
+			"a": db.Count("a.com"), "b": db.Count("b.com"), "c": db.Count("c.com"),
+		}
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("nondeterministic counts: %v vs %v", a, b)
+		}
+	}
+}

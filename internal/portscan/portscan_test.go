@@ -1,0 +1,119 @@
+package portscan
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/hostsim"
+)
+
+// testEnv builds a mapper with one live listener and returns both.
+func testEnv(t *testing.T) (*hostsim.Mapper, net.Listener) {
+	t.Helper()
+	m, err := hostsim.NewMapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	return m, ln
+}
+
+func TestScanOpenAndClosed(t *testing.T) {
+	m, ln := testEnv(t)
+	m.Open("both.com", 80, ln.Addr().String())
+	m.Open("both.com", 443, ln.Addr().String())
+	m.Open("web.com", 80, ln.Addr().String())
+	m.Open("tls.com", 443, ln.Addr().String())
+
+	s := &Scanner{Resolve: m.Resolve, Timeout: time.Second, Workers: 8}
+	results := s.Scan([]string{"both.com", "web.com", "tls.com", "dead.com"}, []int{80, 443})
+
+	want := map[string][2]bool{
+		"both.com": {true, true},
+		"web.com":  {true, false},
+		"tls.com":  {false, true},
+		"dead.com": {false, false},
+	}
+	for _, r := range results {
+		w := want[r.Domain]
+		if r.Open[80] != w[0] || r.Open[443] != w[1] {
+			t.Errorf("%s: open = %v, want %v", r.Domain, r.Open, w)
+		}
+	}
+	if !results[0].AnyOpen() || results[3].AnyOpen() {
+		t.Error("AnyOpen mismatch")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m, ln := testEnv(t)
+	m.Open("a.com", 80, ln.Addr().String())
+	m.Open("a.com", 443, ln.Addr().String())
+	m.Open("b.com", 80, ln.Addr().String())
+	m.Open("c.com", 443, ln.Addr().String())
+
+	s := &Scanner{Resolve: m.Resolve, Timeout: time.Second}
+	results := s.Scan([]string{"a.com", "b.com", "c.com", "d.com"}, []int{80, 443})
+	sum := Summarize(results)
+	if sum.Port80 != 2 || sum.Port443 != 2 || sum.Both != 1 || sum.AnyOpen != 3 || sum.Scanned != 4 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestScanPreservesOrder(t *testing.T) {
+	m, _ := testEnv(t)
+	domains := []string{"z.com", "a.com", "m.com"}
+	s := &Scanner{Resolve: m.Resolve, Timeout: 200 * time.Millisecond}
+	results := s.Scan(domains, []int{80})
+	for i, r := range results {
+		if r.Domain != domains[i] {
+			t.Errorf("result %d = %s, want %s", i, r.Domain, domains[i])
+		}
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	m, _ := testEnv(t)
+	s := &Scanner{Resolve: m.Resolve}
+	if got := s.Scan(nil, []int{80}); len(got) != 0 {
+		t.Errorf("scan of nothing = %v", got)
+	}
+	sum := Summarize(nil)
+	if sum.Scanned != 0 || sum.AnyOpen != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestScanManyConcurrent(t *testing.T) {
+	m, ln := testEnv(t)
+	var domains []string
+	for i := 0; i < 200; i++ {
+		d := string(rune('a'+i%26)) + "x" + string(rune('0'+i%10)) + ".com"
+		domains = append(domains, d)
+	}
+	// Open port 80 for half of them (dedup via map semantics is fine).
+	for i := 0; i < len(domains); i += 2 {
+		m.Open(domains[i], 80, ln.Addr().String())
+	}
+	s := &Scanner{Resolve: m.Resolve, Timeout: time.Second, Workers: 32}
+	results := s.Scan(domains, []int{80})
+	for i, r := range results {
+		if want := m.IsOpen(domains[i], 80); r.Open[80] != want {
+			t.Errorf("%s: open=%t want %t", r.Domain, r.Open[80], want)
+		}
+	}
+}

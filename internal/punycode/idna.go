@@ -1,0 +1,165 @@
+package punycode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ACEPrefix is the ASCII-compatible-encoding prefix that marks an IDN label
+// on the wire ("xn--", RFC 5890 section 2.3.2.1).
+const ACEPrefix = "xn--"
+
+// MaxLabelLength is the DNS limit on a single label's octet length.
+const MaxLabelLength = 63
+
+// ErrLabelTooLong is returned when an encoded label exceeds 63 octets.
+var ErrLabelTooLong = errors.New("idna: encoded label exceeds 63 octets")
+
+// ErrEmptyLabel is returned for empty labels in domain conversion.
+var ErrEmptyLabel = errors.New("idna: empty label")
+
+// lowerASCII lowercases ASCII letters and passes everything else through.
+func lowerASCII(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// IsASCII reports whether s contains only ASCII bytes.
+func IsASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsACE reports whether the label carries the xn-- ACE prefix.
+func IsACE(label string) bool {
+	return len(label) >= len(ACEPrefix) && lowerASCII(label[:len(ACEPrefix)]) == ACEPrefix
+}
+
+// ToASCIILabel converts one label to its ASCII (ACE) form. ASCII labels are
+// lowercased and returned as-is; labels with non-ASCII code points are
+// Punycode-encoded and prefixed with "xn--".
+func ToASCIILabel(label string) (string, error) {
+	if label == "" {
+		return "", ErrEmptyLabel
+	}
+	if IsASCII(label) {
+		return lowerASCII(label), nil
+	}
+	enc, err := Encode(lowerASCII(label))
+	if err != nil {
+		return "", err
+	}
+	out := ACEPrefix + enc
+	if len(out) > MaxLabelLength {
+		return "", ErrLabelTooLong
+	}
+	return out, nil
+}
+
+// ToUnicodeLabel converts one label to its Unicode form. Non-ACE labels are
+// returned unchanged (lowercased).
+func ToUnicodeLabel(label string) (string, error) {
+	label = lowerASCII(label)
+	if !IsACE(label) {
+		return label, nil
+	}
+	dec, err := Decode(label[len(ACEPrefix):])
+	if err != nil {
+		return "", fmt.Errorf("label %q: %w", label, err)
+	}
+	if dec == "" {
+		return "", fmt.Errorf("label %q: %w", label, ErrEmptyLabel)
+	}
+	if IsASCII(dec) {
+		// An ACE label must decode to at least one non-ASCII code point;
+		// otherwise it is a fake-ACE label (RFC 5891 hyphen restrictions).
+		return "", fmt.Errorf("label %q decodes to pure ASCII: %w", label, ErrInvalid)
+	}
+	return dec, nil
+}
+
+// ToASCII converts a whole dotted domain name to its ACE form.
+func ToASCII(domain string) (string, error) {
+	if domain == "" {
+		return "", ErrEmptyLabel
+	}
+	labels := strings.Split(domain, ".")
+	for i, l := range labels {
+		// A single trailing dot (root) is preserved.
+		if l == "" && i == len(labels)-1 {
+			continue
+		}
+		a, err := ToASCIILabel(l)
+		if err != nil {
+			return "", fmt.Errorf("domain %q: %w", domain, err)
+		}
+		labels[i] = a
+	}
+	return strings.Join(labels, "."), nil
+}
+
+// ToUnicode converts a whole dotted domain name to its Unicode form.
+// Labels that fail to decode are left in ACE form, mirroring browser
+// behaviour, and the first error encountered is returned alongside the
+// partially converted name.
+func ToUnicode(domain string) (string, error) {
+	labels := strings.Split(domain, ".")
+	var firstErr error
+	for i, l := range labels {
+		u, err := ToUnicodeLabel(l)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		labels[i] = u
+	}
+	return strings.Join(labels, "."), firstErr
+}
+
+// IsIDN reports whether any label of the (ASCII-form) domain carries the
+// ACE prefix — the paper's Step 2 test for extracting IDNs.
+func IsIDN(domain string) bool {
+	for _, l := range strings.Split(domain, ".") {
+		if IsACE(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// SLD returns the second-level label of a dotted domain name: for
+// "foo.example.com" it returns "example" when tld="com" strips one suffix
+// label. With an empty tld it returns the label immediately left of the
+// final dot-separated label.
+func SLD(domain string) string {
+	labels := strings.Split(strings.TrimSuffix(domain, "."), ".")
+	if len(labels) < 2 {
+		if len(labels) == 1 {
+			return labels[0]
+		}
+		return ""
+	}
+	return labels[len(labels)-2]
+}

@@ -1,0 +1,207 @@
+// Package punycode implements the Punycode bootstring encoding of RFC 3492
+// and the IDNA label conversions (ToASCII/ToUnicode with the "xn--" ACE
+// prefix) that the paper's Step 2 relies on to extract IDNs from domain
+// lists.
+package punycode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Bootstring parameters for Punycode, RFC 3492 section 5.
+const (
+	base        = 36
+	tmin        = 1
+	tmax        = 26
+	skew        = 38
+	damp        = 700
+	initialBias = 72
+	initialN    = 128
+	delimiter   = '-'
+)
+
+// ErrOverflow is returned when decoding or encoding would exceed the rune
+// space; RFC 3492 section 6.4 requires detecting it rather than wrapping.
+var ErrOverflow = errors.New("punycode: overflow")
+
+// ErrInvalid is returned for malformed Punycode input.
+var ErrInvalid = errors.New("punycode: invalid input")
+
+const maxInt32 = int32(^uint32(0) >> 1)
+
+// digitToByte maps a digit value 0..35 to its lowercase code point.
+func digitToByte(d int32) byte {
+	if d < 26 {
+		return byte('a' + d)
+	}
+	return byte('0' + d - 26)
+}
+
+// byteToDigit maps a basic code point to its digit value, or -1.
+func byteToDigit(b byte) int32 {
+	switch {
+	case b >= 'a' && b <= 'z':
+		return int32(b - 'a')
+	case b >= 'A' && b <= 'Z':
+		return int32(b - 'A')
+	case b >= '0' && b <= '9':
+		return int32(b-'0') + 26
+	}
+	return -1
+}
+
+// adapt is the bias adaptation function of RFC 3492 section 6.1.
+func adapt(delta int32, numPoints int32, firstTime bool) int32 {
+	if firstTime {
+		delta /= damp
+	} else {
+		delta /= 2
+	}
+	delta += delta / numPoints
+	k := int32(0)
+	for delta > ((base-tmin)*tmax)/2 {
+		delta /= base - tmin
+		k += base
+	}
+	return k + (base-tmin+1)*delta/(delta+skew)
+}
+
+// Encode converts a Unicode string to its Punycode form (RFC 3492
+// section 6.3). The result contains only basic (ASCII) code points.
+func Encode(input string) (string, error) {
+	if !utf8.ValidString(input) {
+		return "", fmt.Errorf("%w: not valid UTF-8", ErrInvalid)
+	}
+	runes := []rune(input)
+	var out strings.Builder
+	basic := 0
+	for _, r := range runes {
+		if r < initialN {
+			out.WriteByte(byte(r))
+			basic++
+		}
+	}
+	h := int32(basic)
+	b := h
+	if basic > 0 {
+		out.WriteByte(delimiter)
+	}
+	n := int32(initialN)
+	delta := int32(0)
+	bias := int32(initialBias)
+	total := int32(len(runes))
+	for h < total {
+		m := maxInt32
+		for _, r := range runes {
+			if int32(r) >= n && int32(r) < m {
+				m = int32(r)
+			}
+		}
+		if m-n > (maxInt32-delta)/(h+1) {
+			return "", ErrOverflow
+		}
+		delta += (m - n) * (h + 1)
+		n = m
+		for _, r := range runes {
+			cp := int32(r)
+			if cp < n {
+				delta++
+				if delta == 0 {
+					return "", ErrOverflow
+				}
+			}
+			if cp == n {
+				q := delta
+				for k := int32(base); ; k += base {
+					t := k - bias
+					if t < tmin {
+						t = tmin
+					} else if t > tmax {
+						t = tmax
+					}
+					if q < t {
+						break
+					}
+					out.WriteByte(digitToByte(t + (q-t)%(base-t)))
+					q = (q - t) / (base - t)
+				}
+				out.WriteByte(digitToByte(q))
+				bias = adapt(delta, h+1, h == b)
+				delta = 0
+				h++
+			}
+		}
+		delta++
+		n++
+	}
+	return out.String(), nil
+}
+
+// Decode converts a Punycode string back to Unicode (RFC 3492 section 6.2).
+func Decode(input string) (string, error) {
+	for i := 0; i < len(input); i++ {
+		if input[i] >= 0x80 {
+			return "", fmt.Errorf("%w: non-basic code point in input", ErrInvalid)
+		}
+	}
+	var output []rune
+	pos := 0
+	if i := strings.LastIndexByte(input, delimiter); i >= 0 {
+		for _, c := range input[:i] {
+			output = append(output, c)
+		}
+		pos = i + 1
+	}
+	n := int32(initialN)
+	i := int32(0)
+	bias := int32(initialBias)
+	for pos < len(input) {
+		oldi := i
+		w := int32(1)
+		for k := int32(base); ; k += base {
+			if pos >= len(input) {
+				return "", fmt.Errorf("%w: truncated variable-length integer", ErrInvalid)
+			}
+			digit := byteToDigit(input[pos])
+			pos++
+			if digit < 0 {
+				return "", fmt.Errorf("%w: bad digit %q", ErrInvalid, input[pos-1])
+			}
+			if digit > (maxInt32-i)/w {
+				return "", ErrOverflow
+			}
+			i += digit * w
+			t := k - bias
+			if t < tmin {
+				t = tmin
+			} else if t > tmax {
+				t = tmax
+			}
+			if digit < t {
+				break
+			}
+			if w > maxInt32/(base-t) {
+				return "", ErrOverflow
+			}
+			w *= base - t
+		}
+		outLen := int32(len(output)) + 1
+		bias = adapt(i-oldi, outLen, oldi == 0)
+		if i/outLen > maxInt32-n {
+			return "", ErrOverflow
+		}
+		n += i / outLen
+		i %= outLen
+		if n > utf8.MaxRune || (n >= 0xD800 && n <= 0xDFFF) {
+			return "", fmt.Errorf("%w: decoded code point out of range", ErrInvalid)
+		}
+		output = append(output, 0)
+		copy(output[i+1:], output[i:])
+		output[i] = rune(n)
+		i++
+	}
+	return string(output), nil
+}

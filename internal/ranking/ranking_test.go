@@ -1,0 +1,137 @@
+package ranking
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewListAndRank(t *testing.T) {
+	l := NewList([]string{"google.com", "Amazon.com", "example.net"})
+	if l.Rank("google.com") != 1 {
+		t.Error("google rank")
+	}
+	if l.Rank("amazon.com") != 2 {
+		t.Error("case-insensitive rank")
+	}
+	if l.Rank("missing.com") != 0 {
+		t.Error("missing rank should be 0")
+	}
+	if !l.Contains("example.net") || l.Contains("nope.org") {
+		t.Error("Contains mismatch")
+	}
+}
+
+func TestTopAndSLDs(t *testing.T) {
+	l := NewList([]string{"google.com", "example.net", "amazon.com"})
+	top := l.Top(2)
+	if len(top) != 2 || top[0] != "google.com" {
+		t.Errorf("Top = %v", top)
+	}
+	if got := l.Top(99); len(got) != 3 {
+		t.Errorf("Top(99) = %v", got)
+	}
+	slds := l.SLDs(5)
+	if len(slds) != 2 || slds[0] != "google" || slds[1] != "amazon" {
+		t.Errorf("SLDs = %v", slds)
+	}
+	if got := l.SLDs(1); len(got) != 1 {
+		t.Errorf("SLDs(1) = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := NewList([]string{"google.com", "amazon.com"})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Rank("amazon.com") != 2 {
+		t.Errorf("round trip = %v", got.Entries)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"1 google.com",     // no comma
+		"x,google.com",     // bad rank
+		"2,google.com",     // out of order
+		"1,a.com\n3,b.com", // gap
+	}
+	for _, c := range cases {
+		if _, err := ParseCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseCSV(%q) succeeded", c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1000, 7, PaperAnchors())
+	b := Generate(1000, 7, PaperAnchors())
+	if a.Len() != b.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, a.Entries[i], b.Entries[i])
+		}
+	}
+	c := Generate(1000, 8, PaperAnchors())
+	same := 0
+	for i := range a.Entries {
+		if a.Entries[i] == c.Entries[i] {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Error("different seeds produced identical lists")
+	}
+}
+
+func TestGenerateAnchorsPinned(t *testing.T) {
+	l := Generate(10000, 7, PaperAnchors())
+	for _, a := range PaperAnchors() {
+		if got := l.Rank(a.Domain); got != a.Rank {
+			t.Errorf("%s at rank %d, want %d", a.Domain, got, a.Rank)
+		}
+	}
+}
+
+func TestGenerateGrowsToFitAnchors(t *testing.T) {
+	l := Generate(10, 7, PaperAnchors()) // max anchor rank is 7400
+	if l.Len() < 7400 {
+		t.Errorf("list of %d entries cannot hold anchor at 7400", l.Len())
+	}
+}
+
+func TestGenerateNoDuplicates(t *testing.T) {
+	l := Generate(5000, 7, PaperAnchors())
+	seen := make(map[string]bool)
+	for _, e := range l.Entries {
+		if seen[e.Domain] {
+			t.Fatalf("duplicate domain %q", e.Domain)
+		}
+		seen[e.Domain] = true
+	}
+}
+
+func TestMergeUnique(t *testing.T) {
+	a := NewList([]string{"google.com", "amazon.com"})
+	b := NewList([]string{"amazon.com", "majestic.com"})
+	m := MergeUnique(a, b)
+	if m.Len() != 3 || m.Rank("majestic.com") != 3 {
+		t.Errorf("merged = %v", m.Entries)
+	}
+}
+
+func TestSortedByName(t *testing.T) {
+	l := NewList([]string{"zebra.com", "apple.com"})
+	s := l.SortedByName()
+	if s[0] != "apple.com" || s[1] != "zebra.com" {
+		t.Errorf("sorted = %v", s)
+	}
+}

@@ -1,0 +1,145 @@
+package registry
+
+import "fmt"
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// PairClass says which homoglyph database can vouch for every
+// substituted character of a homograph.
+type PairClass uint8
+
+// Pair classes.
+const (
+	ClassUCOnly PairClass = iota
+	ClassSimOnly
+	ClassBoth
+)
+
+// String names the class.
+func (c PairClass) String() string {
+	switch c {
+	case ClassUCOnly:
+		return "UC-only"
+	case ClassSimOnly:
+		return "SimChar-only"
+	case ClassBoth:
+		return "both"
+	}
+	return "unknown"
+}
+
+// Category is the Table 12 website class of an active homograph.
+type Category uint8
+
+// Website categories.
+const (
+	CatNone Category = iota // not active (no open port)
+	CatParked
+	CatForSale
+	CatRedirect
+	CatNormal
+	CatEmpty
+	CatError
+)
+
+var categoryNames = [...]string{
+	"none", "parked", "forsale", "redirect", "normal", "empty", "error",
+}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "invalid"
+}
+
+// RedirectKind is the Table 13 breakdown of redirecting homographs.
+type RedirectKind uint8
+
+// Redirect kinds.
+const (
+	RedirNone RedirectKind = iota
+	RedirBrandProtection
+	RedirLegitimate
+	RedirMalicious
+)
+
+// String names the redirect kind.
+func (r RedirectKind) String() string {
+	switch r {
+	case RedirNone:
+		return "none"
+	case RedirBrandProtection:
+		return "brand-protection"
+	case RedirLegitimate:
+		return "legitimate"
+	case RedirMalicious:
+		return "malicious"
+	}
+	return "invalid"
+}
+
+// Blacklists is a bitmask of the feeds that list a domain.
+type Blacklists uint8
+
+// Feed bits.
+const (
+	BLHpHosts Blacklists = 1 << iota
+	BLGSB
+	BLSymantec
+)
+
+// Has reports whether the mask includes feed.
+func (b Blacklists) Has(feed Blacklists) bool { return b&feed != 0 }
+
+// Homograph is one injected IDN homograph with its full ground truth.
+type Homograph struct {
+	ASCII   string // registered form, e.g. "xn--ggle-0nda.com"
+	Unicode string // display form, e.g. "göögle.com"
+	Label   string // unicode SLD only
+
+	Target string    // reference SLD this imitates
+	Class  PairClass // which DB detects it
+	Subs   int       // number of substituted characters
+
+	HasNS   bool
+	HasA    bool
+	Port80  bool
+	Port443 bool
+
+	Category Category
+	Redirect RedirectKind
+	// RedirectTarget is the registrable domain a CatRedirect site
+	// points at ("gmail.com" for brand protection).
+	RedirectTarget string
+
+	Blacklist   Blacklists
+	Resolutions int64
+	Flavor      string // Table 11 display category; "" for non-featured
+	MXActive    bool
+	MXPast      bool
+	WebLink     bool
+	SNS         bool
+	Cloaking    bool
+}
+
+// Active reports whether the homograph answers on at least one port —
+// the paper's Table 10 "unique" row membership.
+func (h *Homograph) Active() bool { return h.Port80 || h.Port443 }
+
+// Malicious reports whether the domain is flagged by any blacklist or
+// hosts a malicious redirect.
+func (h *Homograph) Malicious() bool {
+	return h.Blacklist != 0 || h.Redirect == RedirMalicious
+}
+
+// BenignIDN is a non-homograph IDN registration with its generation
+// language (ground truth for Table 7).
+type BenignIDN struct {
+	ASCII    string // xn-- form with .com
+	Label    string // unicode SLD
+	Language string // ISO code of the pool that generated it
+}

@@ -1,0 +1,603 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/homoglyph"
+	"repro/internal/langid"
+	"repro/internal/punycode"
+	"repro/internal/ranking"
+	"repro/internal/stats"
+)
+
+// Options configures a registry generation run.
+type Options struct {
+	Seed uint64
+	// Scale multiplies the benign population (TotalDomains and the
+	// IDN pool). Homograph counts are absolute regardless of Scale.
+	// Zero means 1/1000.
+	Scale float64
+	// Profile holds the population constants; zero value means
+	// PaperProfile.
+	Profile *Profile
+	// Refs is the reference ranking. Nil means
+	// ranking.Generate(10000, Seed, ranking.PaperAnchors()).
+	Refs *ranking.List
+	// DB is the homoglyph database homographs are built from.
+	// Required.
+	DB *homoglyph.DB
+}
+
+// Registry is a generated synthetic .com population.
+type Registry struct {
+	Seed    uint64
+	Scale   float64
+	Profile Profile
+	Refs    *ranking.List
+
+	// BenignASCII are plain LDH registrations (no ground truth
+	// needed beyond their existence).
+	BenignASCII []string
+	// BenignIDNs are non-homograph IDN registrations.
+	BenignIDNs []BenignIDN
+	// Homographs carry full ground truth.
+	Homographs []Homograph
+
+	byASCII map[string]*Homograph
+}
+
+// Generate builds the registry. The same Options always produce the
+// same Registry.
+func Generate(opt Options) (*Registry, error) {
+	if opt.DB == nil {
+		return nil, fmt.Errorf("registry: Options.DB is required")
+	}
+	prof := PaperProfile()
+	if opt.Profile != nil {
+		prof = *opt.Profile
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	scale := opt.Scale
+	if scale == 0 {
+		scale = 0.001
+	}
+	refs := opt.Refs
+	if refs == nil {
+		refs = ranking.Generate(10000, opt.Seed, ranking.PaperAnchors())
+	}
+	r := &Registry{
+		Seed:    opt.Seed,
+		Scale:   scale,
+		Profile: prof,
+		Refs:    refs,
+		byASCII: make(map[string]*Homograph),
+	}
+	if err := r.generate(opt.DB); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Registry) generate(db *homoglyph.DB) error {
+	rng := stats.NewRNG(r.Seed*2654435761 + 1)
+	taken := make(map[string]bool)
+	for _, e := range r.Refs.Entries {
+		taken[e.Domain] = true
+	}
+
+	cs := classify(db)
+	reqs, err := r.planRequests(cs, rng)
+	if err != nil {
+		return err
+	}
+	homographs, err := buildHomographs(cs, reqs, taken, rng)
+	if err != nil {
+		return err
+	}
+	r.Homographs = homographs
+	r.assignFeatured(rng)
+	r.assignActivity(rng)
+	r.assignCategories(rng)
+	r.assignBlacklists(rng)
+	r.assignResolutions(rng)
+	for i := range r.Homographs {
+		r.byASCII[r.Homographs[i].ASCII] = &r.Homographs[i]
+	}
+
+	r.generateBenign(rng, taken)
+	return nil
+}
+
+// planRequests decides how many homographs of which class target each
+// reference, honouring the pinned Table 9 counts and Table 11 featured
+// targets and distributing the remainder Zipf-style over the top 10k
+// references.
+func (r *Registry) planRequests(cs *candidateSets, rng *stats.RNG) ([]request, error) {
+	prof := &r.Profile
+	classes := prof.Classes
+	total := classes.Total()
+
+	// Featured homographs are SimChar-only detections by construction.
+	featuredCount := len(prof.Featured)
+	perTarget := make(map[string]int)
+	for _, f := range prof.Featured {
+		perTarget[f.Target]++
+	}
+	pinnedTotal := featuredCount
+	for _, t := range prof.TopTargets {
+		perTarget[t.Target] += t.Count
+		pinnedTotal += t.Count
+	}
+	if pinnedTotal > total {
+		return nil, fmt.Errorf("registry: pinned %d homographs exceed total %d", pinnedTotal, total)
+	}
+
+	// Remaining homographs spread across references not already
+	// pinned, Zipf by rank, capped.
+	slds := r.Refs.SLDs(r.Refs.Len())
+	pinned := make(map[string]bool, len(perTarget))
+	for t := range perTarget {
+		pinned[t] = true
+	}
+	var others []string
+	for _, s := range slds {
+		if !pinned[s] && len(s) >= 4 {
+			others = append(others, s)
+		}
+	}
+	if len(others) == 0 {
+		others = slds
+	}
+	zipf := stats.NewZipf(rng, len(others), 1.1)
+	remaining := total - pinnedTotal
+	for remaining > 0 {
+		t := others[zipf.Rank()-1]
+		if perTarget[t] >= prof.MaxOtherTarget {
+			continue
+		}
+		perTarget[t]++
+		remaining--
+	}
+
+	// Split each target's count across classes so the global class
+	// totals come out exactly. Walk targets deterministically,
+	// draining class budgets.
+	budget := map[PairClass]int{
+		ClassUCOnly:  classes.UCOnly,
+		ClassSimOnly: classes.SimOnly - featuredCount,
+		ClassBoth:    classes.Both,
+	}
+	if budget[ClassSimOnly] < 0 {
+		return nil, fmt.Errorf("registry: featured homographs exceed SimChar-only budget")
+	}
+	targets := make([]string, 0, len(perTarget))
+	for t := range perTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+
+	var reqs []request
+	// Featured first: exact SimChar-only requests.
+	for _, f := range prof.Featured {
+		reqs = append(reqs, request{target: f.Target, class: ClassSimOnly, count: 1})
+		perTarget[f.Target]--
+	}
+	classOrder := []PairClass{ClassSimOnly, ClassBoth, ClassUCOnly}
+	for _, t := range targets {
+		want := perTarget[t]
+		for _, class := range classOrder {
+			if want == 0 {
+				break
+			}
+			if budget[class] == 0 {
+				continue
+			}
+			// Proportional share, bounded by capacity and budget.
+			n := want
+			if n > budget[class] {
+				n = budget[class]
+			}
+			if cap := cs.capacity(class, t); n > cap {
+				n = cap
+			}
+			if n == 0 {
+				continue
+			}
+			// Leave room in this class for later targets that may
+			// only have capacity here: take a Zipf-ish portion unless
+			// this is the last class with budget.
+			reqs = append(reqs, request{target: t, class: class, count: n})
+			budget[class] -= n
+			want -= n
+		}
+		if want > 0 {
+			return nil, fmt.Errorf("registry: target %q cannot host %d more homographs (capacity exhausted)", t, want)
+		}
+	}
+	for class, left := range budget {
+		if left > 0 {
+			// Distribute leftovers to targets with spare capacity.
+			for _, t := range targets {
+				if left == 0 {
+					break
+				}
+				spare := cs.capacity(class, t) - requested(reqs, t, class)
+				if spare <= 0 {
+					continue
+				}
+				n := spare
+				if n > left {
+					n = left
+				}
+				reqs = append(reqs, request{target: t, class: class, count: n})
+				left -= n
+			}
+			if left > 0 {
+				return nil, fmt.Errorf("registry: class %s has %d unplaceable homographs", class, left)
+			}
+		}
+	}
+	return reqs, nil
+}
+
+func requested(reqs []request, target string, class PairClass) int {
+	n := 0
+	for _, r := range reqs {
+		if r.target == target && r.class == class {
+			n += r.count
+		}
+	}
+	return n
+}
+
+// assignFeatured matches the first generated homograph of each
+// featured target (SimChar-only, generation order) to the featured
+// spec and pins its Table 11 attributes.
+func (r *Registry) assignFeatured(rng *stats.RNG) {
+	used := make(map[int]bool)
+	for fi := range r.Profile.Featured {
+		f := &r.Profile.Featured[fi]
+		for i := range r.Homographs {
+			h := &r.Homographs[i]
+			if used[i] || h.Target != f.Target || h.Class != ClassSimOnly {
+				continue
+			}
+			used[i] = true
+			h.Flavor = f.Flavor
+			h.Resolutions = f.Resolutions
+			h.MXActive = f.MXActive
+			h.MXPast = f.MXPast
+			h.WebLink = f.WebLink
+			h.SNS = f.SNS
+			h.Cloaking = f.Cloaking
+			h.HasNS, h.HasA, h.Port80, h.Port443 = true, true, true, true
+			switch f.Flavor {
+			case "Phishing", "Portal":
+				h.Category = CatNormal
+			case "Parked":
+				h.Category = CatParked
+			case "Sale":
+				h.Category = CatForSale
+			}
+			break
+		}
+	}
+}
+
+// assignActivity hands out NS/A records and open ports to the
+// non-featured homographs so the global counts match Table 10.
+func (r *Registry) assignActivity(rng *stats.RNG) {
+	prof := &r.Profile
+	// Count what the featured assignment already consumed.
+	ns, a, p80only, p443only, pboth := 0, 0, 0, 0, 0
+	var free []int
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.Flavor != "" {
+			ns++
+			a++
+			pboth++
+			continue
+		}
+		free = append(free, i)
+	}
+	needNS := prof.WithNS - ns
+	needA := prof.WithA - a
+	needBoth := prof.PortBoth - pboth
+	need80 := prof.Port80Only - p80only
+	need443 := prof.Port443Only - p443only
+	if needNS < 0 || needA < 0 || needBoth < 0 {
+		needNS, needA, needBoth = max(0, needNS), max(0, needA), max(0, needBoth)
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for k, idx := range free {
+		h := &r.Homographs[idx]
+		if k >= needNS {
+			break
+		}
+		h.HasNS = true
+		if k >= needA {
+			continue
+		}
+		h.HasA = true
+		switch {
+		case k < needBoth:
+			h.Port80, h.Port443 = true, true
+		case k < needBoth+need80:
+			h.Port80 = true
+		case k < needBoth+need80+need443:
+			h.Port443 = true
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// assignCategories labels the active homographs with Table 12
+// categories and the redirect subset with Table 13 kinds.
+func (r *Registry) assignCategories(rng *stats.RNG) {
+	prof := &r.Profile
+	counts := prof.Categories
+	// Featured already consumed some category slots.
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.Flavor == "" {
+			continue
+		}
+		switch h.Category {
+		case CatParked:
+			counts.Parked--
+		case CatForSale:
+			counts.ForSale--
+		case CatNormal:
+			counts.Normal--
+		}
+	}
+	var active []int
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.Active() && h.Flavor == "" {
+			active = append(active, i)
+		}
+	}
+	rng.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+	assign := func(n int, cat Category) {
+		for n > 0 && len(active) > 0 {
+			r.Homographs[active[0]].Category = cat
+			active = active[1:]
+			n--
+		}
+	}
+	assign(counts.Parked, CatParked)
+	assign(counts.ForSale, CatForSale)
+	assign(counts.Redirect, CatRedirect)
+	assign(counts.Normal, CatNormal)
+	assign(counts.Empty, CatEmpty)
+	assign(counts.Error, CatError)
+
+	// Redirect kinds, preferring non-top-1k targets for the malicious
+	// subset so Section 6.4 has its 91 revert cases.
+	var redirects []int
+	for i := range r.Homographs {
+		if r.Homographs[i].Category == CatRedirect {
+			redirects = append(redirects, i)
+		}
+	}
+	sort.SliceStable(redirects, func(a, b int) bool {
+		ra := r.Refs.Rank(r.Homographs[redirects[a]].Target + ".com")
+		rb := r.Refs.Rank(r.Homographs[redirects[b]].Target + ".com")
+		return ra > rb // lowest-ranked (largest rank number) first
+	})
+	brand, legit, malicious := prof.RedirectBrand, prof.RedirectLegit, prof.RedirectMalicious
+	for _, idx := range redirects {
+		h := &r.Homographs[idx]
+		switch {
+		case malicious > 0:
+			h.Redirect = RedirMalicious
+			h.RedirectTarget = "trap-" + h.Target + ".example"
+			malicious--
+		case brand > 0:
+			h.Redirect = RedirBrandProtection
+			h.RedirectTarget = h.Target + ".com"
+			brand--
+		default:
+			h.Redirect = RedirLegitimate
+			h.RedirectTarget = "cdn-" + h.Target + ".example"
+			legit--
+		}
+	}
+}
+
+// assignBlacklists marks homographs as known to the three feeds,
+// respecting the per-class counts of Table 14. A global quota steers
+// exactly Profile.MaliciousNonTop1k of the hpHosts entries onto
+// homographs whose target sits outside the Alexa top 1k, so Section
+// 6.4's revert analysis reproduces the paper's 91-domain finding while
+// the majority of malicious homographs still chase top brands.
+func (r *Registry) assignBlacklists(rng *stats.RNG) {
+	prof := &r.Profile
+	nonTopQuota := prof.MaliciousNonTop1k
+
+	outside := func(idx int) bool {
+		rank := r.Refs.Rank(r.Homographs[idx].Target + ".com")
+		return rank == 0 || rank > 1000
+	}
+	byClass := map[PairClass][]int{}
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		byClass[h.Class] = append(byClass[h.Class], i)
+	}
+	take := func(class PairClass, n int, feed Blacklists, mustHaveHp bool) {
+		// Two passes: while the non-top-1k quota lasts, fill from
+		// outside-top-1k targets; afterwards from top-1k targets,
+		// falling back to whatever remains.
+		pass := func(wantOutside bool, strict bool) {
+			for _, idx := range byClass[class] {
+				if n == 0 {
+					return
+				}
+				h := &r.Homographs[idx]
+				if h.Blacklist.Has(feed) {
+					continue
+				}
+				if mustHaveHp && !h.Blacklist.Has(BLHpHosts) {
+					continue
+				}
+				if strict && outside(idx) != wantOutside {
+					continue
+				}
+				if feed == BLHpHosts && outside(idx) {
+					if nonTopQuota == 0 {
+						continue // would exceed the Section 6.4 quota
+					}
+					nonTopQuota--
+				}
+				h.Blacklist |= feed
+				n--
+			}
+		}
+		pass(true, true)
+		pass(false, true)
+		pass(false, false)
+	}
+	take(ClassUCOnly, prof.HpHosts.UCOnly, BLHpHosts, false)
+	take(ClassSimOnly, prof.HpHosts.SimOnly, BLHpHosts, false)
+	take(ClassBoth, prof.HpHosts.Both, BLHpHosts, false)
+	take(ClassUCOnly, prof.GSB.UCOnly, BLGSB, true)
+	take(ClassSimOnly, prof.GSB.SimOnly, BLGSB, true)
+	take(ClassBoth, prof.GSB.Both, BLGSB, true)
+	take(ClassUCOnly, prof.Symantec.UCOnly, BLSymantec, true)
+	take(ClassSimOnly, prof.Symantec.SimOnly, BLSymantec, true)
+	take(ClassBoth, prof.Symantec.Both, BLSymantec, true)
+}
+
+// assignResolutions gives every non-featured homograph a long-tail
+// passive-DNS resolution count well below the featured minimum.
+func (r *Registry) assignResolutions(rng *stats.RNG) {
+	floor := int64(1 << 62)
+	for _, f := range r.Profile.Featured {
+		if f.Resolutions < floor {
+			floor = f.Resolutions
+		}
+	}
+	if floor == 1<<62 {
+		floor = 1 << 20
+	}
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.Flavor != "" {
+			continue
+		}
+		if !h.Active() {
+			h.Resolutions = int64(rng.Intn(50))
+			continue
+		}
+		// Log-uniform tail capped at 60% of the featured floor.
+		maxRes := int(float64(floor) * 0.6)
+		if maxRes < 2 {
+			maxRes = 2
+		}
+		v := 1
+		for v < maxRes && rng.Float64() < 0.75 {
+			v *= 2
+		}
+		h.Resolutions = int64(rng.Intn(v) + 1)
+	}
+}
+
+// generateBenign fills in the scaled benign corpus: ASCII domains and
+// language-distributed IDNs.
+func (r *Registry) generateBenign(rng *stats.RNG, taken map[string]bool) {
+	prof := &r.Profile
+	totalIDN := int(float64(prof.TotalDomains) * prof.IDNFraction * r.Scale)
+	benignIDN := totalIDN - len(r.Homographs)
+	if benignIDN < 0 {
+		benignIDN = 0
+	}
+	totalBenignASCII := int(float64(prof.TotalDomains)*r.Scale) - totalIDN
+	if totalBenignASCII < 0 {
+		totalBenignASCII = 0
+	}
+
+	// Language-mix IDNs.
+	r.BenignIDNs = make([]BenignIDN, 0, benignIDN)
+	type share struct {
+		pool langid.Pool
+		n    int
+	}
+	var shares []share
+	assigned := 0
+	for _, ls := range prof.LangMix {
+		n := int(float64(benignIDN) * ls.Fraction)
+		shares = append(shares, share{langid.PoolFor(ls.Language), n})
+		assigned += n
+	}
+	if len(shares) > 0 {
+		shares[0].n += benignIDN - assigned // remainder to the top language
+	}
+	for _, sh := range shares {
+		for k := 0; k < sh.n; k++ {
+			label := sh.pool.Label(rng, 3+rng.Intn(10))
+			ascii, err := punycode.ToASCII(label + ".com")
+			if err != nil || taken[ascii] {
+				k--
+				continue
+			}
+			taken[ascii] = true
+			r.BenignIDNs = append(r.BenignIDNs, BenignIDN{
+				ASCII:    ascii,
+				Label:    label,
+				Language: sh.pool.Language.Code,
+			})
+		}
+	}
+
+	// Bulk ASCII corpus.
+	r.BenignASCII = make([]string, 0, totalBenignASCII)
+	var sb strings.Builder
+	for len(r.BenignASCII) < totalBenignASCII {
+		sb.Reset()
+		n := 5 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte('a' + rng.Intn(26)))
+		}
+		if rng.Float64() < 0.15 {
+			sb.WriteByte(byte('0' + rng.Intn(10)))
+		}
+		sb.WriteString(".com")
+		d := sb.String()
+		if taken[d] {
+			continue
+		}
+		taken[d] = true
+		r.BenignASCII = append(r.BenignASCII, d)
+	}
+}
+
+// Homograph returns the ground truth for an ASCII (xn--) domain, if it
+// is one of the injected homographs.
+func (r *Registry) Homograph(ascii string) (*Homograph, bool) {
+	h, ok := r.byASCII[strings.ToLower(strings.TrimSuffix(ascii, "."))]
+	return h, ok
+}
+
+// ActiveHomographs returns the homographs answering on at least one
+// port.
+func (r *Registry) ActiveHomographs() []*Homograph {
+	var out []*Homograph
+	for i := range r.Homographs {
+		if r.Homographs[i].Active() {
+			out = append(out, &r.Homographs[i])
+		}
+	}
+	return out
+}

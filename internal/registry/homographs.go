@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/homoglyph"
+	"repro/internal/punycode"
+	"repro/internal/stats"
+	"repro/internal/ucd"
+)
+
+// candidateSets holds, for each Basic Latin lowercase letter, the
+// homoglyph substitutions available in each pair class.
+type candidateSets struct {
+	ucOnly  map[rune][]rune
+	simOnly map[rune][]rune
+	both    map[rune][]rune
+}
+
+// classify builds the per-letter candidate sets from the two databases
+// inside db. Only lowercase a-z sources matter: the references are
+// ASCII domains.
+func classify(db *homoglyph.DB) *candidateSets {
+	cs := &candidateSets{
+		ucOnly:  make(map[rune][]rune),
+		simOnly: make(map[rune][]rune),
+		both:    make(map[rune][]rune),
+	}
+	uc, sim := db.UC(), db.SimChar()
+	for r := 'a'; r <= 'z'; r++ {
+		seen := make(map[rune]bool)
+		add := func(g rune) {
+			if g == r || seen[g] || !ucd.IsPValid(g) {
+				return
+			}
+			seen[g] = true
+			inUC := uc.Confusable(r, g)
+			inSim := sim.Confusable(r, g)
+			switch {
+			case inUC && inSim:
+				cs.both[r] = append(cs.both[r], g)
+			case inUC:
+				cs.ucOnly[r] = append(cs.ucOnly[r], g)
+			case inSim:
+				cs.simOnly[r] = append(cs.simOnly[r], g)
+			}
+		}
+		for _, g := range uc.Sources() {
+			if uc.Confusable(r, g) {
+				add(g)
+			}
+		}
+		for _, g := range sim.Homoglyphs(r) {
+			add(g)
+		}
+		for _, m := range []map[rune][]rune{cs.ucOnly, cs.simOnly, cs.both} {
+			sort.Slice(m[r], func(i, j int) bool { return m[r][i] < m[r][j] })
+		}
+	}
+	return cs
+}
+
+// pool returns the candidate list for letter r in the given class.
+func (cs *candidateSets) pool(class PairClass, r rune) []rune {
+	switch class {
+	case ClassUCOnly:
+		return cs.ucOnly[r]
+	case ClassSimOnly:
+		return cs.simOnly[r]
+	default:
+		return cs.both[r]
+	}
+}
+
+// capacity counts single- and double-substitution variants of label in
+// the class; used to verify a target can host the requested number of
+// homographs.
+func (cs *candidateSets) capacity(class PairClass, label string) int {
+	runes := []rune(label)
+	single := 0
+	perPos := make([]int, len(runes))
+	for i, r := range runes {
+		perPos[i] = len(cs.pool(class, r))
+		single += perPos[i]
+	}
+	double := 0
+	for i := 0; i < len(runes); i++ {
+		for j := i + 1; j < len(runes); j++ {
+			double += perPos[i] * perPos[j]
+		}
+	}
+	return single + double
+}
+
+// variants lazily enumerates substitution variants of label in the
+// class: all single substitutions in deterministic order, then all
+// doubles. Each call to next() produces the rune slice and the number
+// of substitutions, or ok=false when exhausted.
+type variants struct {
+	cs    *candidateSets
+	class PairClass
+	runes []rune
+
+	stage  int // 0 = singles, 1 = doubles, 2 = done
+	i, j   int // positions
+	ci, cj int // candidate indices
+}
+
+func newVariants(cs *candidateSets, class PairClass, label string) *variants {
+	return &variants{cs: cs, class: class, runes: []rune(label)}
+}
+
+func (v *variants) next() (out []rune, subs int, ok bool) {
+	for {
+		switch v.stage {
+		case 0: // singles
+			if v.i >= len(v.runes) {
+				v.stage, v.i, v.j, v.ci, v.cj = 1, 0, 1, 0, 0
+				continue
+			}
+			pool := v.cs.pool(v.class, v.runes[v.i])
+			if v.ci >= len(pool) {
+				v.i++
+				v.ci = 0
+				continue
+			}
+			out = append([]rune(nil), v.runes...)
+			out[v.i] = pool[v.ci]
+			v.ci++
+			return out, 1, true
+		case 1: // doubles
+			if v.i >= len(v.runes)-1 {
+				v.stage = 2
+				continue
+			}
+			if v.j >= len(v.runes) {
+				v.i++
+				v.j = v.i + 1
+				v.ci, v.cj = 0, 0
+				continue
+			}
+			poolI := v.cs.pool(v.class, v.runes[v.i])
+			poolJ := v.cs.pool(v.class, v.runes[v.j])
+			if v.ci >= len(poolI) {
+				v.j++
+				v.ci, v.cj = 0, 0
+				continue
+			}
+			if v.cj >= len(poolJ) {
+				v.ci++
+				v.cj = 0
+				continue
+			}
+			out = append([]rune(nil), v.runes...)
+			out[v.i] = poolI[v.ci]
+			out[v.j] = poolJ[v.cj]
+			v.cj++
+			return out, 2, true
+		default:
+			return nil, 0, false
+		}
+	}
+}
+
+// request asks the builder for count homographs of target in class.
+type request struct {
+	target string
+	class  PairClass
+	count  int
+}
+
+// buildHomographs constructs unique homographs satisfying all
+// requests. taken tracks already-used ASCII names across calls.
+func buildHomographs(cs *candidateSets, reqs []request, taken map[string]bool, rng *stats.RNG) ([]Homograph, error) {
+	var out []Homograph
+	for _, req := range reqs {
+		got := 0
+		v := newVariants(cs, req.class, req.target)
+		for got < req.count {
+			runes, subs, ok := v.next()
+			if !ok {
+				return nil, fmt.Errorf(
+					"registry: target %q class %s: only %d of %d variants available",
+					req.target, req.class, got, req.count)
+			}
+			label := string(runes)
+			ascii, err := punycode.ToASCII(label + ".com")
+			if err != nil {
+				continue // substitution produced an unencodable label
+			}
+			if taken[ascii] {
+				continue
+			}
+			taken[ascii] = true
+			out = append(out, Homograph{
+				ASCII:   ascii,
+				Unicode: label + ".com",
+				Label:   label,
+				Target:  req.target,
+				Class:   req.class,
+				Subs:    subs,
+			})
+			got++
+		}
+	}
+	// Shuffle so later positional assignments (activity, categories)
+	// don't correlate with targets.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}

@@ -1,0 +1,251 @@
+// Package registry generates the synthetic .com registry that stands in
+// for the Verisign zone file and domainlists.io feeds of the paper's
+// Section 5. The generator is fully deterministic (seeded) and embeds
+// ground truth for every homograph it injects — which reference it
+// imitates, which homoglyph database its substitutions come from,
+// whether it resolves, which ports it answers on, what category of
+// website it hosts, and which blacklists know about it — so every
+// downstream experiment (Tables 6 through 14, Section 6.4) can be
+// regenerated and checked against the paper's magnitudes.
+//
+// Scaling model ("homograph-dense sampling"): the benign corpus scales
+// with Options.Scale, but homograph counts stay at the paper's absolute
+// values, because Tables 8–14 report absolute counts whose magnitude is
+// the phenomenon under study. This is documented in DESIGN.md §1.
+package registry
+
+import "repro/internal/langid"
+
+// LangShare is one language's share of the benign IDN population.
+type LangShare struct {
+	Language langid.Language
+	Fraction float64
+}
+
+// TargetCount pins the number of homographs aimed at one reference
+// label (Table 9's top targets).
+type TargetCount struct {
+	Target string // reference SLD, e.g. "myetherwallet"
+	Count  int
+}
+
+// ClassCounts splits homographs by which database detects them:
+// UCOnly are detectable only via confusables.txt, SimOnly only via
+// SimChar, Both via either. The paper's Table 8 (436 UC, 3,110
+// SimChar, 3,280 union) decomposes into 170/2,844/266.
+type ClassCounts struct {
+	UCOnly  int
+	SimOnly int
+	Both    int
+}
+
+// Total is the union count.
+func (c ClassCounts) Total() int { return c.UCOnly + c.SimOnly + c.Both }
+
+// CategoryCounts are the Table 12 classes of the port-responsive
+// homographs.
+type CategoryCounts struct {
+	Parked   int
+	ForSale  int
+	Redirect int
+	Normal   int
+	Empty    int
+	Error    int
+}
+
+// Total sums all categories.
+func (c CategoryCounts) Total() int {
+	return c.Parked + c.ForSale + c.Redirect + c.Normal + c.Empty + c.Error
+}
+
+// FeedCounts are one blacklist feed's detections split by homograph
+// class (Table 14 rows).
+type FeedCounts struct {
+	UCOnly  int
+	SimOnly int
+	Both    int
+}
+
+// Total is the union count the paper reports per feed.
+func (f FeedCounts) Total() int { return f.UCOnly + f.SimOnly + f.Both }
+
+// Featured pins one specific homograph the paper's Table 11 discusses:
+// a designated target, website flavour, resolution count and mail/link
+// flags.
+type Featured struct {
+	Target      string // reference SLD
+	Flavor      string // Table 11 category column: Phishing, Portal, Parked, Sale
+	Resolutions int64
+	MXActive    bool // active MX record
+	MXPast      bool // MX existed historically
+	WebLink     bool
+	SNS         bool
+	Cloaking    bool // User-Agent cloaking (the gmail phishing site)
+}
+
+// Profile holds every population constant of the synthetic registry at
+// paper scale. PaperProfile returns the values from the paper; tests
+// use hand-rolled small profiles.
+type Profile struct {
+	// Table 6.
+	TotalDomains    int     // union of zone file and domain list
+	IDNFraction     float64 // IDNs / TotalDomains
+	ZoneCoverage    float64 // fraction of non-IDN domains in the zone file
+	ListCoverage    float64 // fraction of non-IDN domains in domainlists
+	ZoneIDNCoverage float64 // fraction of IDNs in the zone file
+	ListIDNCoverage float64 // fraction of IDNs in domainlists
+
+	// Table 7.
+	LangMix []LangShare
+
+	// Tables 8 and 9.
+	Classes    ClassCounts
+	TopTargets []TargetCount
+	// MaxOtherTarget caps homograph counts for non-pinned targets so
+	// the pinned ones stay the top five.
+	MaxOtherTarget int
+
+	// Table 10.
+	WithNS      int // homographs with NS records
+	WithA       int // subset with A records
+	Port80Only  int
+	Port443Only int
+	PortBoth    int
+
+	// Tables 12 and 13.
+	Categories        CategoryCounts
+	RedirectBrand     int
+	RedirectLegit     int
+	RedirectMalicious int
+
+	// Table 14. Feeds are keyed by name; GSB and Symantec entries are
+	// generated as subsets of hpHosts, matching how commercial feeds
+	// overlap community ones.
+	HpHosts  FeedCounts
+	GSB      FeedCounts
+	Symantec FeedCounts
+
+	// Section 6.4: at least this many malicious homographs must target
+	// references outside the Alexa top 1k.
+	MaliciousNonTop1k int
+
+	// Table 11.
+	Featured []Featured
+}
+
+// PaperProfile returns the population constants reported in the paper.
+func PaperProfile() Profile {
+	return Profile{
+		TotalDomains:    141_212_035,
+		IDNFraction:     955_512.0 / 141_212_035.0,
+		ZoneCoverage:    140_900_279.0 / 141_212_035.0,
+		ListCoverage:    139_667_014.0 / 141_212_035.0,
+		ZoneIDNCoverage: 952_352.0 / 955_512.0,
+		ListIDNCoverage: 953_209.0 / 955_512.0,
+
+		LangMix: []LangShare{
+			{langid.Chinese, 0.465},
+			{langid.Korean, 0.106},
+			{langid.Japanese, 0.093},
+			{langid.German, 0.056},
+			{langid.Turkish, 0.036},
+			{langid.French, 0.050},
+			{langid.Spanish, 0.048},
+			{langid.Russian, 0.046},
+			{langid.Arabic, 0.040},
+			{langid.Thai, 0.030},
+			{langid.Vietnamese, 0.020},
+			{langid.English, 0.010},
+		},
+
+		Classes: ClassCounts{UCOnly: 170, SimOnly: 2844, Both: 266},
+		TopTargets: []TargetCount{
+			{"myetherwallet", 170},
+			{"google", 114},
+			{"amazon", 75},
+			{"facebook", 72},
+			{"allstate", 68},
+		},
+		MaxOtherTarget: 50,
+
+		WithNS:      2294,
+		WithA:       1909,
+		Port80Only:  947,
+		Port443Only: 5,
+		PortBoth:    695,
+
+		Categories: CategoryCounts{
+			Parked: 348, ForSale: 345, Redirect: 338,
+			Normal: 281, Empty: 222, Error: 113,
+		},
+		RedirectBrand:     178,
+		RedirectLegit:     125,
+		RedirectMalicious: 35,
+
+		HpHosts:  FeedCounts{UCOnly: 20, SimOnly: 214, Both: 8},
+		GSB:      FeedCounts{UCOnly: 1, SimOnly: 11, Both: 1},
+		Symantec: FeedCounts{UCOnly: 1, SimOnly: 7, Both: 0},
+
+		MaliciousNonTop1k: 91,
+
+		Featured: []Featured{
+			{Target: "gmail", Flavor: "Phishing", Resolutions: 615_447, MXPast: true, WebLink: true, Cloaking: true},
+			{Target: "doviz", Flavor: "Portal", Resolutions: 127_417, MXActive: true, SNS: true},
+			{Target: "gmail", Flavor: "Parked", Resolutions: 74_699, MXPast: true},
+			{Target: "gmail", Flavor: "Parked", Resolutions: 63_233, WebLink: true},
+			{Target: "expansion", Flavor: "Parked", Resolutions: 56_918, MXPast: true, WebLink: true},
+			{Target: "gmail", Flavor: "Parked", Resolutions: 49_248, SNS: true},
+			{Target: "yahoo", Flavor: "Parked", Resolutions: 44_368, MXPast: true},
+			{Target: "shadbase", Flavor: "Parked", Resolutions: 38_556, WebLink: true},
+			{Target: "youtube", Flavor: "Sale", Resolutions: 37_713, SNS: true},
+			{Target: "peru", Flavor: "Parked", Resolutions: 36_405, WebLink: true},
+		},
+	}
+}
+
+// Validate checks the internal consistency every generator run relies
+// on: port splits must sum to the category total, category totals must
+// not exceed the A-record population, and so on.
+func (p Profile) Validate() error {
+	active := p.Port80Only + p.Port443Only + p.PortBoth
+	switch {
+	case p.Classes.Total() == 0:
+		return errf("profile has no homographs")
+	case p.WithNS > p.Classes.Total():
+		return errf("WithNS %d exceeds homograph count %d", p.WithNS, p.Classes.Total())
+	case p.WithA > p.WithNS:
+		return errf("WithA %d exceeds WithNS %d", p.WithA, p.WithNS)
+	case active > p.WithA:
+		return errf("active %d exceeds WithA %d", active, p.WithA)
+	case p.Categories.Total() != active:
+		return errf("categories total %d != active %d", p.Categories.Total(), active)
+	case p.RedirectBrand+p.RedirectLegit+p.RedirectMalicious != p.Categories.Redirect:
+		return errf("redirect breakdown %d != redirect count %d",
+			p.RedirectBrand+p.RedirectLegit+p.RedirectMalicious, p.Categories.Redirect)
+	case p.HpHosts.Total() > p.Classes.Total():
+		return errf("hpHosts entries exceed homograph count")
+	case p.GSB.Total() > p.HpHosts.Total() || p.Symantec.Total() > p.HpHosts.Total():
+		return errf("commercial feeds must be subsets of hpHosts")
+	}
+	pinned := 0
+	for _, t := range p.TopTargets {
+		pinned += t.Count
+	}
+	for _, f := range p.Featured {
+		pinned++
+		_ = f
+	}
+	if pinned > p.Classes.Total() {
+		return errf("pinned targets %d exceed homograph count %d", pinned, p.Classes.Total())
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return &ProfileError{msg: sprintf(format, args...)}
+}
+
+// ProfileError reports an inconsistent Profile.
+type ProfileError struct{ msg string }
+
+func (e *ProfileError) Error() string { return "registry: " + e.msg }

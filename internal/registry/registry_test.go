@@ -1,0 +1,485 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/confusables"
+	"repro/internal/fontgen"
+	"repro/internal/homoglyph"
+	"repro/internal/punycode"
+	"repro/internal/simchar"
+	"repro/internal/ucd"
+)
+
+var (
+	dbOnce sync.Once
+	dbVal  *homoglyph.DB
+
+	regOnce sync.Once
+	regVal  *Registry
+	regErr  error
+)
+
+func testDB(t testing.TB) *homoglyph.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		font := fontgen.Generate(fontgen.Options{SkipCJK: true, SkipHangul: true})
+		sim, _ := simchar.Build(font, ucd.IDNASet(), simchar.Options{})
+		dbVal = homoglyph.New(confusables.Default(), sim, 0)
+	})
+	return dbVal
+}
+
+// paperRegistry generates the full paper-profile registry once (tiny
+// benign scale) and shares it across tests.
+func paperRegistry(t testing.TB) *Registry {
+	t.Helper()
+	regOnce.Do(func() {
+		regVal, regErr = Generate(Options{Seed: 7, Scale: 0.0001, DB: testDB(t)})
+	})
+	if regErr != nil {
+		t.Fatalf("Generate: %v", regErr)
+	}
+	return regVal
+}
+
+func TestGenerateRequiresDB(t *testing.T) {
+	if _, err := Generate(Options{}); err == nil {
+		t.Fatal("Generate without DB succeeded")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := PaperProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper profile invalid: %v", err)
+	}
+	bad := PaperProfile()
+	bad.WithA = bad.WithNS + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("WithA > WithNS accepted")
+	}
+	bad2 := PaperProfile()
+	bad2.Categories.Parked++
+	if err := bad2.Validate(); err == nil {
+		t.Error("category/active mismatch accepted")
+	}
+	bad3 := PaperProfile()
+	bad3.RedirectBrand++
+	if err := bad3.Validate(); err == nil {
+		t.Error("redirect breakdown mismatch accepted")
+	}
+}
+
+func TestHomographClassCounts(t *testing.T) {
+	r := paperRegistry(t)
+	want := r.Profile.Classes
+	var got ClassCounts
+	for i := range r.Homographs {
+		switch r.Homographs[i].Class {
+		case ClassUCOnly:
+			got.UCOnly++
+		case ClassSimOnly:
+			got.SimOnly++
+		case ClassBoth:
+			got.Both++
+		}
+	}
+	if got != want {
+		t.Errorf("class counts = %+v, want %+v", got, want)
+	}
+	if got.Total() != 3280 {
+		t.Errorf("total homographs = %d, want 3280", got.Total())
+	}
+}
+
+func TestHomographsUniqueAndWellFormed(t *testing.T) {
+	r := paperRegistry(t)
+	seen := make(map[string]bool)
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if seen[h.ASCII] {
+			t.Fatalf("duplicate homograph %q", h.ASCII)
+		}
+		seen[h.ASCII] = true
+		if !strings.HasPrefix(h.ASCII, "xn--") {
+			t.Errorf("%q is not an ACE domain", h.ASCII)
+		}
+		if !strings.HasSuffix(h.ASCII, ".com") {
+			t.Errorf("%q lacks .com", h.ASCII)
+		}
+		uni, err := punycode.ToUnicode(h.ASCII)
+		if err != nil {
+			t.Errorf("ToUnicode(%q): %v", h.ASCII, err)
+			continue
+		}
+		if uni != h.Unicode {
+			t.Errorf("unicode mismatch: %q decodes to %q, recorded %q", h.ASCII, uni, h.Unicode)
+		}
+		if len([]rune(h.Label)) != len(h.Target) {
+			t.Errorf("%q: label %q and target %q lengths differ", h.ASCII, h.Label, h.Target)
+		}
+		if h.Subs < 1 || h.Subs > 2 {
+			t.Errorf("%q has %d substitutions", h.ASCII, h.Subs)
+		}
+	}
+}
+
+func TestTopTargetsPinned(t *testing.T) {
+	r := paperRegistry(t)
+	counts := make(map[string]int)
+	for i := range r.Homographs {
+		counts[r.Homographs[i].Target]++
+	}
+	for _, tc := range r.Profile.TopTargets {
+		// Featured homographs may add to a pinned target (gmail etc.
+		// are not in the top-5 list), so pinned counts are exact.
+		want := tc.Count
+		for _, f := range r.Profile.Featured {
+			if f.Target == tc.Target {
+				want++
+			}
+		}
+		if counts[tc.Target] != want {
+			t.Errorf("target %s has %d homographs, want %d", tc.Target, counts[tc.Target], want)
+		}
+	}
+	// No unpinned target may exceed the cap.
+	pinned := make(map[string]bool)
+	for _, tc := range r.Profile.TopTargets {
+		pinned[tc.Target] = true
+	}
+	for _, f := range r.Profile.Featured {
+		pinned[f.Target] = true
+	}
+	for target, n := range counts {
+		if !pinned[target] && n > r.Profile.MaxOtherTarget {
+			t.Errorf("unpinned target %s has %d homographs (cap %d)", target, n, r.Profile.MaxOtherTarget)
+		}
+	}
+}
+
+func TestActivityCounts(t *testing.T) {
+	r := paperRegistry(t)
+	ns, a, p80only, p443only, both, active := 0, 0, 0, 0, 0, 0
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.HasNS {
+			ns++
+		}
+		if h.HasA {
+			a++
+		}
+		if h.HasA && !h.HasNS {
+			t.Errorf("%q has A without NS", h.ASCII)
+		}
+		if h.Active() && !h.HasA {
+			t.Errorf("%q has open port without A", h.ASCII)
+		}
+		switch {
+		case h.Port80 && h.Port443:
+			both++
+		case h.Port80:
+			p80only++
+		case h.Port443:
+			p443only++
+		}
+		if h.Active() {
+			active++
+		}
+	}
+	p := r.Profile
+	if ns != p.WithNS || a != p.WithA {
+		t.Errorf("NS/A = %d/%d, want %d/%d", ns, a, p.WithNS, p.WithA)
+	}
+	if both != p.PortBoth || p80only != p.Port80Only || p443only != p.Port443Only {
+		t.Errorf("ports = both %d, 80 %d, 443 %d; want %d/%d/%d",
+			both, p80only, p443only, p.PortBoth, p.Port80Only, p.Port443Only)
+	}
+	if active != 1647 {
+		t.Errorf("active = %d, want 1647", active)
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	r := paperRegistry(t)
+	var got CategoryCounts
+	redir := map[RedirectKind]int{}
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if !h.Active() {
+			if h.Category != CatNone {
+				t.Errorf("inactive %q has category %s", h.ASCII, h.Category)
+			}
+			continue
+		}
+		switch h.Category {
+		case CatParked:
+			got.Parked++
+		case CatForSale:
+			got.ForSale++
+		case CatRedirect:
+			got.Redirect++
+			redir[h.Redirect]++
+			if h.RedirectTarget == "" {
+				t.Errorf("redirect %q has no target", h.ASCII)
+			}
+		case CatNormal:
+			got.Normal++
+		case CatEmpty:
+			got.Empty++
+		case CatError:
+			got.Error++
+		default:
+			t.Errorf("active %q has no category", h.ASCII)
+		}
+	}
+	if got != r.Profile.Categories {
+		t.Errorf("categories = %+v, want %+v", got, r.Profile.Categories)
+	}
+	if redir[RedirBrandProtection] != r.Profile.RedirectBrand ||
+		redir[RedirLegitimate] != r.Profile.RedirectLegit ||
+		redir[RedirMalicious] != r.Profile.RedirectMalicious {
+		t.Errorf("redirect kinds = %v", redir)
+	}
+}
+
+func TestBrandProtectionPointsAtOriginal(t *testing.T) {
+	r := paperRegistry(t)
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.Redirect == RedirBrandProtection && h.RedirectTarget != h.Target+".com" {
+			t.Errorf("%q brand-protect target = %q, want %q", h.ASCII, h.RedirectTarget, h.Target+".com")
+		}
+	}
+}
+
+func TestBlacklistCounts(t *testing.T) {
+	r := paperRegistry(t)
+	count := func(feed Blacklists) (uc, sim, both int) {
+		for i := range r.Homographs {
+			h := &r.Homographs[i]
+			if !h.Blacklist.Has(feed) {
+				continue
+			}
+			switch h.Class {
+			case ClassUCOnly:
+				uc++
+			case ClassSimOnly:
+				sim++
+			case ClassBoth:
+				both++
+			}
+		}
+		return
+	}
+	uc, sim, both := count(BLHpHosts)
+	if got := (FeedCounts{uc, sim, both}); got != r.Profile.HpHosts {
+		t.Errorf("hpHosts = %+v, want %+v", got, r.Profile.HpHosts)
+	}
+	uc, sim, both = count(BLGSB)
+	if got := (FeedCounts{uc, sim, both}); got != r.Profile.GSB {
+		t.Errorf("GSB = %+v, want %+v", got, r.Profile.GSB)
+	}
+	uc, sim, both = count(BLSymantec)
+	if got := (FeedCounts{uc, sim, both}); got != r.Profile.Symantec {
+		t.Errorf("Symantec = %+v, want %+v", got, r.Profile.Symantec)
+	}
+	// Commercial feeds are subsets of hpHosts.
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if (h.Blacklist.Has(BLGSB) || h.Blacklist.Has(BLSymantec)) && !h.Blacklist.Has(BLHpHosts) {
+			t.Errorf("%q in commercial feed but not hpHosts", h.ASCII)
+		}
+	}
+}
+
+func TestMaliciousNonTop1k(t *testing.T) {
+	r := paperRegistry(t)
+	n := 0
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if !h.Malicious() {
+			continue
+		}
+		rank := r.Refs.Rank(h.Target + ".com")
+		if rank == 0 || rank > 1000 {
+			n++
+		}
+	}
+	if n < r.Profile.MaliciousNonTop1k {
+		t.Errorf("malicious homographs of non-top-1k originals = %d, want >= %d",
+			n, r.Profile.MaliciousNonTop1k)
+	}
+}
+
+func TestFeaturedAssigned(t *testing.T) {
+	r := paperRegistry(t)
+	var featured []*Homograph
+	for i := range r.Homographs {
+		if r.Homographs[i].Flavor != "" {
+			featured = append(featured, &r.Homographs[i])
+		}
+	}
+	if len(featured) != len(r.Profile.Featured) {
+		t.Fatalf("featured = %d, want %d", len(featured), len(r.Profile.Featured))
+	}
+	// Featured resolutions strictly dominate the long tail.
+	minFeatured := featured[0].Resolutions
+	for _, h := range featured {
+		if h.Resolutions < minFeatured {
+			minFeatured = h.Resolutions
+		}
+		if !h.Active() || !h.HasNS || !h.HasA {
+			t.Errorf("featured %q is not fully active", h.ASCII)
+		}
+	}
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		if h.Flavor == "" && h.Resolutions >= minFeatured {
+			t.Errorf("tail homograph %q has %d resolutions >= featured floor %d",
+				h.ASCII, h.Resolutions, minFeatured)
+		}
+	}
+	// One featured homograph is the cloaking phishing site.
+	cloaking := 0
+	for _, h := range featured {
+		if h.Cloaking {
+			cloaking++
+		}
+	}
+	if cloaking != 1 {
+		t.Errorf("cloaking featured = %d, want 1", cloaking)
+	}
+}
+
+func TestBenignIDNLanguageMix(t *testing.T) {
+	r := paperRegistry(t)
+	if len(r.BenignIDNs) == 0 {
+		t.Skip("scale too small for benign IDNs")
+	}
+	counts := make(map[string]int)
+	for _, d := range r.BenignIDNs {
+		counts[d.Language]++
+	}
+	if counts["zh"] <= counts["ko"] || counts["ko"] < counts["ja"] {
+		t.Errorf("language mix out of order: %v", counts)
+	}
+}
+
+func TestTableSixShape(t *testing.T) {
+	r := paperRegistry(t)
+	rows := r.TableSix()
+	zone, list, union := rows[0], rows[1], rows[2]
+	if union.Domains != r.TotalDomains() {
+		t.Errorf("union domains = %d, want %d", union.Domains, r.TotalDomains())
+	}
+	if zone.Domains >= union.Domains || list.Domains >= union.Domains {
+		t.Errorf("zone %d / list %d must be < union %d", zone.Domains, list.Domains, union.Domains)
+	}
+	frac := float64(union.IDNs) / float64(union.Domains)
+	if frac < 0.002 || frac > 0.2 {
+		t.Errorf("IDN fraction = %f, out of plausible range", frac)
+	}
+}
+
+func TestMembershipDeterministic(t *testing.T) {
+	r := paperRegistry(t)
+	m1 := r.MembershipOf("example.com", false)
+	m2 := r.MembershipOf("example.com", false)
+	if m1 != m2 {
+		t.Error("membership not deterministic")
+	}
+	if !m1.Zone && !m1.List {
+		t.Error("domain in neither list")
+	}
+}
+
+func TestHomographLookup(t *testing.T) {
+	r := paperRegistry(t)
+	h := &r.Homographs[0]
+	got, ok := r.Homograph(h.ASCII)
+	if !ok || got != h {
+		t.Errorf("Homograph(%q) = %v, %t", h.ASCII, got, ok)
+	}
+	if _, ok := r.Homograph("innocent.com"); ok {
+		t.Error("benign domain reported as homograph")
+	}
+}
+
+func TestBuildProbeZone(t *testing.T) {
+	r := paperRegistry(t)
+	z := r.BuildProbeZone(10)
+	if z.Origin != "com." {
+		t.Errorf("origin = %q", z.Origin)
+	}
+	// Every NS-having homograph appears exactly once as an NS record.
+	nsOwners := make(map[string]int)
+	for _, rec := range z.Records {
+		if rec.Data.Type().String() == "NS" && rec.Name != "com." {
+			nsOwners[strings.TrimSuffix(rec.Name, ".")]++
+		}
+	}
+	wantNS := r.Profile.WithNS + 10 // + benign sample
+	if len(nsOwners) != wantNS {
+		t.Errorf("NS owners = %d, want %d", len(nsOwners), wantNS)
+	}
+}
+
+func TestWriteOutputsNonEmpty(t *testing.T) {
+	r := paperRegistry(t)
+	var zf, dl bytes.Buffer
+	if err := r.WriteZoneFile(&zf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteDomainList(&dl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(zf.String(), "$ORIGIN com.") {
+		t.Error("zone file missing $ORIGIN")
+	}
+	if !strings.Contains(dl.String(), "xn--") {
+		t.Error("domain list contains no IDNs")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	db := testDB(t)
+	small := PaperProfile()
+	a, err := Generate(Options{Seed: 11, Scale: 0.00001, DB: db, Profile: &small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Options{Seed: 11, Scale: 0.00001, DB: db, Profile: &small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Homographs) != len(b.Homographs) {
+		t.Fatal("homograph counts differ")
+	}
+	for i := range a.Homographs {
+		if a.Homographs[i] != b.Homographs[i] {
+			t.Fatalf("homograph %d differs:\n%+v\n%+v", i, a.Homographs[i], b.Homographs[i])
+		}
+	}
+}
+
+func TestIDNsAndLabels(t *testing.T) {
+	r := paperRegistry(t)
+	idns := r.IDNs()
+	labels := r.IDNLabels()
+	if len(idns) != len(labels) {
+		t.Fatalf("IDNs %d != labels %d", len(idns), len(labels))
+	}
+	if len(idns) < len(r.Homographs) {
+		t.Errorf("IDNs = %d < homographs %d", len(idns), len(r.Homographs))
+	}
+	for _, d := range idns[:10] {
+		if !strings.HasPrefix(d, "xn--") && !strings.Contains(d, ".xn--") {
+			t.Errorf("IDN %q has no ACE label", d)
+		}
+	}
+}

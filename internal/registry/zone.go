@@ -1,0 +1,250 @@
+package registry
+
+import (
+	"bufio"
+	"io"
+	"net/netip"
+	"strings"
+
+	"repro/internal/dnswire"
+	"repro/internal/stats"
+	"repro/internal/zonefile"
+)
+
+// Membership reports which of the two collected domain lists (the zone
+// file and domainlists.io) contain a given domain. The split is a
+// deterministic hash of the name tuned to the per-list coverage
+// fractions in the profile, so Table 6's three rows (zone, list,
+// union) come out at the right relative sizes without storing
+// per-domain bits.
+type Membership struct {
+	Zone bool
+	List bool
+}
+
+// MembershipOf computes the list membership of one domain.
+func (r *Registry) MembershipOf(domain string, isIDN bool) Membership {
+	h := stats.Mix(stats.HashString(domain))
+	zc, lc := r.Profile.ZoneCoverage, r.Profile.ListCoverage
+	if isIDN {
+		zc, lc = r.Profile.ZoneIDNCoverage, r.Profile.ListIDNCoverage
+	}
+	// Two independent draws from the same hash.
+	zDraw := float64(h&0xFFFFFFFF) / float64(1<<32)
+	lDraw := float64(h>>32) / float64(1<<32)
+	m := Membership{Zone: zDraw < zc, List: lDraw < lc}
+	if !m.Zone && !m.List {
+		m.Zone = true // the union must contain every registration
+	}
+	return m
+}
+
+// ForEachDomain visits every registered domain with its IDN flag and
+// list membership. Visit order is deterministic: benign ASCII, benign
+// IDNs, homographs.
+func (r *Registry) ForEachDomain(visit func(domain string, isIDN bool, m Membership)) {
+	for _, d := range r.BenignASCII {
+		visit(d, false, r.MembershipOf(d, false))
+	}
+	for _, d := range r.BenignIDNs {
+		visit(d.ASCII, true, r.MembershipOf(d.ASCII, true))
+	}
+	for i := range r.Homographs {
+		d := r.Homographs[i].ASCII
+		visit(d, true, r.MembershipOf(d, true))
+	}
+}
+
+// IDNs returns the ASCII (xn--) form of every registered IDN — the
+// paper's Step 2 output.
+func (r *Registry) IDNs() []string {
+	out := make([]string, 0, len(r.BenignIDNs)+len(r.Homographs))
+	for _, d := range r.BenignIDNs {
+		out = append(out, d.ASCII)
+	}
+	for i := range r.Homographs {
+		out = append(out, r.Homographs[i].ASCII)
+	}
+	return out
+}
+
+// IDNLabels returns the decoded Unicode SLD of every registered IDN,
+// the input to the Table 7 language tally.
+func (r *Registry) IDNLabels() []string {
+	out := make([]string, 0, len(r.BenignIDNs)+len(r.Homographs))
+	for _, d := range r.BenignIDNs {
+		out = append(out, d.Label)
+	}
+	for i := range r.Homographs {
+		out = append(out, r.Homographs[i].Label)
+	}
+	return out
+}
+
+// TotalDomains counts every registration.
+func (r *Registry) TotalDomains() int {
+	return len(r.BenignASCII) + len(r.BenignIDNs) + len(r.Homographs)
+}
+
+// probeAddr is the loopback address planted in the zone's A records;
+// the host simulator remaps per-domain ports at connect time.
+var probeAddr = netip.MustParseAddr("127.0.0.1")
+
+// ParkingProviders are the name-server suffixes of the simulated
+// domain-parking companies. The paper compiles such a list (17 NS
+// records, following Vissers et al.) and classifies a domain as parked
+// when its NS delegation points at one; most — but not all — of the
+// parked homographs here delegate to a provider, so both the NS signal
+// and the content fallback are exercised.
+var ParkingProviders = []string{
+	"parkingcrew.example",
+	"sedoparking.example",
+	"bodis.example",
+	"parklogic.example",
+	"above.example",
+}
+
+// ParkingNSHost returns the parking provider NS host for a parked
+// homograph, or "" when the domain uses generic hosting (the content
+// classifier's job). Deterministic in the domain name.
+func (r *Registry) ParkingNSHost(h *Homograph) string {
+	if h.Category != CatParked {
+		return ""
+	}
+	hash := stats.Mix(stats.HashString(h.ASCII) ^ r.Seed)
+	if hash%5 == 0 {
+		return "" // ~20% parked on generic infrastructure
+	}
+	return "ns1." + ParkingProviders[hash%uint64(len(ParkingProviders))] + "."
+}
+
+// BuildProbeZone builds the zone the simulated authoritative server
+// loads: SOA + apex NS, then NS/A/MX records for every homograph
+// according to its ground truth. Benign domains are included only up
+// to benignSample entries to keep the store small — probing only ever
+// targets detected homographs plus a control sample.
+func (r *Registry) BuildProbeZone(benignSample int) *zonefile.Zone {
+	z := &zonefile.Zone{Origin: "com.", TTL: 300}
+	z.Records = append(z.Records,
+		dnswire.Record{Name: "com.", Class: dnswire.ClassIN, TTL: 900,
+			Data: dnswire.SOA{
+				MName: "a.gtld-servers.net.", RName: "nstld.example.",
+				Serial: uint32(r.Seed), Refresh: 1800, Retry: 900,
+				Expire: 604800, Minimum: 86400,
+			}},
+		dnswire.Record{Name: "com.", Class: dnswire.ClassIN, TTL: 900,
+			Data: dnswire.NS{Host: "a.gtld-servers.net."}},
+	)
+	add := func(domain string, hasNS, hasA, hasMX bool, nsHost string) {
+		name := dnswire.CanonicalName(domain)
+		if hasNS {
+			if nsHost == "" {
+				nsHost = "ns1." + name
+			}
+			z.Records = append(z.Records, dnswire.Record{
+				Name: name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.NS{Host: nsHost},
+			})
+		}
+		if hasA {
+			z.Records = append(z.Records, dnswire.Record{
+				Name: name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.A{Addr: probeAddr},
+			})
+		}
+		if hasMX {
+			z.Records = append(z.Records, dnswire.Record{
+				Name: name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.MX{Preference: 10, Host: "mail." + name},
+			})
+		}
+	}
+	for i := range r.Homographs {
+		h := &r.Homographs[i]
+		add(h.ASCII, h.HasNS, h.HasA, h.MXActive, r.ParkingNSHost(h))
+	}
+	for i, d := range r.BenignASCII {
+		if i >= benignSample {
+			break
+		}
+		add(d, true, true, false, "")
+	}
+	return z
+}
+
+// WriteZoneFile streams the full registry as an RFC 1035 master file:
+// one NS delegation line per domain in the zone-file list. This is the
+// Table 6 "zone file" artifact.
+func (r *Registry) WriteZoneFile(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString("$ORIGIN com.\n$TTL 300\n@ IN SOA a.gtld-servers.net. nstld.example. 1 1800 900 604800 86400\n@ IN NS a.gtld-servers.net.\n"); err != nil {
+		return err
+	}
+	var err error
+	r.ForEachDomain(func(domain string, isIDN bool, m Membership) {
+		if err != nil || !m.Zone {
+			return
+		}
+		sld := strings.TrimSuffix(domain, ".com")
+		_, werr := bw.WriteString(sld + " IN NS ns1." + domain + ".\n")
+		if werr != nil {
+			err = werr
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteDomainList streams the domainlists.io-style flat list: one
+// domain per line for every domain in the list feed.
+func (r *Registry) WriteDomainList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var err error
+	r.ForEachDomain(func(domain string, isIDN bool, m Membership) {
+		if err != nil || !m.List {
+			return
+		}
+		if _, werr := bw.WriteString(domain + "\n"); werr != nil {
+			err = werr
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ListStats is one row of Table 6.
+type ListStats struct {
+	Name    string
+	Domains int
+	IDNs    int
+}
+
+// TableSix computes the zone/list/union rows of Table 6 from the
+// membership function.
+func (r *Registry) TableSix() [3]ListStats {
+	var zone, list, union ListStats
+	zone.Name, list.Name, union.Name = "zone file", "domainlists.io", "Total (union)"
+	r.ForEachDomain(func(domain string, isIDN bool, m Membership) {
+		union.Domains++
+		if isIDN {
+			union.IDNs++
+		}
+		if m.Zone {
+			zone.Domains++
+			if isIDN {
+				zone.IDNs++
+			}
+		}
+		if m.List {
+			list.Domains++
+			if isIDN {
+				list.IDNs++
+			}
+		}
+	})
+	return [3]ListStats{zone, list, union}
+}

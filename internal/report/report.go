@@ -1,0 +1,169 @@
+// Package report renders the experiment harness's output: aligned text
+// tables for terminal output, paper-vs-measured comparison rows, and
+// the EXPERIMENTS.md document that records every regenerated table and
+// figure.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && utf8.RuneCountInString(c) > w[i] {
+				w[i] = utf8.RuneCountInString(c)
+			}
+		}
+	}
+	return w
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) error {
+	widths := t.widths()
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return sb.String()
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	sb.WriteString(line(t.Headers) + "\n")
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString(line(row) + "\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Write(&sb)
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Comparison is one paper-vs-measured line in EXPERIMENTS.md.
+type Comparison struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// Experiment is one regenerated table or figure.
+type Experiment struct {
+	ID          string // "Table 8", "Figure 9", ...
+	Description string
+	Bench       string // the go test -bench target that regenerates it
+	Comparisons []Comparison
+	Tables      []*Table // measured output tables, rendered verbatim
+	Commentary  string
+}
+
+// Add appends a paper-vs-measured row.
+func (e *Experiment) Add(metric, paper, measured, note string) {
+	e.Comparisons = append(e.Comparisons, Comparison{metric, paper, measured, note})
+}
+
+// Addf formats the measured value.
+func (e *Experiment) Addf(metric, paper, format string, args ...interface{}) {
+	e.Add(metric, paper, fmt.Sprintf(format, args...), "")
+}
+
+// Document is the whole EXPERIMENTS.md.
+type Document struct {
+	Title       string
+	Preamble    string
+	Experiments []*Experiment
+}
+
+// Write renders the document as markdown.
+func (d *Document) Write(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("# " + d.Title + "\n\n")
+	if d.Preamble != "" {
+		sb.WriteString(d.Preamble + "\n\n")
+	}
+	for _, e := range d.Experiments {
+		sb.WriteString("## " + e.ID + " — " + e.Description + "\n\n")
+		if e.Bench != "" {
+			sb.WriteString("Regenerate with `go test -bench=" + e.Bench + " -benchtime=1x .` or `go run ./cmd/experiments -run " + strings.ToLower(strings.ReplaceAll(e.ID, " ", "")) + "`.\n\n")
+		}
+		if len(e.Comparisons) > 0 {
+			sb.WriteString("| Metric | Paper | Measured | Note |\n|---|---|---|---|\n")
+			for _, c := range e.Comparisons {
+				sb.WriteString(fmt.Sprintf("| %s | %s | %s | %s |\n", c.Metric, c.Paper, c.Measured, c.Note))
+			}
+			sb.WriteString("\n")
+		}
+		for _, t := range e.Tables {
+			sb.WriteString("```\n" + t.String() + "```\n\n")
+		}
+		if e.Commentary != "" {
+			sb.WriteString(e.Commentary + "\n\n")
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

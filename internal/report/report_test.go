@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "Count")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("much-longer-name", 22)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	// The Count column must start at the same offset in both rows.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned (%d vs %d):\n%s", idx1, idx2, out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(3.14159)
+	if !strings.Contains(tbl.String(), "3.14") || strings.Contains(tbl.String(), "3.14159") {
+		t.Errorf("float formatting: %s", tbl.String())
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tbl := NewTable("", "domain", "n")
+	tbl.AddRow("gmaıl.com", 1)
+	tbl.AddRow("plain.com", 2)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Both data rows must have the count at the same rune offset.
+	r1 := []rune(lines[2])
+	r2 := []rune(lines[3])
+	if len(r1) != len(r2) {
+		t.Errorf("unicode row widths differ:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow(1, 2)
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("markdown = %q", md)
+	}
+}
+
+func TestDocumentWrite(t *testing.T) {
+	doc := &Document{Title: "Experiments", Preamble: "intro"}
+	e := &Experiment{ID: "Table 8", Description: "detection", Bench: "BenchmarkTable08"}
+	e.Add("UC", "436", "430", "close")
+	e.Addf("union", "3,280", "%d", 3279)
+	tbl := NewTable("", "db", "n")
+	tbl.AddRow("UC", 430)
+	e.Tables = append(e.Tables, tbl)
+	e.Commentary = "matches shape"
+	doc.Experiments = append(doc.Experiments, e)
+
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Experiments", "## Table 8 — detection", "| UC | 436 | 430 | close |",
+		"| union | 3,280 | 3279 |", "BenchmarkTable08", "matches shape", "```",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("document missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package simchar
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hexfont"
+	"repro/internal/stats"
+)
+
+// randomFont builds a font of n glyphs with pseudo-random pixel
+// patterns, some of which are forced into near-pair clusters so the
+// threshold actually matters.
+func randomFont(seed uint64, n int) *hexfont.Font {
+	rng := stats.NewRNG(seed)
+	f := hexfont.New()
+	var prev *hexfont.Glyph
+	for i := 0; i < n; i++ {
+		cp := rune(0x3000 + i)
+		var g *hexfont.Glyph
+		switch {
+		case prev != nil && rng.Intn(4) == 0:
+			// Derived near-pair: flip 0-6 pixels of the previous glyph.
+			g = prev.Clone()
+			flips := rng.Intn(7)
+			for k := 0; k < flips; k++ {
+				g.Flip(rng.Intn(16), rng.Intn(8))
+			}
+		default:
+			g = &hexfont.Glyph{Width: 8}
+			pixels := 10 + rng.Intn(30)
+			for k := 0; k < pixels; k++ {
+				g.Set(rng.Intn(16), rng.Intn(8))
+			}
+		}
+		f.SetGlyph(cp, g)
+		prev = g
+	}
+	return f
+}
+
+// TestBandedMatchesNaiveProperty checks index correctness over random
+// fonts: the banded pigeonhole prefilter must find exactly the pairs
+// the exhaustive scan finds, for several thresholds.
+func TestBandedMatchesNaiveProperty(t *testing.T) {
+	f := func(seed uint64, rawTheta uint8) bool {
+		theta := int(rawTheta%8) + 1
+		font := randomFont(seed, 120)
+		banded, _ := Build(font, nil, Options{Threshold: theta})
+		naive, _ := Build(font, nil, Options{Threshold: theta, Naive: true})
+		return reflect.DeepEqual(banded.Pairs(), naive.Pairs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairInvariants checks structural invariants over a random font:
+// ordered pairs (A < B), Δ within threshold, symmetry of Confusable,
+// and char-set consistency.
+func TestPairInvariants(t *testing.T) {
+	db, _ := Build(randomFont(42, 200), nil, Options{})
+	chars := db.Chars()
+	for _, p := range db.Pairs() {
+		if p.A >= p.B {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if p.Delta < 0 || p.Delta > DefaultThreshold {
+			t.Fatalf("pair %v outside threshold", p)
+		}
+		if !db.Confusable(p.A, p.B) || !db.Confusable(p.B, p.A) {
+			t.Fatalf("pair %v not symmetric in Confusable", p)
+		}
+		if !chars.Contains(p.A) || !chars.Contains(p.B) {
+			t.Fatalf("pair %v chars missing from Chars()", p)
+		}
+	}
+}
+
+// TestMergeIdempotentProperty: merging a database with itself is the
+// identity.
+func TestMergeIdempotentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		db, _ := Build(randomFont(seed, 80), nil, Options{})
+		m := Merge(db, db)
+		return reflect.DeepEqual(m.Pairs(), db.Pairs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

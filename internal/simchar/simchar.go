@@ -1,0 +1,401 @@
+// Package simchar builds the SimChar homoglyph database — the paper's key
+// technical contribution (Section 3.3). Given a bitmap font and the set of
+// IDNA-permitted code points, it rasterizes every covered glyph, finds all
+// pairs within the pixel-distance threshold Δ ≤ θ, and eliminates sparse
+// characters, yielding an automatically maintained homoglyph database.
+package simchar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/hexfont"
+	"repro/internal/ucd"
+)
+
+// DefaultThreshold is the paper's empirically validated Δ threshold
+// (Section 4.1: pairs at Δ=4 score "confusing", Δ=5 "distinct").
+const DefaultThreshold = 4
+
+// DefaultMinPixels is the paper's Step III sparse-character cutoff.
+const DefaultMinPixels = 10
+
+// Pair is one homoglyph pair with its pixel distance.
+type Pair struct {
+	A, B  rune // A < B
+	Delta int
+}
+
+// DB is a built SimChar database: the homoglyph pairs and the set of
+// characters participating in at least one pair.
+type DB struct {
+	pairs   []Pair
+	partner map[rune][]rune
+}
+
+// Options configures the build.
+type Options struct {
+	Threshold   int  // Δ cutoff (default 4)
+	MinPixels   int  // sparse cutoff (default 10)
+	Workers     int  // parallel Δ workers (default GOMAXPROCS)
+	Naive       bool // use the O(n²) scan instead of the banded index (ablation)
+	NoPrefilter bool // disable the popcount prefilter (ablation)
+}
+
+func (o *Options) fill() {
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.MinPixels == 0 {
+		o.MinPixels = DefaultMinPixels
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Timings reports the wall-clock cost of each build stage, the rows of the
+// paper's Table 5.
+type Timings struct {
+	RasterizeImages  time.Duration
+	ComputePairwise  time.Duration
+	EliminateSparse  time.Duration
+	CandidatePairs   int // pairs whose Δ was actually computed
+	ComparisonsSaved int // naive pair count minus candidates
+}
+
+// Build constructs SimChar from the font restricted to the permitted set
+// (the paper uses IDNA ∩ Unifont).
+func Build(font *hexfont.Font, permitted *ucd.RuneSet, opt Options) (*DB, Timings) {
+	opt.fill()
+	var tm Timings
+
+	// Step I: rasterize the permitted, covered glyphs.
+	start := time.Now()
+	var runes []rune
+	for _, r := range font.Runes() {
+		if permitted == nil || permitted.Contains(r) {
+			runes = append(runes, r)
+		}
+	}
+	images := make([]*bitmap.Image, len(runes))
+	pixels := make([]int, len(runes))
+	parallelFor(len(runes), opt.Workers, func(i int) {
+		g, _ := font.Glyph(runes[i])
+		images[i] = g.Rasterize()
+		pixels[i] = images[i].PixelCount()
+	})
+	tm.RasterizeImages = time.Since(start)
+
+	// Step III is applied before the pairwise scan: sparse characters can
+	// never appear in the output, so excluding them first is equivalent to
+	// the paper's post-filter and shrinks the candidate space. (The
+	// equivalence is asserted by tests.)
+	start = time.Now()
+	keep := make([]int, 0, len(runes))
+	for i := range runes {
+		if pixels[i] >= opt.MinPixels {
+			keep = append(keep, i)
+		}
+	}
+	tm.EliminateSparse = time.Since(start)
+
+	// Step II: pairwise Δ. The banded pigeonhole index is only sound
+	// while Bands > Threshold (two images within Δ of each other must
+	// share at least one bit-identical band); for larger thresholds
+	// fall back to the exhaustive scan rather than silently missing
+	// pairs.
+	start = time.Now()
+	var pairs []Pair
+	if opt.Naive || opt.Threshold >= bitmap.Bands {
+		pairs, tm.CandidatePairs = naiveScan(runes, images, pixels, keep, opt)
+	} else {
+		pairs, tm.CandidatePairs = bandedScan(runes, images, pixels, keep, opt)
+	}
+	tm.ComputePairwise = time.Since(start)
+	total := len(keep) * (len(keep) - 1) / 2
+	tm.ComparisonsSaved = total - tm.CandidatePairs
+
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return fromPairs(pairs), tm
+}
+
+// naiveScan is the paper's literal O(n²) pairwise computation, kept as the
+// ablation baseline. The popcount prefilter (|pc(a)−pc(b)| > θ ⇒ Δ > θ)
+// can be disabled too, giving the fully naive cost of Table 5.
+func naiveScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, opt Options) ([]Pair, int) {
+	type result struct {
+		pairs []Pair
+		cands int
+	}
+	results := make([]result, opt.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []Pair
+			cands := 0
+			for ii := w; ii < len(keep); ii += opt.Workers {
+				i := keep[ii]
+				for jj := ii + 1; jj < len(keep); jj++ {
+					j := keep[jj]
+					if !opt.NoPrefilter {
+						if d := pixels[i] - pixels[j]; d > opt.Threshold || -d > opt.Threshold {
+							continue
+						}
+					}
+					cands++
+					if d := bitmap.DeltaCapped(images[i], images[j], opt.Threshold); d <= opt.Threshold {
+						local = append(local, orderedPair(runes[i], runes[j], d))
+					}
+				}
+			}
+			results[w] = result{local, cands}
+		}(w)
+	}
+	wg.Wait()
+	var pairs []Pair
+	cands := 0
+	for _, r := range results {
+		pairs = append(pairs, r.pairs...)
+		cands += r.cands
+	}
+	return pairs, cands
+}
+
+// bandedScan finds candidate pairs with the pigeonhole band index: an image
+// is split into Bands disjoint row groups; Δ ≤ θ < Bands implies at least
+// one group is bit-identical, so hashing each group and comparing only
+// within hash buckets finds every qualifying pair while skipping almost all
+// of the n² comparisons.
+func bandedScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, opt Options) ([]Pair, int) {
+	type bucketKey struct {
+		band int
+		key  uint64
+	}
+	buckets := make(map[bucketKey][]int, len(keep)*2)
+	for _, i := range keep {
+		for b := 0; b < bitmap.Bands; b++ {
+			k := bucketKey{b, images[i].BandKey(b)}
+			buckets[k] = append(buckets[k], i)
+		}
+	}
+	bucketList := make([][]int, 0, len(buckets))
+	for _, members := range buckets {
+		if len(members) > 1 {
+			bucketList = append(bucketList, members)
+		}
+	}
+	type edge struct{ i, j int }
+	seenMu := sync.Mutex{}
+	seen := make(map[edge]struct{})
+	var pairsMu sync.Mutex
+	var pairs []Pair
+	cands := 0
+	var candsMu sync.Mutex
+
+	var wg sync.WaitGroup
+	work := make(chan []int, len(bucketList))
+	for _, b := range bucketList {
+		work <- b
+	}
+	close(work)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []Pair
+			localCands := 0
+			for members := range work {
+				for x := 0; x < len(members); x++ {
+					i := members[x]
+					for y := x + 1; y < len(members); y++ {
+						j := members[y]
+						if !opt.NoPrefilter {
+							if d := pixels[i] - pixels[j]; d > opt.Threshold || -d > opt.Threshold {
+								continue
+							}
+						}
+						a, b := i, j
+						if a > b {
+							a, b = b, a
+						}
+						seenMu.Lock()
+						if _, dup := seen[edge{a, b}]; dup {
+							seenMu.Unlock()
+							continue
+						}
+						seen[edge{a, b}] = struct{}{}
+						seenMu.Unlock()
+						localCands++
+						if d := bitmap.DeltaCapped(images[i], images[j], opt.Threshold); d <= opt.Threshold {
+							local = append(local, orderedPair(runes[i], runes[j], d))
+						}
+					}
+				}
+			}
+			pairsMu.Lock()
+			pairs = append(pairs, local...)
+			pairsMu.Unlock()
+			candsMu.Lock()
+			cands += localCands
+			candsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return pairs, cands
+}
+
+func orderedPair(a, b rune, d int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b, Delta: d}
+}
+
+// parallelFor runs f(i) for i in [0,n) across workers goroutines.
+func parallelFor(n, workers int, f func(int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func fromPairs(pairs []Pair) *DB {
+	db := &DB{pairs: pairs, partner: make(map[rune][]rune)}
+	for _, p := range pairs {
+		db.partner[p.A] = append(db.partner[p.A], p.B)
+		db.partner[p.B] = append(db.partner[p.B], p.A)
+	}
+	for r := range db.partner {
+		sort.Slice(db.partner[r], func(i, j int) bool { return db.partner[r][i] < db.partner[r][j] })
+	}
+	return db
+}
+
+// Pairs returns the homoglyph pairs, sorted.
+func (db *DB) Pairs() []Pair { return db.pairs }
+
+// NumPairs returns the number of homoglyph pairs (Table 1's pair counts).
+func (db *DB) NumPairs() int { return len(db.pairs) }
+
+// Chars returns the set of characters participating in at least one pair
+// (Table 1's character counts).
+func (db *DB) Chars() *ucd.RuneSet {
+	s := ucd.NewRuneSet()
+	for r := range db.partner {
+		s.Add(r)
+	}
+	return s
+}
+
+// Confusable reports whether (a, b) is a SimChar pair.
+func (db *DB) Confusable(a, b rune) bool {
+	if a == b {
+		return true
+	}
+	for _, p := range db.partner[a] {
+		if p == b {
+			return true
+		}
+		if p > b {
+			break
+		}
+	}
+	return false
+}
+
+// Homoglyphs returns the partners of r (characters within Δ ≤ θ of it).
+func (db *DB) Homoglyphs(r rune) []rune {
+	out := make([]rune, len(db.partner[r]))
+	copy(out, db.partner[r])
+	return out
+}
+
+// Write serializes the database as lines of "AAAA BBBB delta".
+func (db *DB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# SimChar homoglyph pairs: codepointA codepointB delta"); err != nil {
+		return err
+	}
+	for _, p := range db.pairs {
+		if _, err := fmt.Fprintf(bw, "%04X %04X %d\n", p.A, p.B, p.Delta); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the Write format.
+func Read(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var pairs []Pair
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("simchar: line %d: want 'A B delta'", lineNo)
+		}
+		a, err := strconv.ParseUint(fields[0], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("simchar: line %d: %v", lineNo, err)
+		}
+		b, err := strconv.ParseUint(fields[1], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("simchar: line %d: %v", lineNo, err)
+		}
+		d, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("simchar: line %d: %v", lineNo, err)
+		}
+		pairs = append(pairs, orderedPair(rune(a), rune(b), d))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return fromPairs(pairs), nil
+}

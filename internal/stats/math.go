@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// Thin wrappers keep rng.go free of qualified math calls; they also pin
+// the few float operations the deterministic generators rely on.
+const pi = math.Pi
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }
+func cos(x float64) float64  { return math.Cos(x) }
+
+// Zipf samples ranks 1..n with probability proportional to 1/rank^s using
+// a precomputed cumulative table. It models the popularity skew of both
+// website rankings and passive-DNS query volumes.
+type Zipf struct {
+	cum []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+		cum[i-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// Rank samples a rank in [1, n].
+func (z *Zipf) Rank() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cum)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Mass returns the normalized probability mass of rank r (1-based).
+func (z *Zipf) Mass(r int) float64 {
+	if r < 1 || r > len(z.cum) {
+		return 0
+	}
+	if r == 1 {
+		return z.cum[0]
+	}
+	return z.cum[r-1] - z.cum[r-2]
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	if a.Uint64() == c.Uint64() {
+		t.Error("different seeds collided immediately")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	rng := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRNG(3)
+	p := rng.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(4)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := rng.Normal(3, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Errorf("stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(5)
+	z := NewZipf(rng, 100, 1.1)
+	counts := make([]int, 101)
+	for i := 0; i < 20000; i++ {
+		counts[z.Rank()]++
+	}
+	if counts[1] <= counts[50] || counts[1] <= counts[100] {
+		t.Errorf("zipf not skewed: rank1=%d rank50=%d rank100=%d",
+			counts[1], counts[50], counts[100])
+	}
+	// Mass sums to ~1.
+	total := 0.0
+	for r := 1; r <= 100; r++ {
+		total += z.Mass(r)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("mass sums to %v", total)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v", s.Q1, s.Q3)
+	}
+	if s.WhiskLo != 1 || s.WhiskHi != 5 {
+		t.Errorf("whiskers = %v/%v", s.WhiskLo, s.WhiskHi)
+	}
+}
+
+func TestSummarizeOutlierWhiskers(t *testing.T) {
+	// 100 is an outlier: whisker must stop at the last point within
+	// 1.5 IQR.
+	s := Summarize([]float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 100})
+	if s.WhiskHi == 100 {
+		t.Errorf("whisker includes outlier: %+v", s)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %v", s.Max)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 {
+		t.Errorf("singleton = %+v", s)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Exclude non-finite values and magnitudes where the mean
+			// itself overflows; Likert data lives in [1, 5].
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e300 {
+				xs = append(xs, x/1e10)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.WhiskLo >= s.Min && s.WhiskHi <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{1, 1.4, 2.6, 5, 9}, 1, 5)
+	if h[1] != 2 || h[3] != 1 || h[5] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty mean/median")
+	}
+	if Mean([]float64{2, 4}) != 3 || Median([]float64{1, 3, 2}) != 2 {
+		t.Error("mean/median wrong")
+	}
+}
+
+func TestAsciiBox(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	box := AsciiBox(s, 1, 5, 40)
+	if len(box) != 40 {
+		t.Fatalf("box width = %d", len(box))
+	}
+	hasMedian := false
+	for _, c := range box {
+		if c == '|' || c == '+' { // '+' marks coincident mean/median
+			hasMedian = true
+		}
+	}
+	if !hasMedian {
+		t.Errorf("box missing median marker: %q", box)
+	}
+	// An asymmetric distribution separates mean from median.
+	skewed := AsciiBox(Summarize([]float64{1, 1, 1, 1, 2, 5}), 1, 5, 40)
+	if !strings.ContainsRune(skewed, '|') || !strings.ContainsRune(skewed, '*') {
+		t.Errorf("skewed box missing separate markers: %q", skewed)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("example.com") != HashString("example.com") {
+		t.Error("hash not stable")
+	}
+	if HashString("a.com") == HashString("b.com") {
+		t.Error("trivial collision")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	mk := func(seed uint64) []int {
+		xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		rng := NewRNG(seed)
+		rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		return xs
+	}
+	a, b := mk(9), mk(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is the five-number summary plus mean used for the paper's
+// boxplots (Figures 9 and 10): median with quartiles, whiskers at
+// 1.5 IQR clamped to the data range, and the dashed-line mean.
+type Summary struct {
+	N        int
+	Mean     float64
+	Median   float64
+	Q1, Q3   float64
+	Min, Max float64
+	WhiskLo  float64 // largest of Min and Q1 - 1.5*IQR data point
+	WhiskHi  float64 // smallest of Max and Q3 + 1.5*IQR data point
+}
+
+// Summarize computes the summary of xs. An empty input returns a zero
+// Summary with N=0.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	total := 0.0
+	for _, x := range sorted {
+		total += x
+	}
+	s.Mean = total / float64(s.N)
+	s.Median = quantile(sorted, 0.5)
+	s.Q1 = quantile(sorted, 0.25)
+	s.Q3 = quantile(sorted, 0.75)
+	iqr := s.Q3 - s.Q1
+	lo, hi := s.Q1-1.5*iqr, s.Q3+1.5*iqr
+	s.WhiskLo, s.WhiskHi = s.Max, s.Min
+	for _, x := range sorted {
+		if x >= lo && x < s.WhiskLo {
+			s.WhiskLo = x
+		}
+		if x <= hi && x > s.WhiskHi {
+			s.WhiskHi = x
+		}
+	}
+	return s
+}
+
+// quantile interpolates the q-quantile of sorted data (type 7, the R
+// and NumPy default).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly for logs and EXPERIMENTS.md.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%.1f q1=%.1f q3=%.1f whiskers=[%.1f,%.1f]",
+		s.N, s.Mean, s.Median, s.Q1, s.Q3, s.WhiskLo, s.WhiskHi)
+}
+
+// Histogram counts values into integer bins — Likert scores use bins
+// 1..5.
+func Histogram(xs []float64, lo, hi int) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		b := int(math.Round(x))
+		if b < lo {
+			b = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		h[b]++
+	}
+	return h
+}
+
+// AsciiBox renders a one-line ASCII boxplot of s over [lo, hi] with
+// the given width — the textual stand-in for the paper's Figure 9/10
+// panels.
+func AsciiBox(s Summary, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	col := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return int(f * float64(width-1))
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := col(s.WhiskLo); i <= col(s.WhiskHi); i++ {
+		row[i] = '-'
+	}
+	for i := col(s.Q1); i <= col(s.Q3); i++ {
+		row[i] = '='
+	}
+	row[col(s.Mean)] = '*'
+	if col(s.Median) == col(s.Mean) {
+		row[col(s.Median)] = '+' // median and mean coincide
+	} else {
+		row[col(s.Median)] = '|'
+	}
+	return string(row)
+}
+
+// Mean is the arithmetic mean; returns 0 on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// Median returns the middle value; 0 on empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantile(sorted, 0.5)
+}

@@ -1,0 +1,340 @@
+// Package study simulates the paper's Amazon Mechanical Turk human
+// evaluation (Section 4.1): participants judge pairs of characters on
+// a five-level "confusability" Likert scale, with dummy attention
+// checks and the paper's quality-control filtering executed for real.
+//
+// The perceptual model is a logistic curve in the glyph pixel distance
+// Δ, fitted to the paper's reported aggregates (Δ=4 → mean 3.57,
+// median 4; Δ=5 → mean 2.57, median 2), plus per-participant
+// reliability and response noise. Everything downstream of the model —
+// task design, dummy screening, participant removal, effective-response
+// accounting, boxplot statistics — is the paper's procedure, not a
+// curve fit.
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitmap"
+	"repro/internal/hexfont"
+	"repro/internal/stats"
+)
+
+// PairKind labels where a judged pair came from.
+type PairKind uint8
+
+// Pair sources.
+const (
+	KindSimChar PairKind = iota
+	KindUC
+	KindRandom // dummy / baseline: two random distinct characters
+)
+
+// String names the kind.
+func (k PairKind) String() string {
+	switch k {
+	case KindSimChar:
+		return "SimChar"
+	case KindUC:
+		return "UC"
+	case KindRandom:
+		return "Random"
+	}
+	return "unknown"
+}
+
+// Pair is one assignment's character pair.
+type Pair struct {
+	A, B  rune
+	Delta int // glyph pixel distance; <0 means unknown (no glyph)
+	Kind  PairKind
+}
+
+// Participant models one crowd worker.
+type Participant struct {
+	ID int
+	// Reliability is the probability a response follows the
+	// perceptual model rather than being uniform noise.
+	Reliability float64
+	// Careless participants answer near-uniformly; the QC stage is
+	// supposed to catch and remove them.
+	Careless bool
+}
+
+// Response is one Likert judgement.
+type Response struct {
+	Participant int
+	Pair        Pair
+	Score       int // 1 (very distinct) .. 5 (very confusing)
+}
+
+// Model holds the perceptual parameters. Zero value means Default.
+type Model struct {
+	// Logistic midpoint and slope in Δ.
+	Midpoint float64
+	Slope    float64
+	// Noise is the stddev of the Gaussian jitter added to the model
+	// score before rounding.
+	Noise float64
+	// UnknownDelta substitutes for pairs without glyph coverage.
+	UnknownDelta float64
+}
+
+// DefaultModel returns parameters fitted to the paper's Figure 9
+// aggregates.
+func DefaultModel() Model {
+	return Model{Midpoint: 4.60, Slope: 1.50, Noise: 0.85, UnknownDelta: 9}
+}
+
+func (m Model) fill() Model {
+	d := DefaultModel()
+	if m.Midpoint == 0 {
+		m.Midpoint = d.Midpoint
+	}
+	if m.Slope == 0 {
+		m.Slope = d.Slope
+	}
+	if m.Noise == 0 {
+		m.Noise = d.Noise
+	}
+	if m.UnknownDelta == 0 {
+		m.UnknownDelta = d.UnknownDelta
+	}
+	return m
+}
+
+// ExpectedScore is the model's mean Likert score for a pair at
+// distance delta.
+func (m Model) ExpectedScore(delta float64) float64 {
+	p := 1 / (1 + math.Exp(m.Slope*(delta-m.Midpoint)))
+	return 1 + 4*p
+}
+
+// respond draws one participant's Likert answer for a pair.
+func (m Model) respond(rng *stats.RNG, p Participant, pair Pair) int {
+	if p.Careless || rng.Float64() > p.Reliability {
+		return 1 + rng.Intn(5)
+	}
+	delta := float64(pair.Delta)
+	if pair.Delta < 0 {
+		delta = m.UnknownDelta
+	}
+	score := m.ExpectedScore(delta) + rng.Normal(0, m.Noise)
+	s := int(math.Round(score))
+	if s < 1 {
+		s = 1
+	}
+	if s > 5 {
+		s = 5
+	}
+	return s
+}
+
+// Config parameterises a study run.
+type Config struct {
+	Seed         uint64
+	Participants int
+	// CarelessRate is the fraction of careless workers recruited
+	// before QC removal. Default 0.1.
+	CarelessRate float64
+	Model        Model
+}
+
+func (c Config) fill() Config {
+	if c.Participants == 0 {
+		c.Participants = 10
+	}
+	if c.CarelessRate == 0 {
+		c.CarelessRate = 0.1
+	}
+	c.Model = c.Model.fill()
+	return c
+}
+
+// recruit builds the participant pool.
+func recruit(cfg Config, rng *stats.RNG) []Participant {
+	ps := make([]Participant, cfg.Participants)
+	for i := range ps {
+		ps[i] = Participant{
+			ID:          i,
+			Reliability: 0.85 + 0.15*rng.Float64(),
+			Careless:    rng.Float64() < cfg.CarelessRate,
+		}
+	}
+	return ps
+}
+
+// Run executes a study: every participant judges every pair, then QC
+// filtering removes unreliable participants exactly as the paper does:
+// anyone rating a dummy (random) pair 4 or 5, and anyone rating a Δ=0
+// SimChar pair 1 or 2, loses all their responses.
+func Run(pairs []Pair, cfg Config) *Outcome {
+	cfg = cfg.fill()
+	rng := stats.NewRNG(cfg.Seed*0x9E3779B9 + 0x7F4A7C15)
+	participants := recruit(cfg, rng)
+
+	all := make([]Response, 0, len(pairs)*len(participants))
+	for _, p := range participants {
+		for _, pair := range pairs {
+			all = append(all, Response{
+				Participant: p.ID,
+				Pair:        pair,
+				Score:       cfg.Model.respond(rng, p, pair),
+			})
+		}
+	}
+
+	// QC pass.
+	removed := make(map[int]bool)
+	for _, r := range all {
+		switch {
+		case r.Pair.Kind == KindRandom && r.Score >= 4:
+			removed[r.Participant] = true
+		case r.Pair.Kind == KindSimChar && r.Pair.Delta == 0 && r.Score <= 2:
+			removed[r.Participant] = true
+		}
+	}
+	var kept []Response
+	for _, r := range all {
+		if !removed[r.Participant] {
+			kept = append(kept, r)
+		}
+	}
+	return &Outcome{
+		AllResponses: all,
+		Effective:    kept,
+		Recruited:    len(participants),
+		Removed:      len(removed),
+	}
+}
+
+// Outcome is a completed study with QC applied.
+type Outcome struct {
+	AllResponses []Response
+	Effective    []Response
+	Recruited    int
+	Removed      int
+}
+
+// ScoresWhere collects effective scores matching the predicate.
+func (o *Outcome) ScoresWhere(keep func(Pair) bool) []float64 {
+	var xs []float64
+	for _, r := range o.Effective {
+		if keep(r.Pair) {
+			xs = append(xs, float64(r.Score))
+		}
+	}
+	return xs
+}
+
+// SummaryByDelta aggregates effective non-dummy responses per Δ —
+// Figure 9's panels.
+func (o *Outcome) SummaryByDelta() map[int]stats.Summary {
+	out := make(map[int]stats.Summary)
+	byDelta := make(map[int][]float64)
+	for _, r := range o.Effective {
+		if r.Pair.Kind == KindRandom {
+			continue
+		}
+		byDelta[r.Pair.Delta] = append(byDelta[r.Pair.Delta], float64(r.Score))
+	}
+	for d, xs := range byDelta {
+		out[d] = stats.Summarize(xs)
+	}
+	return out
+}
+
+// SummaryByKind aggregates effective responses per pair source —
+// Figure 10's three boxes.
+func (o *Outcome) SummaryByKind() map[PairKind]stats.Summary {
+	out := make(map[PairKind]stats.Summary)
+	byKind := make(map[PairKind][]float64)
+	for _, r := range o.Effective {
+		byKind[r.Pair.Kind] = append(byKind[r.Pair.Kind], float64(r.Score))
+	}
+	for k, xs := range byKind {
+		out[k] = stats.Summarize(xs)
+	}
+	return out
+}
+
+// DeltaOf computes the glyph distance of two characters under font,
+// returning -1 when either glyph is missing.
+func DeltaOf(font *hexfont.Font, a, b rune) int {
+	ga, okA := font.Glyph(a)
+	gb, okB := font.Glyph(b)
+	if !okA || !okB {
+		return -1
+	}
+	return bitmap.Delta(ga.Rasterize(), gb.Rasterize())
+}
+
+// Ladder samples, for each Δ in [0, maxDelta], up to perDelta pairs
+// (latin letter, candidate) whose glyph distance is exactly Δ —
+// Experiment 1's stimulus set. Candidates are drawn from the font's
+// coverage intersected with permitted (pass nil to allow all).
+func Ladder(font *hexfont.Font, permitted func(rune) bool, maxDelta, perDelta int, seed uint64) map[int][]Pair {
+	rng := stats.NewRNG(seed ^ 0x1adde5)
+	byDelta := make(map[int][]Pair)
+	runes := font.Runes()
+	for letter := 'a'; letter <= 'z'; letter++ {
+		gl, ok := font.Glyph(letter)
+		if !ok {
+			continue
+		}
+		img := gl.Rasterize()
+		for _, r := range runes {
+			if r == letter || (permitted != nil && !permitted(r)) {
+				continue
+			}
+			gr, _ := font.Glyph(r)
+			d := bitmap.DeltaCapped(img, gr.Rasterize(), maxDelta+1)
+			if d > maxDelta {
+				continue
+			}
+			byDelta[d] = append(byDelta[d], Pair{A: letter, B: r, Delta: d, Kind: KindSimChar})
+		}
+	}
+	for d := 0; d <= maxDelta; d++ {
+		pairs := byDelta[d]
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		if len(pairs) > perDelta {
+			byDelta[d] = pairs[:perDelta]
+		}
+	}
+	return byDelta
+}
+
+// Dummies builds n random distinct-letter pairs with their true glyph
+// distances — the attention checks and the Figure 10 Random baseline.
+func Dummies(font *hexfont.Font, n int, seed uint64) []Pair {
+	rng := stats.NewRNG(seed ^ 0xd0d0)
+	out := make([]Pair, 0, n)
+	for len(out) < n {
+		a := rune('a' + rng.Intn(26))
+		b := rune('a' + rng.Intn(26))
+		if a == b {
+			continue
+		}
+		d := DeltaOf(font, a, b)
+		if d >= 0 && d <= 8 {
+			continue // too similar to be a fair attention check
+		}
+		out = append(out, Pair{A: a, B: b, Delta: d, Kind: KindRandom})
+	}
+	return out
+}
+
+// Validate sanity-checks an outcome against the paper's qualitative
+// shape; the experiments harness calls this to fail loudly when a
+// regression flattens the curve.
+func (o *Outcome) Validate() error {
+	byDelta := o.SummaryByDelta()
+	s4, ok4 := byDelta[4]
+	s5, ok5 := byDelta[5]
+	if ok4 && ok5 && s4.Mean <= s5.Mean {
+		return fmt.Errorf("study: mean at Δ=4 (%.2f) not above Δ=5 (%.2f)", s4.Mean, s5.Mean)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package ucd
+
+import (
+	"sync"
+	"unicode"
+)
+
+// Property is the IDNA2008 derived property of a code point (RFC 5892
+// section 2). Only PVALID code points may appear freely in IDN labels;
+// CONTEXTJ/CONTEXTO require contextual rules to pass.
+type Property uint8
+
+const (
+	Unassigned Property = iota
+	Disallowed
+	PValid
+	ContextJ
+	ContextO
+)
+
+// String returns the RFC 5892 spelling of the property.
+func (p Property) String() string {
+	switch p {
+	case PValid:
+		return "PVALID"
+	case ContextJ:
+		return "CONTEXTJ"
+	case ContextO:
+		return "CONTEXTO"
+	case Disallowed:
+		return "DISALLOWED"
+	default:
+		return "UNASSIGNED"
+	}
+}
+
+// exceptions is the RFC 5892 section 2.6 exception table (rule F).
+var exceptions = map[rune]Property{
+	0x00DF: PValid,   // LATIN SMALL LETTER SHARP S
+	0x03C2: PValid,   // GREEK SMALL LETTER FINAL SIGMA
+	0x06FD: PValid,   // ARABIC SIGN SINDHI AMPERSAND
+	0x06FE: PValid,   // ARABIC SIGN SINDHI POSTPOSITION MEN
+	0x0F0B: PValid,   // TIBETAN MARK INTERSYLLABIC TSHEG
+	0x3007: PValid,   // IDEOGRAPHIC NUMBER ZERO
+	0x00B7: ContextO, // MIDDLE DOT
+	0x0375: ContextO, // GREEK LOWER NUMERAL SIGN
+	0x05F3: ContextO, // HEBREW PUNCTUATION GERESH
+	0x05F4: ContextO, // HEBREW PUNCTUATION GERSHAYIM
+	0x30FB: ContextO, // KATAKANA MIDDLE DOT
+	0x0660: ContextO, // ARABIC-INDIC DIGIT ZERO..NINE
+	0x0661: ContextO,
+	0x0662: ContextO,
+	0x0663: ContextO,
+	0x0664: ContextO,
+	0x0665: ContextO,
+	0x0666: ContextO,
+	0x0667: ContextO,
+	0x0668: ContextO,
+	0x0669: ContextO,
+	0x06F0: ContextO, // EXTENDED ARABIC-INDIC DIGIT ZERO..NINE
+	0x06F1: ContextO,
+	0x06F2: ContextO,
+	0x06F3: ContextO,
+	0x06F4: ContextO,
+	0x06F5: ContextO,
+	0x06F6: ContextO,
+	0x06F7: ContextO,
+	0x06F8: ContextO,
+	0x06F9: ContextO,
+	0x200C: ContextJ, // ZERO WIDTH NON-JOINER
+	0x200D: ContextJ, // ZERO WIDTH JOINER
+	0x0640: Disallowed,
+	0x07FA: Disallowed,
+	0x302E: Disallowed,
+	0x302F: Disallowed,
+	0x3031: Disallowed,
+	0x3032: Disallowed,
+	0x3033: Disallowed,
+	0x3034: Disallowed,
+	0x3035: Disallowed,
+	0x303B: Disallowed,
+}
+
+// unstableBlocks approximates RFC 5892 rule B (NFKC/case-fold instability):
+// compatibility-decomposable blocks whose members normalize away, which the
+// real derivation marks DISALLOWED. Listing the blocks avoids carrying the
+// full normalization tables while matching the real outcome for the blocks
+// that matter to homograph analysis (fullwidth forms, presentation forms,
+// enclosed and mathematical alphanumerics).
+var unstableBlocks = map[string]bool{
+	"Halfwidth and Fullwidth Forms":           true,
+	"Alphabetic Presentation Forms":           true,
+	"Arabic Presentation Forms-A":             true,
+	"Arabic Presentation Forms-B":             true,
+	"Enclosed Alphanumerics":                  true,
+	"Enclosed CJK Letters and Months":         true,
+	"CJK Compatibility":                       true,
+	"CJK Compatibility Ideographs":            true,
+	"CJK Compatibility Forms":                 true,
+	"Small Form Variants":                     true,
+	"Vertical Forms":                          true,
+	"Letterlike Symbols":                      true,
+	"Number Forms":                            true,
+	"Mathematical Alphanumeric Symbols":       true,
+	"Kangxi Radicals":                         true,
+	"CJK Radicals Supplement":                 true,
+	"Superscripts and Subscripts":             true,
+	"Phonetic Extensions":                     true,
+	"Phonetic Extensions Supplement":          true,
+	"Spacing Modifier Letters":                false, // modifier letters are PVALID (Lm)
+	"Hangul Compatibility Jamo":               true,
+	"Katakana Phonetic Extensions":            false,
+	"Ideographic Description Characters":      true,
+	"Combining Diacritical Marks for Symbols": true,
+}
+
+// DerivedProperty computes the RFC 5892 derived property of r using the
+// rule order of section 3: exceptions, unassigned, LDH, ignorables,
+// ignorable blocks, old Hangul jamo, instability, then letters/digits.
+func DerivedProperty(r rune) Property {
+	if p, ok := exceptions[r]; ok {
+		return p
+	}
+	if r > unicode.MaxRune || isNoncharacter(r) {
+		return Disallowed
+	}
+	if !assigned(r) {
+		return Unassigned
+	}
+	// Rule I: LDH — ASCII lowercase letters, digits, hyphen.
+	if r == '-' || (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') {
+		return PValid
+	}
+	if r < 0x80 {
+		// Remaining ASCII (uppercase, punctuation, controls) is disallowed
+		// at the IDNA layer; uppercase is case-folded before lookup.
+		return Disallowed
+	}
+	// Rule J: ignorable properties.
+	if unicode.IsSpace(r) || unicode.Is(unicode.Cf, r) || unicode.Is(unicode.Cs, r) ||
+		unicode.Is(unicode.Co, r) || unicode.Is(unicode.Cc, r) {
+		return Disallowed
+	}
+	if r >= 0xFE00 && r <= 0xFE0F { // variation selectors (default ignorable)
+		return Disallowed
+	}
+	// Rule L: old (conjoining) Hangul jamo.
+	if (r >= 0x1100 && r <= 0x11FF) || (r >= 0xA960 && r <= 0xA97F) || (r >= 0xD7B0 && r <= 0xD7FF) {
+		return Disallowed
+	}
+	// Rule B approximation: compatibility blocks normalize away.
+	if unstableBlocks[BlockOf(r)] {
+		return Disallowed
+	}
+	// Rule A: letters and digits.
+	if unicode.Is(unicode.Ll, r) || unicode.Is(unicode.Lo, r) || unicode.Is(unicode.Lm, r) ||
+		unicode.Is(unicode.Mn, r) || unicode.Is(unicode.Mc, r) || unicode.Is(unicode.Nd, r) {
+		return PValid
+	}
+	return Disallowed
+}
+
+func assigned(r rune) bool {
+	return unicode.Is(unicode.L, r) || unicode.Is(unicode.M, r) ||
+		unicode.Is(unicode.N, r) || unicode.Is(unicode.P, r) ||
+		unicode.Is(unicode.S, r) || unicode.Is(unicode.Z, r) ||
+		unicode.Is(unicode.C, r)
+}
+
+func isNoncharacter(r rune) bool {
+	if r >= 0xFDD0 && r <= 0xFDEF {
+		return true
+	}
+	low := r & 0xFFFF
+	return low == 0xFFFE || low == 0xFFFF
+}
+
+// IsPValid reports whether r may appear in an IDN label (PVALID only;
+// contextual code points are excluded, matching the paper's use of the
+// PVALID rows of the IDNA2008 draft).
+func IsPValid(r rune) bool { return DerivedProperty(r) == PValid }
+
+var (
+	idnaOnce sync.Once
+	idnaSet  *RuneSet
+)
+
+// IDNASet returns the set of all PVALID code points — the paper's
+// "IDNA2008 draft" character set (123,006 code points under Unicode 12;
+// slightly more here because the Go toolchain ships a newer UCD).
+// The set is computed once and shared; callers must not mutate it.
+func IDNASet() *RuneSet {
+	idnaOnce.Do(func() {
+		idnaSet = NewRuneSet()
+		for r := rune(0); r <= unicode.MaxRune; r++ {
+			if DerivedProperty(r) == PValid {
+				idnaSet.Add(r)
+			}
+		}
+	})
+	return idnaSet
+}

@@ -1,0 +1,67 @@
+package ucd
+
+import "unicode"
+
+// scriptOrder lists the scripts we probe, most common first, so ScriptOf
+// terminates quickly for the hot paths (Latin, CJK, Cyrillic).
+var scriptOrder = []string{
+	"Latin", "Han", "Hangul", "Hiragana", "Katakana", "Cyrillic", "Greek",
+	"Arabic", "Hebrew", "Armenian", "Georgian", "Thai", "Lao", "Devanagari",
+	"Bengali", "Tamil", "Telugu", "Kannada", "Malayalam", "Oriya", "Gurmukhi",
+	"Gujarati", "Sinhala", "Myanmar", "Khmer", "Ethiopic", "Cherokee",
+	"Canadian_Aboriginal", "Vai", "Tifinagh", "Mongolian", "Tibetan", "Yi",
+	"Syriac", "Thaana", "Nko", "Common", "Inherited",
+}
+
+// ScriptOf returns the Unicode script property value of r (e.g. "Latin",
+// "Cyrillic", "Han"). Code points not covered by any known script table
+// report "Unknown".
+func ScriptOf(r rune) string {
+	for _, name := range scriptOrder {
+		if t, ok := unicode.Scripts[name]; ok && unicode.Is(t, r) {
+			return name
+		}
+	}
+	// Fall back to the full table for rarely used scripts.
+	for name, t := range unicode.Scripts {
+		if unicode.Is(t, r) {
+			return name
+		}
+	}
+	return "Unknown"
+}
+
+// IsSingleScript reports whether every letter in s belongs to the same
+// script, treating Common/Inherited code points (digits, hyphen, combining
+// marks) as compatible with any script. Mixed-script labels are what modern
+// browsers fall back to Punycode for (Section 2.2 of the paper).
+func IsSingleScript(s string) bool {
+	base := ""
+	for _, r := range s {
+		sc := ScriptOf(r)
+		if sc == "Common" || sc == "Inherited" {
+			continue
+		}
+		// Han, Hiragana and Katakana legitimately mix in Japanese text;
+		// browsers treat the CJK scripts as one confusability class.
+		if isCJKScript(sc) {
+			sc = "CJK"
+		}
+		if base == "" {
+			base = sc
+			continue
+		}
+		if sc != base {
+			return false
+		}
+	}
+	return true
+}
+
+func isCJKScript(sc string) bool {
+	switch sc {
+	case "Han", "Hiragana", "Katakana", "Hangul", "Bopomofo":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package ucd
+
+import "sort"
+
+// RuneSet is a set of Unicode code points backed by a per-64-codepoint
+// bitmap. It is the working representation for the paper's character sets
+// (IDNA, UC, SimChar and their intersections/unions, Figures 3 and 4).
+type RuneSet struct {
+	words map[rune]uint64 // key: r >> 6, bit: r & 63
+	n     int
+}
+
+// NewRuneSet returns an empty set, optionally seeded with runes.
+func NewRuneSet(runes ...rune) *RuneSet {
+	s := &RuneSet{words: make(map[rune]uint64)}
+	for _, r := range runes {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts r into the set.
+func (s *RuneSet) Add(r rune) {
+	w, bit := r>>6, uint64(1)<<uint(r&63)
+	old := s.words[w]
+	if old&bit == 0 {
+		s.words[w] = old | bit
+		s.n++
+	}
+}
+
+// AddRange inserts every code point in [lo, hi] (inclusive).
+func (s *RuneSet) AddRange(lo, hi rune) {
+	for r := lo; r <= hi; r++ {
+		s.Add(r)
+	}
+}
+
+// Remove deletes r from the set if present.
+func (s *RuneSet) Remove(r rune) {
+	w, bit := r>>6, uint64(1)<<uint(r&63)
+	old, ok := s.words[w]
+	if !ok || old&bit == 0 {
+		return
+	}
+	old &^= bit
+	if old == 0 {
+		delete(s.words, w)
+	} else {
+		s.words[w] = old
+	}
+	s.n--
+}
+
+// Contains reports whether r is in the set.
+func (s *RuneSet) Contains(r rune) bool {
+	if s == nil {
+		return false
+	}
+	return s.words[r>>6]&(uint64(1)<<uint(r&63)) != 0
+}
+
+// Len returns the number of code points in the set.
+func (s *RuneSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Runes returns the members in ascending order.
+func (s *RuneSet) Runes() []rune {
+	if s == nil {
+		return nil
+	}
+	keys := make([]rune, 0, len(s.words))
+	for w := range s.words {
+		keys = append(keys, w)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]rune, 0, s.n)
+	for _, w := range keys {
+		bits := s.words[w]
+		for bits != 0 {
+			b := bits & (-bits)
+			out = append(out, w<<6|rune(trailingZeros64(bits)))
+			bits ^= b
+		}
+	}
+	return out
+}
+
+func trailingZeros64(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Intersect returns a new set containing the members present in both sets.
+func (s *RuneSet) Intersect(t *RuneSet) *RuneSet {
+	out := NewRuneSet()
+	if s == nil || t == nil {
+		return out
+	}
+	small, large := s, t
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	for w, bits := range small.words {
+		if both := bits & large.words[w]; both != 0 {
+			out.words[w] = both
+			out.n += popcount64(both)
+		}
+	}
+	return out
+}
+
+// Union returns a new set containing members present in either set.
+func (s *RuneSet) Union(t *RuneSet) *RuneSet {
+	out := NewRuneSet()
+	for _, src := range []*RuneSet{s, t} {
+		if src == nil {
+			continue
+		}
+		for w, bits := range src.words {
+			old := out.words[w]
+			merged := old | bits
+			out.n += popcount64(merged) - popcount64(old)
+			out.words[w] = merged
+		}
+	}
+	return out
+}
+
+// Diff returns a new set of members in s that are not in t.
+func (s *RuneSet) Diff(t *RuneSet) *RuneSet {
+	out := NewRuneSet()
+	if s == nil {
+		return out
+	}
+	for w, bits := range s.words {
+		var tb uint64
+		if t != nil {
+			tb = t.words[w]
+		}
+		if rem := bits &^ tb; rem != 0 {
+			out.words[w] = rem
+			out.n += popcount64(rem)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *RuneSet) Clone() *RuneSet {
+	out := NewRuneSet()
+	if s == nil {
+		return out
+	}
+	for w, bits := range s.words {
+		out.words[w] = bits
+	}
+	out.n = s.n
+	return out
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

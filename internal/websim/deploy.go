@@ -1,0 +1,54 @@
+package websim
+
+import (
+	"repro/internal/hostsim"
+	"repro/internal/registry"
+)
+
+// Deploy registers every active homograph of reg with the web server
+// and opens its ground-truth ports in the mapper. Call after
+// srv.Start(). Returns the number of sites deployed.
+func Deploy(reg *registry.Registry, srv *Server, mapper *hostsim.Mapper) int {
+	n := 0
+	for i := range reg.Homographs {
+		h := &reg.Homographs[i]
+		if !h.Active() {
+			continue
+		}
+		site := Site{Title: h.Unicode}
+		switch h.Category {
+		case registry.CatParked:
+			site.Kind = "parked"
+		case registry.CatForSale:
+			site.Kind = "forsale"
+		case registry.CatRedirect:
+			site.Kind = "redirect"
+			site.RedirectTarget = h.RedirectTarget
+		case registry.CatNormal:
+			switch h.Flavor {
+			case "Phishing":
+				site.Kind = "phishing"
+				site.Cloaking = h.Cloaking
+			case "Portal":
+				site.Kind = "portal"
+			default:
+				site.Kind = "normal"
+			}
+		case registry.CatEmpty:
+			site.Kind = "empty"
+		case registry.CatError:
+			site.Kind = "error"
+		default:
+			continue
+		}
+		srv.SetSite(h.ASCII, site)
+		if h.Port80 {
+			mapper.Open(h.ASCII, 80, srv.HTTPAddr())
+		}
+		if h.Port443 {
+			mapper.Open(h.ASCII, 443, srv.HTTPSAddr())
+		}
+		n++
+	}
+	return n
+}

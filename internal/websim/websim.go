@@ -1,0 +1,240 @@
+// Package websim serves the websites of the simulated homograph
+// population: parked pages, for-sale pages, redirects, normal sites,
+// empty responses, broken servers, and the User-Agent-cloaking
+// phishing site of the paper's Table 11. One HTTP listener and one
+// HTTPS listener (self-signed TLS) are shared by all domains; the
+// Host header selects per-domain behaviour, exactly as name-based
+// virtual hosting does on real parking infrastructure.
+package websim
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site is the behaviour of one simulated domain.
+type Site struct {
+	// Kind selects the page template. Valid kinds: "parked",
+	// "forsale", "redirect", "normal", "empty", "error", "phishing",
+	// "portal".
+	Kind string
+	// RedirectTarget is the registrable domain a "redirect" site
+	// points at.
+	RedirectTarget string
+	// Cloaking makes the site serve benign content to crawlers
+	// (User-Agent containing "bot" or "headless") and the real page
+	// to browsers — the evasion the paper observed on the gmail
+	// phishing homograph.
+	Cloaking bool
+	// Title is injected into normal/portal pages.
+	Title string
+}
+
+// Server hosts the shared HTTP and HTTPS listeners.
+type Server struct {
+	mu    sync.RWMutex
+	sites map[string]Site
+
+	httpLn  net.Listener
+	httpsLn net.Listener
+	httpSrv *http.Server
+	tlsSrv  *http.Server
+}
+
+// NewServer returns an empty server; register sites with SetSite.
+func NewServer() *Server {
+	return &Server{sites: make(map[string]Site)}
+}
+
+// SetSite registers (or replaces) the behaviour of domain.
+func (s *Server) SetSite(domain string, site Site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sites[normalize(domain)] = site
+}
+
+// Site looks up a registered site.
+func (s *Server) Site(domain string) (Site, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	site, ok := s.sites[normalize(domain)]
+	return site, ok
+}
+
+func normalize(domain string) string {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	if host, _, err := net.SplitHostPort(domain); err == nil {
+		return host
+	}
+	return domain
+}
+
+// Start binds both listeners on loopback ephemeral ports.
+func (s *Server) Start() error {
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("websim: http listen: %w", err)
+	}
+	httpsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		httpLn.Close()
+		return fmt.Errorf("websim: https listen: %w", err)
+	}
+	cert, err := selfSigned()
+	if err != nil {
+		httpLn.Close()
+		httpsLn.Close()
+		return err
+	}
+	s.httpLn = httpLn
+	s.httpsLn = httpsLn
+	// Port scanners handshake-and-hangup constantly; discard the
+	// server's per-connection error log so they don't spam output.
+	quiet := log.New(io.Discard, "", 0)
+	s.httpSrv = &http.Server{Handler: http.HandlerFunc(s.handle), ErrorLog: quiet}
+	s.tlsSrv = &http.Server{Handler: http.HandlerFunc(s.handle), ErrorLog: quiet}
+	go s.httpSrv.Serve(httpLn)
+	go s.tlsSrv.Serve(tls.NewListener(httpsLn, &tls.Config{
+		Certificates: []tls.Certificate{cert},
+	}))
+	return nil
+}
+
+// HTTPAddr is the shared plain-HTTP listener address.
+func (s *Server) HTTPAddr() string { return s.httpLn.Addr().String() }
+
+// HTTPSAddr is the shared TLS listener address.
+func (s *Server) HTTPSAddr() string { return s.httpsLn.Addr().String() }
+
+// Close shuts both listeners down.
+func (s *Server) Close() error {
+	var first error
+	for _, srv := range []*http.Server{s.httpSrv, s.tlsSrv} {
+		if srv != nil {
+			if err := srv.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Page markers. The classifier looks for these phrases the way real
+// classifiers look for parking-service boilerplate; they are exported
+// so webclassify does not share private constants with websim.
+const (
+	MarkerParked  = "This domain is parked free, courtesy of the registrar"
+	MarkerForSale = "This premium domain name is for sale"
+	MarkerLogin   = "Enter your password to continue"
+)
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	site, ok := s.Site(r.Host)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	kind := site.Kind
+	if site.Cloaking && kind == "phishing" && isCrawler(r.UserAgent()) {
+		kind = "empty"
+	}
+	switch kind {
+	case "parked":
+		fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1><p>%s.</p><div class=\"ads\">Related searches: insurance, credit, loans</div></body></html>",
+			r.Host, r.Host, MarkerParked)
+	case "forsale":
+		fmt.Fprintf(w, "<html><head><title>%s is for sale</title></head><body><h1>%s</h1><p>%s. Make an offer today!</p></body></html>",
+			r.Host, r.Host, MarkerForSale)
+	case "redirect":
+		target := site.RedirectTarget
+		if !strings.Contains(target, "://") {
+			target = "http://" + target + "/"
+		}
+		http.Redirect(w, r, target, http.StatusFound)
+	case "normal", "portal":
+		title := site.Title
+		if title == "" {
+			title = r.Host
+		}
+		fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1><p>Welcome to %s. Latest rates, news and articles updated daily.</p><a href=\"/about\">About us</a></body></html>",
+			title, title, r.Host)
+	case "phishing":
+		fmt.Fprintf(w, "<html><head><title>Sign in</title></head><body><form method=post action=/login><h1>Sign in</h1><p>%s</p><input name=email><input name=password type=password></form></body></html>",
+			MarkerLogin)
+	case "empty":
+		// 200 with empty body.
+	case "slow":
+		// A hung host: hold the connection open without responding,
+		// long past any sane client timeout. The paper's "Error"
+		// class includes screenshot timeouts.
+		select {
+		case <-r.Context().Done():
+		case <-time.After(30 * time.Second):
+		}
+	case "error":
+		// Simulate a broken host: hijack the connection and slam it
+		// shut so the client sees a protocol error, like the paper's
+		// screenshot timeouts.
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("websim: ResponseWriter does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0) // RST instead of FIN
+			}
+			conn.Close()
+		}
+	default:
+		http.Error(w, "unknown site kind", http.StatusInternalServerError)
+	}
+}
+
+func isCrawler(ua string) bool {
+	ua = strings.ToLower(ua)
+	for _, marker := range []string{"bot", "headless", "spider", "crawl", "preview"} {
+		if strings.Contains(ua, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// selfSigned builds an in-memory ECDSA certificate for the HTTPS
+// listener. Probing clients skip verification, as survey crawlers do
+// when scanning abusive infrastructure.
+func selfSigned() (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("websim: generating key: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "websim.invalid"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IsCA:         true,
+		DNSNames:     []string{"*"},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("websim: creating certificate: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}

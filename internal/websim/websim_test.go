@@ -1,0 +1,155 @@
+package websim
+
+import (
+	"crypto/tls"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// get fetches http://<addr>/ with the given Host header and UA.
+func get(t *testing.T, addr, host, ua string) (*http.Response, string) {
+	t.Helper()
+	client := &http.Client{
+		Timeout: 2 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	req, err := http.NewRequest("GET", "http://"+addr+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = host
+	if ua != "" {
+		req.Header.Set("User-Agent", ua)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s (host %s): %v", addr, host, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, string(body)
+}
+
+func TestParkedPage(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("parked.com", Site{Kind: "parked"})
+	resp, body := get(t, s.HTTPAddr(), "parked.com", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, MarkerParked) {
+		t.Errorf("status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestForSalePage(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("buyme.com", Site{Kind: "forsale"})
+	_, body := get(t, s.HTTPAddr(), "buyme.com", "")
+	if !strings.Contains(body, MarkerForSale) {
+		t.Errorf("body %q", body)
+	}
+}
+
+func TestRedirect(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("redir.com", Site{Kind: "redirect", RedirectTarget: "target.com"})
+	resp, _ := get(t, s.HTTPAddr(), "redir.com", "")
+	if resp.StatusCode != 302 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://target.com/" {
+		t.Errorf("Location = %q", loc)
+	}
+}
+
+func TestEmptyAndUnknownHost(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("empty.com", Site{Kind: "empty"})
+	resp, body := get(t, s.HTTPAddr(), "empty.com", "")
+	if resp.StatusCode != 200 || body != "" {
+		t.Errorf("empty: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, s.HTTPAddr(), "unregistered.com", "")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown host status = %d", resp.StatusCode)
+	}
+}
+
+func TestErrorKindResetsConnection(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("broken.com", Site{Kind: "error"})
+	client := &http.Client{Timeout: 2 * time.Second}
+	req, _ := http.NewRequest("GET", "http://"+s.HTTPAddr()+"/", nil)
+	req.Host = "broken.com"
+	_, err := client.Do(req)
+	if err == nil {
+		t.Error("broken site served a response")
+	}
+}
+
+func TestPhishingCloaking(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("phish.com", Site{Kind: "phishing", Cloaking: true})
+	// A browser UA sees the credential form.
+	_, body := get(t, s.HTTPAddr(), "phish.com", "Mozilla/5.0 (Windows NT 10.0) Safari/537.36")
+	if !strings.Contains(body, MarkerLogin) {
+		t.Errorf("browser body %q", body)
+	}
+	// A crawler UA gets cloaked.
+	_, body = get(t, s.HTTPAddr(), "phish.com", "Googlebot/2.1")
+	if strings.Contains(body, MarkerLogin) {
+		t.Error("crawler saw the phishing form")
+	}
+	// Without cloaking, crawlers see it too.
+	s.SetSite("phish2.com", Site{Kind: "phishing"})
+	_, body = get(t, s.HTTPAddr(), "phish2.com", "Googlebot/2.1")
+	if !strings.Contains(body, MarkerLogin) {
+		t.Error("uncloaked phishing hidden from crawler")
+	}
+}
+
+func TestHTTPSListener(t *testing.T) {
+	s := startServer(t)
+	s.SetSite("secure.com", Site{Kind: "normal", Title: "Secure"})
+	client := &http.Client{
+		Timeout: 2 * time.Second,
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{InsecureSkipVerify: true},
+		},
+	}
+	req, _ := http.NewRequest("GET", "https://"+s.HTTPSAddr()+"/", nil)
+	req.Host = "secure.com"
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "Secure") {
+		t.Errorf("https body %q", body)
+	}
+}
+
+func TestNormalizeHostWithPort(t *testing.T) {
+	s := NewServer()
+	s.SetSite("a.com", Site{Kind: "normal"})
+	if _, ok := s.Site("A.COM:8080"); !ok {
+		t.Error("host:port lookup failed")
+	}
+	if _, ok := s.Site("a.com."); !ok {
+		t.Error("trailing-dot lookup failed")
+	}
+}

@@ -1,0 +1,238 @@
+// Package shamfinder is the public facade of the ShamFinder
+// reproduction: an automated framework for detecting IDN homographs
+// (Suzuki et al., ACM IMC 2019).
+//
+// The framework has two halves. The first builds the homoglyph
+// database: SimChar, computed automatically from a bitmap font by
+// pairwise glyph comparison, united with UC, the Unicode consortium's
+// hand-maintained confusables list restricted to IDNA-permitted code
+// points. The second half is the detector (the paper's Algorithm 1):
+// given reference domain names and a set of registered IDNs, it finds
+// the IDNs that are character-for-character confusable with a
+// reference, pinpointing each substituted character so a countermeasure
+// can explain exactly what was swapped (the paper's Figure 12 warning).
+//
+// Quickstart:
+//
+//	sf, err := shamfinder.New(shamfinder.Config{})
+//	if err != nil { ... }
+//	det := sf.NewDetector([]string{"google", "facebook"})
+//	matches := det.DetectLabel("xn--ggle-55da") // gοοgle
+//	for _, m := range matches {
+//	    fmt.Println(sf.Warn(m).Text())
+//	}
+package shamfinder
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/confusables"
+	"repro/internal/core"
+	"repro/internal/fontgen"
+	"repro/internal/hexfont"
+	"repro/internal/homoglyph"
+	"repro/internal/punycode"
+	"repro/internal/simchar"
+	"repro/internal/ucd"
+)
+
+// Source selects which homoglyph databases the detector consults.
+type Source = homoglyph.Source
+
+// Database sources; the default (SourceBoth) is the paper's UC ∪
+// SimChar configuration.
+const (
+	SourceUC      = homoglyph.SourceUC
+	SourceSimChar = homoglyph.SourceSimChar
+	SourceBoth    = homoglyph.SourceUC | homoglyph.SourceSimChar
+)
+
+// Match is one detected IDN homograph.
+type Match = core.Match
+
+// CharDiff pinpoints one substituted character within a match.
+type CharDiff = core.CharDiff
+
+// Warning is the user-facing countermeasure context of Section 7.2.
+type Warning = core.Warning
+
+// Config controls database construction.
+type Config struct {
+	// FontPath loads a GNU Unifont .hex file from disk. Empty means
+	// the built-in synthetic font (see DESIGN.md §1 for why a
+	// synthetic font preserves the pipeline's behaviour offline).
+	FontPath string
+	// FontScope limits the synthetic font's coverage. FontFull (the
+	// default) covers every generated block; FontFast skips the CJK
+	// and Hangul bulk for quick starts and tests.
+	FontScope FontScope
+	// Threshold is the SimChar pixel-distance cutoff Δ. Zero means
+	// the paper's validated θ=4.
+	Threshold int
+	// MinPixels is the sparse-glyph elimination floor of SimChar
+	// Step III. Zero means the paper's 10.
+	MinPixels int
+	// Sources picks the databases to consult. Zero means SourceBoth.
+	Sources Source
+	// ExtraStyles builds additional synthetic fonts with these style
+	// seeds and merges their SimChar databases into the primary one —
+	// the paper's Section 7.1 multi-font extension. Ignored when
+	// FontPath is set.
+	ExtraStyles []uint64
+}
+
+// FontScope selects synthetic-font coverage.
+type FontScope int
+
+// Font scopes.
+const (
+	FontFull FontScope = iota // every synthetic block (≈42k glyphs)
+	FontFast                  // skip CJK and Hangul (fast tests)
+)
+
+// Framework bundles the built databases, the font they came from, and
+// the build timings.
+type Framework struct {
+	db      *homoglyph.DB
+	font    *hexfont.Font
+	timings simchar.Timings
+}
+
+// New builds the framework per cfg. Building the full synthetic font
+// and scanning it takes a few seconds; reuse the result.
+func New(cfg Config) (*Framework, error) {
+	var font *hexfont.Font
+	switch {
+	case cfg.FontPath != "":
+		f, err := os.Open(cfg.FontPath)
+		if err != nil {
+			return nil, fmt.Errorf("shamfinder: opening font: %w", err)
+		}
+		defer f.Close()
+		font, err = hexfont.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("shamfinder: parsing font: %w", err)
+		}
+	case cfg.FontScope == FontFast:
+		font = fontgen.Generate(fontgen.Options{SkipCJK: true, SkipHangul: true})
+	default:
+		font = fontgen.Full()
+	}
+	return NewFromFont(font, cfg)
+}
+
+// NewFromFont builds the framework over an already-loaded font.
+func NewFromFont(font *hexfont.Font, cfg Config) (*Framework, error) {
+	opt := simchar.Options{Threshold: cfg.Threshold, MinPixels: cfg.MinPixels}
+	idna := ucd.IDNASet()
+	sim, timings := simchar.Build(font, idna, opt)
+	if cfg.FontPath == "" && len(cfg.ExtraStyles) > 0 {
+		dbs := []*simchar.DB{sim}
+		for _, style := range cfg.ExtraStyles {
+			styled := fontgen.Generate(fontgen.Options{
+				SkipCJK:    cfg.FontScope == FontFast,
+				SkipHangul: cfg.FontScope == FontFast,
+				StyleSeed:  style,
+			})
+			db, _ := simchar.Build(styled, idna, opt)
+			dbs = append(dbs, db)
+		}
+		sim = simchar.Merge(dbs...)
+	}
+	uc := confusables.Default()
+	sources := cfg.Sources
+	if sources == 0 {
+		sources = SourceBoth
+	}
+	return &Framework{
+		db:      homoglyph.New(uc, sim, sources),
+		font:    font,
+		timings: timings,
+	}, nil
+}
+
+// DB exposes the underlying homoglyph database for advanced callers
+// (the measurement pipeline in cmd/experiments).
+func (f *Framework) DB() *homoglyph.DB { return f.db }
+
+// Font exposes the glyph source.
+func (f *Framework) Font() *hexfont.Font { return f.font }
+
+// BuildTimings reports how long each SimChar construction stage took
+// (the paper's Table 5).
+func (f *Framework) BuildTimings() simchar.Timings { return f.timings }
+
+// NewDetector builds an Algorithm 1 detector over reference labels
+// (second-level domains with the TLD removed, e.g. "google").
+func (f *Framework) NewDetector(references []string) *Detector {
+	return &Detector{inner: core.NewDetector(f.db, references)}
+}
+
+// Confusable reports whether two characters are homoglyphs under the
+// configured sources, and which database vouches for the pair.
+func (f *Framework) Confusable(a, b rune) (bool, Source) {
+	return f.db.Confusable(a, b)
+}
+
+// Homoglyphs lists the configured databases' homoglyphs of r.
+func (f *Framework) Homoglyphs(r rune) []rune { return f.db.Homoglyphs(r) }
+
+// Revert maps an IDN label back to the plausible original by replacing
+// every homoglyph with its canonical (usually Basic Latin) character —
+// Section 6.4's tracing of targeted originals.
+func (f *Framework) Revert(label string) string { return f.db.Revert(label) }
+
+// Warn builds the Figure 12 warning context for a detected match.
+func (f *Framework) Warn(m Match) Warning { return core.BuildWarning(m) }
+
+// Detector wraps the core detection engine.
+type Detector struct {
+	inner *core.Detector
+}
+
+// DetectLabel checks one IDN label (ACE "xn--..." or Unicode form,
+// TLD removed) against every reference, returning all matches.
+func (d *Detector) DetectLabel(idnLabel string) []Match {
+	return d.inner.DetectLabel(idnLabel)
+}
+
+// Detect scans a batch of IDN labels.
+func (d *Detector) Detect(idnLabels []string) []Match {
+	return d.inner.Detect(idnLabels)
+}
+
+// Revert maps a homograph label to its most plausible original.
+func (d *Detector) Revert(idnLabel string) (string, error) {
+	return d.inner.Revert(idnLabel)
+}
+
+// References returns the reference labels, length-bucketed order.
+func (d *Detector) References() []string { return d.inner.References() }
+
+// ToASCII converts a Unicode domain to its IDNA ACE form.
+func ToASCII(domain string) (string, error) { return punycode.ToASCII(domain) }
+
+// ToUnicode converts an ACE domain to its Unicode form.
+func ToUnicode(domain string) (string, error) { return punycode.ToUnicode(domain) }
+
+// IsIDN reports whether any label of domain carries the "xn--" ACE
+// prefix.
+func IsIDN(domain string) bool { return punycode.IsIDN(domain) }
+
+// ExtractIDNs filters a domain list to the IDNs — the paper's Step 2.
+func ExtractIDNs(domains []string) []string {
+	var out []string
+	for _, d := range domains {
+		if IsIDN(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteSimChar serialises the built SimChar database.
+func (f *Framework) WriteSimChar(w io.Writer) error {
+	return f.db.SimChar().Write(w)
+}

@@ -1,0 +1,211 @@
+package shamfinder
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	fwOnce sync.Once
+	fwVal  *Framework
+	fwErr  error
+)
+
+func framework(t testing.TB) *Framework {
+	t.Helper()
+	fwOnce.Do(func() {
+		fwVal, fwErr = New(Config{FontScope: FontFast})
+	})
+	if fwErr != nil {
+		t.Fatalf("New: %v", fwErr)
+	}
+	return fwVal
+}
+
+func TestNewBuildsDatabases(t *testing.T) {
+	fw := framework(t)
+	if fw.DB() == nil || fw.Font() == nil {
+		t.Fatal("nil internals")
+	}
+	if fw.DB().SimChar().NumPairs() == 0 {
+		t.Error("SimChar is empty")
+	}
+	tm := fw.BuildTimings()
+	if tm.CandidatePairs == 0 {
+		t.Error("no candidate pairs were compared")
+	}
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google", "facebook", "amazon"})
+
+	// Build a homograph with a known twin: Cyrillic о (U+043E) for o.
+	ace, err := ToASCII("gооgle.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := strings.TrimSuffix(ace, ".com")
+	matches := det.DetectLabel(label)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	m := matches[0]
+	if m.Reference != "google" {
+		t.Errorf("reference = %q", m.Reference)
+	}
+	if len(m.Diffs) != 2 {
+		t.Errorf("diffs = %v", m.Diffs)
+	}
+}
+
+func TestDetectCleanLabel(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google"})
+	if matches := det.DetectLabel("xn--bcher-kva"); len(matches) != 0 {
+		t.Errorf("bücher matched google: %v", matches)
+	}
+}
+
+func TestRevert(t *testing.T) {
+	fw := framework(t)
+	got := fw.Revert("gооgle") // Cyrillic о ×2
+	if got != "google" {
+		t.Errorf("Revert = %q", got)
+	}
+}
+
+func TestWarn(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google"})
+	ace, _ := ToASCII("gооgle")
+	matches := det.DetectLabel(ace)
+	if len(matches) == 0 {
+		t.Fatal("no match to warn about")
+	}
+	w := fw.Warn(matches[0])
+	text := w.Text()
+	if !strings.Contains(text, "google") {
+		t.Errorf("warning text lacks original: %q", text)
+	}
+	if !strings.Contains(w.HTML(), "google") {
+		t.Error("warning HTML lacks original")
+	}
+}
+
+func TestConfusableAndHomoglyphs(t *testing.T) {
+	fw := framework(t)
+	ok, src := fw.Confusable('o', 'о') // Latin o vs Cyrillic о
+	if !ok {
+		t.Fatal("known twin not confusable")
+	}
+	if src == 0 {
+		t.Error("no source attributed")
+	}
+	if len(fw.Homoglyphs('o')) == 0 {
+		t.Error("no homoglyphs of o")
+	}
+}
+
+func TestSourceRestriction(t *testing.T) {
+	font := framework(t).Font()
+	ucOnly, err := NewFromFont(font, Config{Sources: SourceUC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := NewFromFont(font, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The union database must know at least as many homoglyphs of
+	// every Latin letter, and strictly more in total (Table 3: 351
+	// SimChar vs 141 UC).
+	totalUC, totalBoth := 0, 0
+	for r := 'a'; r <= 'z'; r++ {
+		nUC, nBoth := len(ucOnly.Homoglyphs(r)), len(both.Homoglyphs(r))
+		if nBoth < nUC {
+			t.Errorf("%c: union %d < UC %d", r, nBoth, nUC)
+		}
+		totalUC += nUC
+		totalBoth += nBoth
+	}
+	if totalBoth <= totalUC {
+		t.Errorf("union homoglyphs %d not above UC-only %d", totalBoth, totalUC)
+	}
+}
+
+func TestExtractIDNs(t *testing.T) {
+	got := ExtractIDNs([]string{"plain.com", "xn--bcher-kva.com", "sub.xn--p1ai"})
+	if len(got) != 2 {
+		t.Errorf("ExtractIDNs = %v", got)
+	}
+	if IsIDN("plain.com") || !IsIDN("xn--bcher-kva.com") {
+		t.Error("IsIDN mismatch")
+	}
+}
+
+func TestPunycodeHelpers(t *testing.T) {
+	ace, err := ToASCII("bücher.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ace != "xn--bcher-kva.com" {
+		t.Errorf("ToASCII = %q", ace)
+	}
+	uni, err := ToUnicode(ace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni != "bücher.com" {
+		t.Errorf("ToUnicode = %q", uni)
+	}
+}
+
+func TestWriteSimChar(t *testing.T) {
+	fw := framework(t)
+	var buf bytes.Buffer
+	if err := fw.WriteSimChar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty SimChar serialisation")
+	}
+}
+
+func TestNewWithBadFontPath(t *testing.T) {
+	if _, err := New(Config{FontPath: "/nonexistent/font.hex"}); err == nil {
+		t.Error("missing font accepted")
+	}
+}
+
+func TestMultiFontStylesGrowDatabase(t *testing.T) {
+	base := framework(t)
+	multi, err := New(Config{FontScope: FontFast, ExtraStyles: []uint64{99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBase := base.DB().SimChar().NumPairs()
+	nMulti := multi.DB().SimChar().NumPairs()
+	if nMulti <= nBase {
+		t.Errorf("multi-font pairs %d not above single-font %d", nMulti, nBase)
+	}
+}
+
+func TestThresholdAffectsPairCount(t *testing.T) {
+	font := framework(t).Font()
+	strict, err := NewFromFont(font, Config{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := NewFromFont(font, Config{Threshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := strict.DB().SimChar().NumPairs()
+	nl := loose.DB().SimChar().NumPairs()
+	if ns >= nl {
+		t.Errorf("θ=1 pairs %d not below θ=6 pairs %d", ns, nl)
+	}
+}
