@@ -213,10 +213,12 @@ func BenchmarkFigure10_Confusability(b *testing.B) {
 }
 
 // BenchmarkDetectionThroughput measures Section 4.2's per-reference
-// scan rate (paper: 0.07 s/reference over 955k IDNs).
+// scan rate (paper: 0.07 s/reference over 955k IDNs) on the indexed,
+// parallel engine.
 func BenchmarkDetectionThroughput(b *testing.B) {
 	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
 	refs := len(det.References())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		det.Detect(labels)
@@ -224,6 +226,109 @@ func BenchmarkDetectionThroughput(b *testing.B) {
 	b.StopTimer()
 	perRef := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(refs)
 	b.ReportMetric(perRef, "ns/reference")
+	b.ReportMetric(float64(len(labels))*float64(b.N)/b.Elapsed().Seconds(), "labels/s")
+}
+
+// BenchmarkDetectionThroughputLinear is the same sweep on the seed
+// linear-scan engine — the "before" side of the tentpole ablation.
+func BenchmarkDetectionThroughputLinear(b *testing.B) {
+	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	refs := len(det.References())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range labels {
+			det.DetectLabelLinear(l)
+		}
+	}
+	b.StopTimer()
+	perRef := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(refs)
+	b.ReportMetric(perRef, "ns/reference")
+	b.ReportMetric(float64(len(labels))*float64(b.N)/b.Elapsed().Seconds(), "labels/s")
+}
+
+// BenchmarkDetection1kRefs pits the indexed engine against the seed
+// linear scan on a 1,000-reference list — the acceptance workload for
+// the candidate-index refactor.
+func BenchmarkDetection1kRefs(b *testing.B) {
+	e := benchSetup(b)
+	reg, err := e.Registry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := core.NewDetector(e.DB(), e.Refs().SLDs(1000))
+	idns := reg.IDNs()
+	labels := make([]string, len(idns))
+	for i, d := range idns {
+		labels[i] = strings.TrimSuffix(d, ".com")
+	}
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Detect(labels)
+		}
+		b.ReportMetric(float64(len(labels))*float64(b.N)/b.Elapsed().Seconds(), "labels/s")
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, l := range labels {
+				det.DetectLabelLinear(l)
+			}
+		}
+		b.ReportMetric(float64(len(labels))*float64(b.N)/b.Elapsed().Seconds(), "labels/s")
+	})
+}
+
+// BenchmarkDetectionStream pushes the IDN corpus through the streaming
+// API — the zone-file entry point with reusable per-worker buffers.
+func BenchmarkDetectionStream(b *testing.B) {
+	det, labels := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := make(chan string, 256)
+		go func() {
+			for _, l := range labels {
+				in <- l
+			}
+			close(in)
+		}()
+		n := 0
+		for range det.DetectStream(in, 0) {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("stream found no matches")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(labels))*float64(b.N)/b.Elapsed().Seconds(), "labels/s")
+}
+
+// BenchmarkDetectLabelMiss measures the steady-state per-label cost of
+// a label that matches nothing — the common case in a zone sweep. The
+// indexed engine rejects in O(label) with O(1) allocations; the seed
+// engine walked (and re-converted) every same-length reference.
+func BenchmarkDetectLabelMiss(b *testing.B) {
+	det, _ := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	const miss = "zzqjvkwx" // ASCII, same length as many refs, no homoglyph path
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := det.DetectLabel(miss); len(m) != 0 {
+				b.Fatal("unexpected match")
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := det.DetectLabelLinear(miss); len(m) != 0 {
+				b.Fatal("unexpected match")
+			}
+		}
+	})
 }
 
 // BenchmarkRevert measures Section 6.4's homograph-to-original

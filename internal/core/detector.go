@@ -3,12 +3,21 @@
 // IDNs, find the IDNs that are homographs of a reference, pinpointing the
 // differential characters so downstream countermeasures (blocklists, the
 // Figure 12 warning UI) can explain exactly which character was substituted.
+//
+// The engine is indexed: instead of scanning every same-length reference
+// per label, NewDetector builds a per-(length, position) posting-list index
+// mapping each rune to the references whose character at that position
+// equals it or is one of its homoglyphs. An incoming label intersects its
+// positions' posting lists to get a small candidate set, which is then
+// verified character-by-character. Labels containing any rune unknown at
+// some position reject in O(label length). The seed linear scan survives
+// as DetectLabelLinear, the parity baseline for tests and ablations.
 package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/homoglyph"
 	"repro/internal/punycode"
@@ -36,18 +45,47 @@ type Match struct {
 	Diffs     []CharDiff
 }
 
-// Detector holds the reference list bucketed by length and the homoglyph
-// database, ready to scan IDNs.
+// refEntry is one indexed reference with its rune decomposition cached,
+// so the hot path never re-runs []rune(ref).
+type refEntry struct {
+	label string
+	runes []rune
+}
+
+// bucket groups the references of one rune length together with their
+// candidate index: index[p][r] lists (ascending) the ids of references
+// whose rune at position p is r or a homoglyph of r.
+type bucket struct {
+	refs  []refEntry
+	index []map[rune][]int32
+}
+
+// scratch holds the per-call working memory DetectLabel reuses across
+// labels, keeping the steady-state path allocation-free except for the
+// matches themselves.
+type scratch struct {
+	runes []rune
+	lists [][]int32
+	cand  []int32
+	next  []int32
+}
+
+// Detector holds the reference list bucketed by length, the candidate
+// index, and the homoglyph database, ready to scan IDNs. A Detector is
+// immutable after construction and safe for concurrent use.
 type Detector struct {
-	db    *homoglyph.DB
-	byLen map[int][]string
-	refs  []string
+	db      *homoglyph.DB
+	byLen   map[int]*bucket
+	refs    []string
+	scratch sync.Pool
 }
 
 // NewDetector builds a detector over reference labels (TLD part removed,
-// ASCII form). Duplicate references are collapsed.
+// ASCII form). Duplicate references are collapsed. Construction compiles
+// the candidate index; reuse the detector across scans.
 func NewDetector(db *homoglyph.DB, references []string) *Detector {
-	d := &Detector{db: db, byLen: make(map[int][]string)}
+	d := &Detector{db: db, byLen: make(map[int]*bucket)}
+	d.scratch.New = func() any { return &scratch{} }
 	seen := make(map[string]bool, len(references))
 	for _, ref := range references {
 		ref = strings.ToLower(strings.TrimSpace(ref))
@@ -56,10 +94,51 @@ func NewDetector(db *homoglyph.DB, references []string) *Detector {
 		}
 		seen[ref] = true
 		d.refs = append(d.refs, ref)
-		n := len([]rune(ref))
-		d.byLen[n] = append(d.byLen[n], ref)
+		runes := []rune(ref)
+		b := d.byLen[len(runes)]
+		if b == nil {
+			b = &bucket{}
+			d.byLen[len(runes)] = b
+		}
+		b.refs = append(b.refs, refEntry{label: ref, runes: runes})
+	}
+	// Reference labels draw from a few dozen distinct runes, so memoize
+	// the partner lookups across buckets instead of re-filtering the
+	// homoglyph span per (reference, position) occurrence.
+	memo := make(map[rune][]rune)
+	homoglyphs := func(c rune) []rune {
+		hs, ok := memo[c]
+		if !ok {
+			hs = db.Homoglyphs(c)
+			memo[c] = hs
+		}
+		return hs
+	}
+	for _, b := range d.byLen {
+		b.buildIndex(homoglyphs)
 	}
 	return d
+}
+
+// buildIndex compiles the per-position posting lists. Reference ids are
+// appended in ascending order, so every posting list is sorted.
+func (b *bucket) buildIndex(homoglyphs func(rune) []rune) {
+	if len(b.refs) == 0 {
+		return
+	}
+	n := len(b.refs[0].runes)
+	b.index = make([]map[rune][]int32, n)
+	for p := range b.index {
+		b.index[p] = make(map[rune][]int32)
+	}
+	for id, ref := range b.refs {
+		for p, c := range ref.runes {
+			b.index[p][c] = append(b.index[p][c], int32(id))
+			for _, h := range homoglyphs(c) {
+				b.index[p][h] = append(b.index[p][h], int32(id))
+			}
+		}
+	}
 }
 
 // References returns the deduplicated reference labels.
@@ -92,20 +171,73 @@ func (d *Detector) matchAgainst(ref []rune, idn []rune) ([]CharDiff, bool) {
 }
 
 // DetectLabel checks one IDN label (ASCII xn-- form, TLD removed) against
-// every same-length reference and returns all matches.
+// the same-length references via the candidate index and returns all
+// matches, in reference insertion order. Safe for concurrent use.
 func (d *Detector) DetectLabel(idnLabel string) []Match {
 	uni, err := punycode.ToUnicodeLabel(idnLabel)
 	if err != nil {
 		return nil
 	}
-	runes := []rune(uni)
+	sc := d.scratch.Get().(*scratch)
+	defer d.scratch.Put(sc)
+
+	runes := sc.runes[:0]
+	for _, r := range uni {
+		runes = append(runes, r)
+	}
+	sc.runes = runes
+
+	b := d.byLen[len(runes)]
+	if b == nil {
+		return nil
+	}
+
+	// Gather each position's posting list, rejecting immediately when a
+	// position has none; seed the intersection with the rarest list.
+	lists := sc.lists[:0]
+	minPos := 0
+	for p, r := range runes {
+		l := b.index[p][r]
+		if len(l) == 0 {
+			sc.lists = lists
+			return nil
+		}
+		lists = append(lists, l)
+		if len(l) < len(lists[minPos]) {
+			minPos = p
+		}
+	}
+	sc.lists = lists
+
+	// cur starts as a read-only view of the rarest posting list; each
+	// intersection writes into the scratch buffer the next round does
+	// not read from, so nothing is ever copied.
+	cur := lists[minPos]
+	bufA, bufB := sc.cand, sc.next
+	for p, l := range lists {
+		if p == minPos {
+			continue
+		}
+		bufA = intersect(cur, l, bufA[:0])
+		cur = bufA
+		bufA, bufB = bufB, bufA
+		if len(cur) == 0 {
+			break
+		}
+	}
+	sc.cand, sc.next = bufA, bufB // keep the grown buffers for reuse
+	if len(cur) == 0 {
+		return nil
+	}
+
 	var out []Match
-	for _, ref := range d.byLen[len(runes)] {
-		if diffs, ok := d.matchAgainst([]rune(ref), runes); ok {
+	for _, id := range cur {
+		ref := &b.refs[id]
+		if diffs, ok := d.matchAgainst(ref.runes, runes); ok {
 			out = append(out, Match{
 				IDN:       idnLabel,
 				Unicode:   uni,
-				Reference: ref,
+				Reference: ref.label,
 				Diffs:     diffs,
 			})
 		}
@@ -113,69 +245,82 @@ func (d *Detector) DetectLabel(idnLabel string) []Match {
 	return out
 }
 
-// Detect scans a set of IDN labels and returns every (IDN, reference)
-// match, sorted by IDN then reference.
-func (d *Detector) Detect(idnLabels []string) []Match {
-	var out []Match
-	for _, idn := range idnLabels {
-		out = append(out, d.DetectLabel(idn)...)
+// intersect writes the sorted intersection of a and b into dst. When one
+// list is far shorter it binary-searches the long one instead of merging,
+// so the cost is O(short·log(long)) — an ASCII position shared by most
+// references never forces a walk over its whole posting list.
+func intersect(a, b []int32, dst []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].IDN != out[j].IDN {
-			return out[i].IDN < out[j].IDN
+	if len(b) > 16*len(a) {
+		lo := 0
+		for _, x := range a {
+			lo += search(b[lo:], x)
+			if lo < len(b) && b[lo] == x {
+				dst = append(dst, x)
+				lo++
+			}
 		}
-		return out[i].Reference < out[j].Reference
-	})
-	return out
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
 }
 
-// DetectedIDNs collapses matches to the distinct set of homograph IDNs —
-// the counting unit of the paper's Table 8.
-func DetectedIDNs(matches []Match) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, m := range matches {
-		if !seen[m.IDN] {
-			seen[m.IDN] = true
-			out = append(out, m.IDN)
+// search returns the first index in the sorted slice s holding a value
+// ≥ x, or len(s).
+func search(s []int32, x int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	sort.Strings(out)
-	return out
+	return lo
 }
 
-// TargetHistogram counts matches per reference — Table 9's "top targeted
-// domains".
-func TargetHistogram(matches []Match) map[string]int {
-	h := map[string]int{}
-	byIDN := map[string]map[string]bool{}
-	for _, m := range matches {
-		if byIDN[m.Reference] == nil {
-			byIDN[m.Reference] = map[string]bool{}
-		}
-		byIDN[m.Reference][m.IDN] = true
-	}
-	for ref, idns := range byIDN {
-		h[ref] = len(idns)
-	}
-	return h
-}
-
-// Revert maps a (possibly undetected) IDN label back to its most plausible
-// original domain label — Section 6.4's countermeasure for homographs of
-// unpopular domains. If the label is a homograph of a known reference,
-// the reference wins (this resolves direction-ambiguous pairs such as
-// CJK 工 vs Katakana エ); otherwise every character is canonicalized
-// independently.
-func (d *Detector) Revert(idnLabel string) (string, error) {
-	if matches := d.DetectLabel(idnLabel); len(matches) > 0 {
-		return matches[0].Reference, nil
-	}
+// DetectLabelLinear is the seed engine: a linear scan over every
+// same-length reference. It is retained as the correctness baseline the
+// indexed path is property-tested against, and as the "before" side of
+// the throughput ablation.
+func (d *Detector) DetectLabelLinear(idnLabel string) []Match {
 	uni, err := punycode.ToUnicodeLabel(idnLabel)
 	if err != nil {
-		return "", err
+		return nil
 	}
-	return d.db.Revert(uni), nil
+	runes := []rune(uni)
+	b := d.byLen[len(runes)]
+	if b == nil {
+		return nil
+	}
+	var out []Match
+	for i := range b.refs {
+		if diffs, ok := d.matchAgainst(b.refs[i].runes, runes); ok {
+			out = append(out, Match{
+				IDN:       idnLabel,
+				Unicode:   uni,
+				Reference: b.refs[i].label,
+				Diffs:     diffs,
+			})
+		}
+	}
+	return out
 }
 
 // DB exposes the detector's homoglyph database.

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"runtime"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/punycode"
+)
+
+// compareMatch orders matches by IDN, then reference — the deterministic
+// output order every batch API guarantees regardless of worker count.
+func compareMatch(a, b Match) int {
+	if c := strings.Compare(a.IDN, b.IDN); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Reference, b.Reference)
+}
+
+// Detect scans a set of IDN labels across GOMAXPROCS workers and returns
+// every (IDN, reference) match, sorted by IDN then reference.
+func (d *Detector) Detect(idnLabels []string) []Match {
+	return d.DetectParallel(idnLabels, 0)
+}
+
+// DetectParallel is Detect with an explicit worker count (≤ 0 means
+// GOMAXPROCS). The result is deterministic: workers accumulate private
+// match slices which are concatenated and sorted exactly once.
+func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idnLabels) {
+		workers = len(idnLabels)
+	}
+	var out []Match
+	if workers <= 1 {
+		for _, idn := range idnLabels {
+			out = append(out, d.DetectLabel(idn)...)
+		}
+	} else {
+		parts := make([][]Match, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var local []Match
+				for i := w; i < len(idnLabels); i += workers {
+					local = append(local, d.DetectLabel(idnLabels[i])...)
+				}
+				parts[w] = local
+			}(w)
+		}
+		wg.Wait()
+		n := 0
+		for _, p := range parts {
+			n += len(p)
+		}
+		out = make([]Match, 0, n)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+	}
+	slices.SortFunc(out, compareMatch)
+	return out
+}
+
+// DetectStream scans labels arriving on in across workers (≤ 0 means
+// GOMAXPROCS) and sends every match on the returned channel, which is
+// closed once in is drained. Workers reuse the detector's per-call
+// buffers, so steady-state allocation is O(matches); match order across
+// labels is not deterministic — stream consumers that need the batch
+// ordering should sort with SortMatches.
+func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(chan Match, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idn := range in {
+				for _, m := range d.DetectLabel(idn) {
+					out <- m
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// SortMatches sorts matches into the deterministic batch order (IDN,
+// then reference), e.g. after collecting a DetectStream.
+func SortMatches(matches []Match) {
+	slices.SortFunc(matches, compareMatch)
+}
+
+// DetectedIDNs collapses matches to the distinct set of homograph IDNs —
+// the counting unit of the paper's Table 8.
+func DetectedIDNs(matches []Match) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range matches {
+		if !seen[m.IDN] {
+			seen[m.IDN] = true
+			out = append(out, m.IDN)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TargetHistogram counts matches per reference — Table 9's "top targeted
+// domains".
+func TargetHistogram(matches []Match) map[string]int {
+	h := map[string]int{}
+	byIDN := map[string]map[string]bool{}
+	for _, m := range matches {
+		if byIDN[m.Reference] == nil {
+			byIDN[m.Reference] = map[string]bool{}
+		}
+		byIDN[m.Reference][m.IDN] = true
+	}
+	for ref, idns := range byIDN {
+		h[ref] = len(idns)
+	}
+	return h
+}
+
+// Revert maps a (possibly undetected) IDN label back to its most plausible
+// original domain label — Section 6.4's countermeasure for homographs of
+// unpopular domains. If the label is a homograph of a known reference,
+// the reference wins (this resolves direction-ambiguous pairs such as
+// CJK 工 vs Katakana エ); otherwise every character is canonicalized
+// independently.
+func (d *Detector) Revert(idnLabel string) (string, error) {
+	if matches := d.DetectLabel(idnLabel); len(matches) > 0 {
+		return matches[0].Reference, nil
+	}
+	uni, err := punycode.ToUnicodeLabel(idnLabel)
+	if err != nil {
+		return "", err
+	}
+	return d.db.Revert(uni), nil
+}

@@ -81,9 +81,11 @@ type DetectionResult struct {
 	SimDomains   []string
 	UnionDomains []string
 
-	Elapsed time.Duration // union run wall-clock
-	IDNs    int           // scanned IDN count
-	Refs    int
+	Elapsed       time.Duration // union batch run wall-clock (indexed, parallel)
+	StreamElapsed time.Duration // union run through DetectStream
+	LinearElapsed time.Duration // union run through the seed linear engine
+	IDNs          int           // scanned IDN count
+	Refs          int
 }
 
 var detectionCache = struct {
@@ -109,19 +111,46 @@ func Detect(e *Env) (*DetectionResult, error) {
 		labels[i] = strings.TrimSuffix(d, ".com")
 	}
 
-	run := func(src homoglyph.Source) ([]core.Match, time.Duration) {
+	run := func(src homoglyph.Source) (*core.Detector, []core.Match, time.Duration) {
 		det := core.NewDetector(e.DB().WithSources(src), refs)
 		start := time.Now()
 		matches := det.Detect(labels)
-		return matches, time.Since(start)
+		return det, matches, time.Since(start)
 	}
 	res := &DetectionResult{IDNs: len(labels), Refs: len(refs)}
-	res.UC, _ = run(homoglyph.SourceUC)
-	res.Sim, _ = run(homoglyph.SourceSimChar)
-	res.Union, res.Elapsed = run(homoglyph.SourceUC | homoglyph.SourceSimChar)
+	var det *core.Detector
+	_, res.UC, _ = run(homoglyph.SourceUC)
+	_, res.Sim, _ = run(homoglyph.SourceSimChar)
+	det, res.Union, res.Elapsed = run(homoglyph.SourceUC | homoglyph.SourceSimChar)
 	res.UCDomains = withCom(core.DetectedIDNs(res.UC))
 	res.SimDomains = withCom(core.DetectedIDNs(res.Sim))
 	res.UnionDomains = withCom(core.DetectedIDNs(res.Union))
+
+	// Time the two alternative union-engine paths for Section 4.2 on the
+	// union detector just built: the zone-scale streaming API and the
+	// seed linear scan it replaced.
+	start := time.Now()
+	in := make(chan string, 256)
+	go func() {
+		for _, l := range labels {
+			in <- l
+		}
+		close(in)
+	}()
+	streamed := 0
+	for range det.DetectStream(in, 0) {
+		streamed++
+	}
+	res.StreamElapsed = time.Since(start)
+	if streamed != len(res.Union) {
+		return nil, fmt.Errorf("experiments: stream produced %d matches, batch %d", streamed, len(res.Union))
+	}
+	start = time.Now()
+	for _, l := range labels {
+		det.DetectLabelLinear(l)
+	}
+	res.LinearElapsed = time.Since(start)
+
 	detectionCache.env, detectionCache.res = e, res
 	return res, nil
 }
@@ -216,7 +245,11 @@ func Throughput(e *Env) (*report.Experiment, error) {
 	exp.Addf("total sweep", "743.6 s (141M domains, 955k IDNs)", "%.3f s (%d IDNs)",
 		res.Elapsed.Seconds(), res.IDNs)
 	exp.Addf("per reference domain", "0.07 s", "%.6f s", perRef)
-	exp.Commentary = "Fast enough to screen a newly observed IDN in real time, the paper's requirement for a blocking countermeasure."
+	exp.Addf("streaming sweep (DetectStream)", "n/a", "%.3f s (%.0f labels/s)",
+		res.StreamElapsed.Seconds(), float64(res.IDNs)/res.StreamElapsed.Seconds())
+	exp.Addf("seed linear engine", "n/a", "%.3f s (%.1f× slower than indexed)",
+		res.LinearElapsed.Seconds(), res.LinearElapsed.Seconds()/res.Elapsed.Seconds())
+	exp.Commentary = "Fast enough to screen a newly observed IDN in real time, the paper's requirement for a blocking countermeasure. The indexed engine intersects per-position candidate lists instead of scanning every same-length reference, so the sweep scales with matches rather than with the reference-list size."
 	return exp, nil
 }
 

@@ -2,6 +2,14 @@
 // framework queries during detection: the union of the UC confusables
 // database and the automatically built SimChar database (paper Figure 2).
 // It also implements the homograph→original reversion of Section 6.4.
+//
+// The union is compiled once, at New() time, into an immutable flattened
+// index: one sorted partner array per character with a per-partner source
+// mask, plus precomputed canonicalization data. Queries never walk the
+// component databases — Confusable is a map probe plus one binary search,
+// and Homoglyphs returns a filtered copy of the precompiled partner list
+// instead of re-scanning every UC source. Source-restricted views
+// (WithSources) share the same index and filter by mask at query time.
 package homoglyph
 
 import (
@@ -38,95 +46,192 @@ func (s Source) String() string {
 	}
 }
 
+// span is one character's slice of the flattened partner arrays plus its
+// precomputed canonicalization targets (zero = none).
+type span struct {
+	start, end int32
+	ucSkel     rune // UC skeleton, when it differs from the rune itself
+	simASCII   rune // smallest ASCII SimChar partner
+	simLow     rune // smallest SimChar partner overall
+}
+
+// index is the immutable compiled union, shared by every WithSources view.
+type index struct {
+	spans    map[rune]span
+	partners []rune   // concatenated sorted partner lists
+	masks    []Source // parallel to partners
+}
+
 // DB is the unified homoglyph database.
 type DB struct {
 	uc  *confusables.DB
 	sim *simchar.DB
 	use Source
+	idx *index
 }
 
 // New builds a database from the available components; either may be nil.
 // The use mask restricts which components answer queries, letting the
 // evaluation compare UC-only (the prior work of Quinkert et al.) against
-// SimChar and the union (paper Tables 8 and 14).
+// SimChar and the union (paper Tables 8 and 14). The component union is
+// compiled into the flattened index here, once; WithSources views reuse it.
 func New(uc *confusables.DB, sim *simchar.DB, use Source) *DB {
 	if use == SourceNone {
 		use = SourceUC | SourceSimChar
 	}
-	return &DB{uc: uc, sim: sim, use: use}
+	return &DB{uc: uc, sim: sim, use: use, idx: compile(uc, sim)}
 }
 
 // WithSources returns a view of the same database restricted to the mask.
 func (db *DB) WithSources(use Source) *DB {
-	return &DB{uc: db.uc, sim: db.sim, use: use}
+	return &DB{uc: db.uc, sim: db.sim, use: use, idx: db.idx}
+}
+
+// compile flattens the UC ∪ SimChar union. UC confusability is skeleton
+// equality (a ~ b iff skeleton(a) == skeleton(b)), so each skeleton class
+// — the sources resolving to a prototype, plus the prototype itself —
+// forms a clique of partners. SimChar pairs are symmetric already.
+func compile(uc *confusables.DB, sim *simchar.DB) *index {
+	adj := make(map[rune]map[rune]Source)
+	link := func(a, b rune, src Source) {
+		m := adj[a]
+		if m == nil {
+			m = make(map[rune]Source)
+			adj[a] = m
+		}
+		m[b] |= src
+	}
+
+	if sim != nil {
+		for _, r := range sim.Chars().Runes() {
+			for _, h := range sim.Homoglyphs(r) {
+				link(r, h, SourceSimChar)
+			}
+		}
+	}
+	if uc != nil {
+		classes := make(map[rune][]rune)
+		for _, s := range uc.Sources() {
+			if sk := uc.SkeletonRune(s); sk != s {
+				classes[sk] = append(classes[sk], s)
+			}
+		}
+		for sk, members := range classes {
+			members = append(members, sk)
+			for _, a := range members {
+				for _, b := range members {
+					if a != b {
+						link(a, b, SourceUC)
+					}
+				}
+			}
+		}
+	}
+
+	idx := &index{spans: make(map[rune]span, len(adj))}
+	for r, m := range adj {
+		sp := span{start: int32(len(idx.partners))}
+		ps := make([]rune, 0, len(m))
+		for p := range m {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		for _, p := range ps {
+			idx.partners = append(idx.partners, p)
+			idx.masks = append(idx.masks, m[p])
+		}
+		sp.end = int32(len(idx.partners))
+		if uc != nil {
+			if sk := uc.SkeletonRune(r); sk != r {
+				sp.ucSkel = sk
+			}
+		}
+		if sim != nil {
+			if hs := sim.Homoglyphs(r); len(hs) > 0 {
+				sp.simLow = hs[0]
+				for _, h := range hs {
+					if h < 0x80 {
+						sp.simASCII = h
+						break
+					}
+				}
+			}
+		}
+		idx.spans[r] = sp
+	}
+	return idx
 }
 
 // Confusable reports whether a and b are listed as a homoglyph pair, and
-// by which component.
+// by which component: one span probe and one binary search over the
+// flattened partner array.
 func (db *DB) Confusable(a, b rune) (bool, Source) {
 	if a == b {
 		return true, db.use
 	}
-	var src Source
-	if db.use&SourceUC != 0 && db.uc != nil && db.uc.Confusable(a, b) {
-		src |= SourceUC
+	sp, ok := db.idx.spans[a]
+	if !ok {
+		return false, SourceNone
 	}
-	if db.use&SourceSimChar != 0 && db.sim != nil && db.sim.Confusable(a, b) {
-		src |= SourceSimChar
+	lo, hi := sp.start, sp.end
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch p := db.idx.partners[mid]; {
+		case p < b:
+			lo = mid + 1
+		case p > b:
+			hi = mid
+		default:
+			if src := db.idx.masks[mid] & db.use; src != 0 {
+				return true, src
+			}
+			return false, SourceNone
+		}
 	}
-	return src != 0, src
+	return false, SourceNone
 }
 
-// Homoglyphs returns every character listed as confusable with r, sorted.
+// Homoglyphs returns every character listed as confusable with r under
+// the view's sources, sorted ascending. The result is exactly the set of
+// x ≠ r for which Confusable(r, x) holds.
 func (db *DB) Homoglyphs(r rune) []rune {
-	set := map[rune]bool{}
-	if db.use&SourceSimChar != 0 && db.sim != nil {
-		for _, h := range db.sim.Homoglyphs(r) {
-			set[h] = true
+	sp, ok := db.idx.spans[r]
+	if !ok {
+		return nil
+	}
+	out := make([]rune, 0, sp.end-sp.start)
+	for i := sp.start; i < sp.end; i++ {
+		if db.idx.masks[i]&db.use != 0 {
+			out = append(out, db.idx.partners[i])
 		}
 	}
-	if db.use&SourceUC != 0 && db.uc != nil {
-		// UC is directed (source → prototype); collect both directions.
-		for _, src := range db.uc.Sources() {
-			if db.uc.Confusable(src, r) && src != r {
-				set[src] = true
-			}
-		}
-		if tgt, ok := db.uc.Lookup(r); ok && len(tgt) == 1 && tgt[0] != r {
-			set[tgt[0]] = true
-		}
-	}
-	out := make([]rune, 0, len(set))
-	for h := range set {
-		out = append(out, h)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Canonical maps r to its most plausible original character: the UC
 // skeleton if listed, otherwise the smallest ASCII partner in SimChar,
 // otherwise r itself. This drives the Section 6.4 reversion and the
-// Figure 12 warning UI ("Lao Digit Zero → Latin Small Letter O").
+// Figure 12 warning UI ("Lao Digit Zero → Latin Small Letter O"). All
+// candidates are precomputed at New() time, so this is O(1).
 func (db *DB) Canonical(r rune) rune {
 	if r < 0x80 {
 		return r
 	}
-	if db.use&SourceUC != 0 && db.uc != nil {
-		if s := db.uc.SkeletonRune(r); s != r {
-			return s
-		}
+	sp, ok := db.idx.spans[r]
+	if !ok {
+		return r
 	}
-	if db.use&SourceSimChar != 0 && db.sim != nil {
-		for _, h := range db.sim.Homoglyphs(r) {
-			if h < 0x80 {
-				return h
-			}
+	if db.use&SourceUC != 0 && sp.ucSkel != 0 {
+		return sp.ucSkel
+	}
+	if db.use&SourceSimChar != 0 {
+		if sp.simASCII != 0 {
+			return sp.simASCII
 		}
 		// No ASCII partner: fall back to the smallest partner so chains
 		// (e.g. Hangul tail twins) still canonicalize deterministically.
-		if hs := db.sim.Homoglyphs(r); len(hs) > 0 && hs[0] < r {
-			return hs[0]
+		if sp.simLow != 0 && sp.simLow < r {
+			return sp.simLow
 		}
 	}
 	return r

@@ -182,7 +182,21 @@ func naiveScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, o
 // one group is bit-identical, so hashing each group and comparing only
 // within hash buckets finds every qualifying pair while skipping almost all
 // of the n² comparisons.
+//
+// A pair can collide in several bands; exactly one bucket must own the
+// comparison. Ownership is structural — the first band in which the two
+// images share a key owns the pair — so workers dedup with a handful of
+// uint64 compares against precomputed keys instead of serializing on a
+// shared seen-map.
 func bandedScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, opt Options) ([]Pair, int) {
+	keys := make([][bitmap.Bands]uint64, len(images))
+	parallelFor(len(keep), opt.Workers, func(ki int) {
+		i := keep[ki]
+		for b := 0; b < bitmap.Bands; b++ {
+			keys[i][b] = images[i].BandKey(b)
+		}
+	})
+
 	type bucketKey struct {
 		band int
 		key  uint64
@@ -190,37 +204,35 @@ func bandedScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, 
 	buckets := make(map[bucketKey][]int, len(keep)*2)
 	for _, i := range keep {
 		for b := 0; b < bitmap.Bands; b++ {
-			k := bucketKey{b, images[i].BandKey(b)}
+			k := bucketKey{b, keys[i][b]}
 			buckets[k] = append(buckets[k], i)
 		}
 	}
-	bucketList := make([][]int, 0, len(buckets))
-	for _, members := range buckets {
+	type bandBucket struct {
+		band    int
+		members []int
+	}
+	bucketList := make([]bandBucket, 0, len(buckets))
+	for k, members := range buckets {
 		if len(members) > 1 {
-			bucketList = append(bucketList, members)
+			bucketList = append(bucketList, bandBucket{k.band, members})
 		}
 	}
-	type edge struct{ i, j int }
-	seenMu := sync.Mutex{}
-	seen := make(map[edge]struct{})
-	var pairsMu sync.Mutex
-	var pairs []Pair
-	cands := 0
-	var candsMu sync.Mutex
 
-	var wg sync.WaitGroup
-	work := make(chan []int, len(bucketList))
-	for _, b := range bucketList {
-		work <- b
+	type result struct {
+		pairs []Pair
+		cands int
 	}
-	close(work)
+	results := make([]result, opt.Workers)
+	var wg sync.WaitGroup
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			var local []Pair
 			localCands := 0
-			for members := range work {
+			for bi := w; bi < len(bucketList); bi += opt.Workers {
+				band, members := bucketList[bi].band, bucketList[bi].members
 				for x := 0; x < len(members); x++ {
 					i := members[x]
 					for y := x + 1; y < len(members); y++ {
@@ -230,17 +242,9 @@ func bandedScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, 
 								continue
 							}
 						}
-						a, b := i, j
-						if a > b {
-							a, b = b, a
+						if firstSharedBand(&keys[i], &keys[j]) != band {
+							continue // an earlier band's bucket owns this pair
 						}
-						seenMu.Lock()
-						if _, dup := seen[edge{a, b}]; dup {
-							seenMu.Unlock()
-							continue
-						}
-						seen[edge{a, b}] = struct{}{}
-						seenMu.Unlock()
 						localCands++
 						if d := bitmap.DeltaCapped(images[i], images[j], opt.Threshold); d <= opt.Threshold {
 							local = append(local, orderedPair(runes[i], runes[j], d))
@@ -248,16 +252,28 @@ func bandedScan(runes []rune, images []*bitmap.Image, pixels []int, keep []int, 
 					}
 				}
 			}
-			pairsMu.Lock()
-			pairs = append(pairs, local...)
-			pairsMu.Unlock()
-			candsMu.Lock()
-			cands += localCands
-			candsMu.Unlock()
-		}()
+			results[w] = result{local, localCands}
+		}(w)
 	}
 	wg.Wait()
+	var pairs []Pair
+	cands := 0
+	for _, r := range results {
+		pairs = append(pairs, r.pairs...)
+		cands += r.cands
+	}
 	return pairs, cands
+}
+
+// firstSharedBand returns the lowest band index in which the two key
+// vectors agree, or Bands if they never do.
+func firstSharedBand(a, b *[bitmap.Bands]uint64) int {
+	for band := 0; band < bitmap.Bands; band++ {
+		if a[band] == b[band] {
+			return band
+		}
+	}
+	return bitmap.Bands
 }
 
 func orderedPair(a, b rune, d int) Pair {

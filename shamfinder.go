@@ -193,15 +193,37 @@ type Detector struct {
 }
 
 // DetectLabel checks one IDN label (ACE "xn--..." or Unicode form,
-// TLD removed) against every reference, returning all matches.
+// TLD removed) against every reference, returning all matches. The
+// check runs over the candidate index, so cost scales with the match
+// candidates, not the reference-list size. Safe for concurrent use.
 func (d *Detector) DetectLabel(idnLabel string) []Match {
 	return d.inner.DetectLabel(idnLabel)
 }
 
-// Detect scans a batch of IDN labels.
+// Detect scans a batch of IDN labels across GOMAXPROCS workers,
+// returning matches sorted by (IDN, reference).
 func (d *Detector) Detect(idnLabels []string) []Match {
 	return d.inner.Detect(idnLabels)
 }
+
+// DetectParallel is Detect with an explicit worker count (≤ 0 means
+// GOMAXPROCS). Output is deterministic regardless of worker count.
+func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
+	return d.inner.DetectParallel(idnLabels, workers)
+}
+
+// DetectStream scans labels arriving on in across workers (≤ 0 means
+// GOMAXPROCS), sending matches on the returned channel until in is
+// drained — the zone-scale entry point: per-worker buffers are reused,
+// so steady-state allocation is O(matches). Cross-label match order is
+// not deterministic; use SortMatches for the batch ordering.
+func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
+	return d.inner.DetectStream(in, workers)
+}
+
+// SortMatches sorts matches into the deterministic batch order (IDN,
+// then reference), e.g. after collecting a DetectStream.
+func SortMatches(matches []Match) { core.SortMatches(matches) }
 
 // Revert maps a homograph label to its most plausible original.
 func (d *Detector) Revert(idnLabel string) (string, error) {
