@@ -12,6 +12,7 @@
 package shamfinder
 
 import (
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -19,7 +20,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/homoglyph"
+	"repro/internal/punycode"
 	"repro/internal/simchar"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
 	"repro/internal/ucd"
 )
 
@@ -490,6 +494,169 @@ func BenchmarkAblationRasterization(b *testing.B) {
 	b.Run("magnified", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			g.RasterizeScaled()
+		}
+	})
+}
+
+// --- PR 2: cold start and ingestion benches ---
+
+// BenchmarkColdStart compares the ways a process can obtain a ready
+// engine: rebuilding the font + SimChar + UC pipeline from scratch
+// (what every seed-era process paid — "build" is the full-font pipeline
+// a production snapshot replaces, "build-fastfont" the CJK/Hangul-free
+// variant) versus loading the compiled snapshot file. The acceptance
+// bar for the snapshot subsystem is load ≥ 10× faster than the build it
+// replaces.
+func BenchmarkColdStart(b *testing.B) {
+	refs := benchSetup(b).Refs().SLDs(10000)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fw, err := New(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fw.NewDetector(refs) == nil {
+				b.Fatal("nil detector")
+			}
+		}
+	})
+	b.Run("build-fastfont", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fw, err := New(Config{FontScope: FontFast})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fw.NewDetector(refs) == nil {
+				b.Fatal("nil detector")
+			}
+		}
+	})
+	fw, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/coldstart.snap"
+	if err := fw.SaveSnapshot(path, fw.NewDetector(refs)); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("snapshot", func(b *testing.B) {
+		b.SetBytes(st.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, det, err := LoadSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if det == nil {
+				b.Fatal("no embedded detector")
+			}
+		}
+	})
+}
+
+// benchZoneLines builds a deterministic synthetic zone slice: mostly
+// plain (non-IDN) lines, the rest decodable ACE labels that miss every
+// reference — the steady-state composition of a TLD zone sweep. Every
+// line is pre-verified to miss so the benchmark isolates the miss path.
+func benchZoneLines(b *testing.B, det *core.Detector, n int) [][]byte {
+	b.Helper()
+	rng := stats.NewRNG(0x20e)
+	cyr := []rune("бвгджзклмнптфцчшщыэюя") // no Latin twins in the DB
+	lines := make([][]byte, 0, n)
+	for len(lines) < n {
+		var line string
+		if rng.Intn(10) < 7 {
+			bs := make([]byte, 5+rng.Intn(12))
+			for i := range bs {
+				bs[i] = byte('a' + rng.Intn(26))
+			}
+			line = string(bs) + ".com"
+		} else {
+			rs := make([]rune, 4+rng.Intn(8))
+			for i := range rs {
+				rs[i] = cyr[rng.Intn(len(cyr))]
+			}
+			a, err := punycode.ToASCIILabel(string(rs))
+			if err != nil {
+				continue
+			}
+			line = a + ".com"
+		}
+		buf := []byte(line)
+		if label, ok := NormalizeZoneLine(append([]byte(nil), buf...)); ok {
+			if ms := det.DetectLabelBytes(label); len(ms) != 0 {
+				continue // exceedingly unlikely; keep the bench a pure miss path
+			}
+		}
+		lines = append(lines, buf)
+	}
+	return lines
+}
+
+// BenchmarkIngestion measures the detect feeder path — raw zone line to
+// normalized label to verdict, including punycode decode for ACE labels
+// — on the miss path. The pooled variant must run at 0 allocs/op (CI
+// watches the -benchmem column); the seed variant reproduces the
+// Text/TrimSpace/ToLower/TrimSuffix per-line allocations the rewrite
+// removed.
+func BenchmarkIngestion(b *testing.B) {
+	det, _ := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
+	lines := benchZoneLines(b, det, 4096)
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, line := range lines {
+				label, ok := NormalizeZoneLine(line)
+				if !ok {
+					continue
+				}
+				if ms := det.DetectLabelBytes(label); len(ms) != 0 {
+					b.Fatal("unexpected match")
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(lines)), "ns/line")
+	})
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, line := range lines {
+				domain := strings.TrimSpace(string(line)) // Scanner.Text() copy
+				if domain == "" || !IsIDN(domain) {
+					continue
+				}
+				label := strings.TrimSuffix(strings.ToLower(domain), ".com")
+				if ms := det.DetectLabel(label); len(ms) != 0 {
+					b.Fatal("unexpected match")
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(lines)), "ns/line")
+	})
+}
+
+// BenchmarkSnapshotCodec isolates Marshal/Unmarshal throughput for the
+// full artifact (database + 10k-reference detector).
+func BenchmarkSnapshotCodec(b *testing.B) {
+	e := benchSetup(b)
+	det := core.NewDetector(e.DB(), e.Refs().SLDs(10000))
+	data := snapshot.Marshal(e.DB(), det)
+	b.Run("marshal", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			snapshot.Marshal(e.DB(), det)
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snapshot.Unmarshal(data); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

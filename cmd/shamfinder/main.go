@@ -1,17 +1,25 @@
 // Command shamfinder is the framework's CLI: detect IDN homographs in
 // a domain list, explain a single suspicious domain, revert a
-// homograph to its plausible original, or dump homoglyphs of a
-// character.
+// homograph to its plausible original, dump homoglyphs of a
+// character, or compile the built databases into a binary snapshot so
+// later runs cold-start in milliseconds instead of rebuilding the
+// font + SimChar + UC pipeline.
 //
 // Usage:
 //
+//	shamfinder compile -o shamfinder.snap [-refs refs.txt] [-db uc|simchar|both]
 //	shamfinder detect -refs refs.txt [-domains zone.txt] [-db uc|simchar|both] [-workers N]
+//	shamfinder detect -snapshot shamfinder.snap [-domains zone.txt]
 //	shamfinder explain -refs refs.txt xn--ggle-55da.com
 //	shamfinder revert xn--ggle-55da.com
 //	shamfinder glyphs o
 //
 // refs.txt holds one reference domain per line (Alexa-style "rank,domain"
 // CSV also accepted); the domain list is read from -domains or stdin.
+// Detected domains are echoed in normalized form (lowercased, trailing
+// ".com" stripped): the feeder lowercases lines in place and retains
+// nothing per line, which is what keeps ingestion allocation-free at
+// zone scale.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"repro"
 	"repro/internal/ranking"
@@ -34,6 +43,8 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
+	case "compile":
+		err = cmdCompile(args)
 	case "detect":
 		err = cmdDetect(args)
 	case "explain":
@@ -54,10 +65,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  shamfinder detect  -refs FILE [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N]
-  shamfinder explain -refs FILE [-fastfont] DOMAIN
-  shamfinder revert  [-fastfont] DOMAIN
-  shamfinder glyphs  [-fastfont] CHAR`)
+  shamfinder compile -o FILE [-refs FILE] [-db uc|simchar|both] [-fastfont]
+  shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N]
+  shamfinder explain {-refs FILE | -snapshot FILE} [-fastfont] DOMAIN
+  shamfinder revert  [-snapshot FILE] [-fastfont] DOMAIN
+  shamfinder glyphs  [-snapshot FILE] [-fastfont] CHAR`)
 }
 
 func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
@@ -78,18 +90,73 @@ func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
 	return shamfinder.New(cfg)
 }
 
+// loadEngine resolves the framework and detector from a snapshot file
+// (milliseconds) or a fresh build (seconds). With -snapshot, an
+// explicit -refs overrides any embedded detector; -db is baked into the
+// snapshot at compile time and the flag is ignored.
+func loadEngine(snapPath, refsPath string, fast bool, db string, needDetector bool) (*shamfinder.Framework, *shamfinder.Detector, error) {
+	if snapPath != "" {
+		fw, det, err := shamfinder.LoadSnapshot(snapPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading snapshot %s: %w", snapPath, err)
+		}
+		if refsPath != "" {
+			refs, err := loadRefs(refsPath)
+			if err != nil {
+				return nil, nil, fmt.Errorf("loading refs: %w", err)
+			}
+			det = fw.NewDetector(refs)
+		}
+		if needDetector && det == nil {
+			return nil, nil, fmt.Errorf("snapshot %s embeds no detector; pass -refs or recompile with -refs", snapPath)
+		}
+		return fw, det, nil
+	}
+	if needDetector && refsPath == "" {
+		return nil, nil, fmt.Errorf("need -refs FILE or -snapshot FILE")
+	}
+	fw, err := newFramework(fast, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	var det *shamfinder.Detector
+	if refsPath != "" {
+		refs, err := loadRefs(refsPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading refs: %w", err)
+		}
+		det = fw.NewDetector(refs)
+	}
+	return fw, det, nil
+}
+
 // loadRefs reads reference labels from a plain list or rank CSV,
-// stripping ".com" TLDs.
+// stripping ".com" TLDs. Only the first non-blank line is sniffed for
+// the CSV comma: a plain domain list whose 512-byte head happens to
+// contain a comma further down must not be misrouted to the CSV
+// parser, and read/seek errors are reported instead of ignored.
 func loadRefs(path string) ([]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	head := make([]byte, 512)
-	n, _ := f.Read(head)
-	f.Seek(0, io.SeekStart)
-	if strings.Contains(string(head[:n]), ",") {
+	sniff := bufio.NewScanner(f)
+	sniff.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	isCSV := false
+	for sniff.Scan() {
+		if line := strings.TrimSpace(sniff.Text()); line != "" {
+			isCSV = strings.Contains(line, ",")
+			break
+		}
+	}
+	if err := sniff.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if isCSV {
 		list, err := ranking.ParseCSV(f)
 		if err != nil {
 			return nil, err
@@ -98,6 +165,7 @@ func loadRefs(path string) ([]string, error) {
 	}
 	var refs []string
 	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	for sc.Scan() {
 		d := strings.TrimSpace(sc.Text())
 		if d == "" || strings.HasPrefix(d, "#") {
@@ -108,20 +176,53 @@ func loadRefs(path string) ([]string, error) {
 	return refs, sc.Err()
 }
 
+// cmdCompile builds the databases once and persists the compiled
+// artifacts; every later run loads them in milliseconds.
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	out := fs.String("o", "shamfinder.snap", "output snapshot path")
+	refsPath := fs.String("refs", "", "embed a detector for this reference list (optional)")
+	db := fs.String("db", "both", "homoglyph database: uc, simchar or both")
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
+	fs.Parse(args)
+	fw, err := newFramework(*fast, *db)
+	if err != nil {
+		return err
+	}
+	var det *shamfinder.Detector
+	nrefs := 0
+	if *refsPath != "" {
+		refs, err := loadRefs(*refsPath)
+		if err != nil {
+			return fmt.Errorf("loading refs: %w", err)
+		}
+		det = fw.NewDetector(refs)
+		nrefs = len(det.References())
+	}
+	if err := fw.SaveSnapshot(*out, det); err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "compiled %s: %d bytes, %d homoglyph chars, %d references\n",
+		*out, st.Size(), fw.DB().Chars().Len(), nrefs)
+	return nil
+}
+
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
-	refsPath := fs.String("refs", "", "reference domain list (required)")
+	refsPath := fs.String("refs", "", "reference domain list")
+	snapPath := fs.String("snapshot", "", "load a compiled snapshot instead of building")
 	domainsPath := fs.String("domains", "", "domain list to scan; empty = stdin")
 	db := fs.String("db", "both", "homoglyph database: uc, simchar or both")
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	workers := fs.Int("workers", 0, "detection workers; 0 = GOMAXPROCS")
 	fs.Parse(args)
-	if *refsPath == "" {
-		return fmt.Errorf("detect: -refs is required")
-	}
-	refs, err := loadRefs(*refsPath)
+	_, det, err := loadEngine(*snapPath, *refsPath, *fast, *db, true)
 	if err != nil {
-		return fmt.Errorf("loading refs: %w", err)
+		return err
 	}
 	var in io.Reader = os.Stdin
 	if *domainsPath != "" {
@@ -132,20 +233,17 @@ func cmdDetect(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	fw, err := newFramework(*fast, *db)
-	if err != nil {
-		return err
-	}
-	det := fw.NewDetector(refs)
 
 	// Stream the zone through the parallel engine: a feeder goroutine
 	// pushes labels while workers detect, so scanning overlaps I/O and
-	// memory scales with the IDNs (0.67% of a zone), not the zone. The
-	// feeder also remembers each label's original spelling so output
-	// echoes the domain exactly as scanned; matches are sorted before
-	// printing, making the output deterministic for any worker count.
-	labels := make(chan string, 1024)
-	origin := make(map[string]string)
+	// memory scales with the IDNs (0.67% of a zone), not the zone.
+	// Labels travel as pooled byte buffers that workers recycle after
+	// each scan — with the in-place normalization and the engine's lazy
+	// string materialization, a line that matches nothing allocates
+	// nothing. Matches are sorted before printing, making the output
+	// deterministic for any worker count.
+	labels := make(chan *[]byte, 1024)
+	pool := &sync.Pool{New: func() any { b := make([]byte, 0, 80); return &b }}
 	scanned := 0
 	var scanErr error
 	go func() {
@@ -153,26 +251,24 @@ func cmdDetect(args []string) error {
 		sc := bufio.NewScanner(in)
 		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 		for sc.Scan() {
-			domain := strings.TrimSpace(sc.Text())
-			if domain == "" || !shamfinder.IsIDN(domain) {
+			label, ok := shamfinder.NormalizeZoneLine(sc.Bytes())
+			if !ok {
 				continue
 			}
 			scanned++
-			label := strings.TrimSuffix(strings.ToLower(domain), ".com")
-			if _, ok := origin[label]; !ok {
-				origin[label] = domain
-			}
-			labels <- label
+			bp := pool.Get().(*[]byte)
+			*bp = append((*bp)[:0], label...)
+			labels <- bp
 		}
 		scanErr = sc.Err()
 	}()
 
 	var matches []shamfinder.Match
-	for m := range det.DetectStream(labels, *workers) {
+	for m := range det.DetectStreamBytes(labels, *workers, pool) {
 		matches = append(matches, m)
 	}
-	// The stream has drained, so the feeder is done: origin and scanErr
-	// are safe to read from here on.
+	// The stream has drained, so the feeder is done: scanErr is safe to
+	// read from here on.
 	if scanErr != nil {
 		return scanErr
 	}
@@ -180,11 +276,7 @@ func cmdDetect(args []string) error {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	for _, m := range matches {
-		domain, ok := origin[m.IDN]
-		if !ok {
-			domain = m.IDN
-		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", domain, m.Unicode, m.Reference+".com", diffsText(m))
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.IDN, m.Unicode, m.Reference+".com", diffsText(m))
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d IDNs, detected %d homograph matches\n", scanned, len(matches))
 	return nil
@@ -200,21 +292,17 @@ func diffsText(m shamfinder.Match) string {
 
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
-	refsPath := fs.String("refs", "", "reference domain list (required)")
+	refsPath := fs.String("refs", "", "reference domain list")
+	snapPath := fs.String("snapshot", "", "load a compiled snapshot instead of building")
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	fs.Parse(args)
-	if *refsPath == "" || fs.NArg() != 1 {
-		return fmt.Errorf("explain: need -refs FILE and one DOMAIN")
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: need one DOMAIN (plus -refs FILE or -snapshot FILE)")
 	}
-	refs, err := loadRefs(*refsPath)
+	fw, det, err := loadEngine(*snapPath, *refsPath, *fast, "both", true)
 	if err != nil {
 		return err
 	}
-	fw, err := newFramework(*fast, "both")
-	if err != nil {
-		return err
-	}
-	det := fw.NewDetector(refs)
 	label := strings.TrimSuffix(strings.ToLower(fs.Arg(0)), ".com")
 	matches := det.DetectLabel(label)
 	if len(matches) == 0 {
@@ -229,12 +317,13 @@ func cmdExplain(args []string) error {
 
 func cmdRevert(args []string) error {
 	fs := flag.NewFlagSet("revert", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "load a compiled snapshot instead of building")
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("revert: need one DOMAIN")
 	}
-	fw, err := newFramework(*fast, "both")
+	fw, _, err := loadEngine(*snapPath, "", *fast, "both", false)
 	if err != nil {
 		return err
 	}
@@ -254,6 +343,7 @@ func cmdRevert(args []string) error {
 
 func cmdGlyphs(args []string) error {
 	fs := flag.NewFlagSet("glyphs", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "load a compiled snapshot instead of building")
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -263,7 +353,7 @@ func cmdGlyphs(args []string) error {
 	if len(runes) != 1 {
 		return fmt.Errorf("glyphs: %q is not a single character", fs.Arg(0))
 	}
-	fw, err := newFramework(*fast, "both")
+	fw, _, err := loadEngine(*snapPath, "", *fast, "both", false)
 	if err != nil {
 		return err
 	}

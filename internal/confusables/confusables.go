@@ -105,6 +105,19 @@ func (db *DB) Sources() []rune {
 // Len returns the number of source entries.
 func (db *DB) Len() int { return len(db.entries) }
 
+// Entries returns every mapping, sources ascending — the canonical
+// iteration the snapshot codec serializes. Target slices are copies.
+func (db *DB) Entries() []Entry {
+	out := make([]Entry, 0, len(db.entries))
+	for _, src := range db.Sources() {
+		tgt := db.entries[src]
+		cp := make([]rune, len(tgt))
+		copy(cp, tgt)
+		out = append(out, Entry{Source: src, Target: cp, Comment: db.comment[src]})
+	}
+	return out
+}
+
 // Chars returns the set of all code points mentioned (sources and targets),
 // the paper's "number of characters" accounting for Table 1.
 func (db *DB) Chars() *ucd.RuneSet {

@@ -174,18 +174,28 @@ func (d *Detector) matchAgainst(ref []rune, idn []rune) ([]CharDiff, bool) {
 // the same-length references via the candidate index and returns all
 // matches, in reference insertion order. Safe for concurrent use.
 func (d *Detector) DetectLabel(idnLabel string) []Match {
-	uni, err := punycode.ToUnicodeLabel(idnLabel)
-	if err != nil {
-		return nil
-	}
+	return detectLabel(d, idnLabel)
+}
+
+// DetectLabelBytes is DetectLabel over a reused line buffer: nothing is
+// retained from label, and the miss path allocates nothing, so a zone
+// feeder can recycle one buffer per in-flight line. Strings (the match's
+// IDN and Unicode forms) are materialized only when a label actually
+// matches.
+func (d *Detector) DetectLabelBytes(label []byte) []Match {
+	return detectLabel(d, label)
+}
+
+// detectLabel is the shared hot path, compiled for both label spellings.
+func detectLabel[S punycode.ByteSeq](d *Detector, idnLabel S) []Match {
 	sc := d.scratch.Get().(*scratch)
 	defer d.scratch.Put(sc)
 
-	runes := sc.runes[:0]
-	for _, r := range uni {
-		runes = append(runes, r)
-	}
+	runes, err := punycode.ToUnicodeLabelAppend(sc.runes[:0], idnLabel)
 	sc.runes = runes
+	if err != nil {
+		return nil
+	}
 
 	b := d.byLen[len(runes)]
 	if b == nil {
@@ -230,12 +240,18 @@ func (d *Detector) DetectLabel(idnLabel string) []Match {
 		return nil
 	}
 
+	// Survivors exist, so matches are likely: materialize the IDN and
+	// Unicode strings once, here — the miss path above never builds them.
+	var idn, uni string
 	var out []Match
 	for _, id := range cur {
 		ref := &b.refs[id]
 		if diffs, ok := d.matchAgainst(ref.runes, runes); ok {
+			if out == nil {
+				idn, uni = string(idnLabel), string(runes)
+			}
 			out = append(out, Match{
-				IDN:       idnLabel,
+				IDN:       idn,
 				Unicode:   uni,
 				Reference: ref.label,
 				Diffs:     diffs,

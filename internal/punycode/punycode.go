@@ -30,6 +30,15 @@ var ErrOverflow = errors.New("punycode: overflow")
 // ErrInvalid is returned for malformed Punycode input.
 var ErrInvalid = errors.New("punycode: invalid input")
 
+// The decode hot path returns preallocated errors so a malformed label in
+// a zone sweep costs no allocation; all of them unwrap to ErrInvalid.
+var (
+	errNonBasic   = fmt.Errorf("%w: non-basic code point in input", ErrInvalid)
+	errTruncated  = fmt.Errorf("%w: truncated variable-length integer", ErrInvalid)
+	errBadDigit   = fmt.Errorf("%w: bad digit", ErrInvalid)
+	errOutOfRange = fmt.Errorf("%w: decoded code point out of range", ErrInvalid)
+)
+
 const maxInt32 = int32(^uint32(0) >> 1)
 
 // digitToByte maps a digit value 0..35 to its lowercase code point.
@@ -141,19 +150,45 @@ func Encode(input string) (string, error) {
 }
 
 // Decode converts a Punycode string back to Unicode (RFC 3492 section 6.2).
+// It is a thin wrapper over DecodeAppend, the allocation-free variant the
+// zone-ingestion hot path uses.
 func Decode(input string) (string, error) {
+	output, err := DecodeAppend(nil, input)
+	if err != nil {
+		return "", err
+	}
+	return string(output), nil
+}
+
+// ByteSeq abstracts the two spellings a DNS label arrives in — an
+// immutable string or a reusable line buffer — so the decode hot path is
+// compiled once for both without converting (and therefore copying) the
+// bytes.
+type ByteSeq interface{ ~string | ~[]byte }
+
+// DecodeAppend decodes Punycode input and appends the code points to dst,
+// returning the extended slice. Content below len(dst) is never touched.
+// When dst has sufficient capacity no allocation occurs, which is what
+// lets a zone feeder decode millions of ACE labels with zero steady-state
+// allocations; Decode is differential-tested against it.
+func DecodeAppend[S ByteSeq](dst []rune, input S) ([]rune, error) {
+	floor := len(dst)
 	for i := 0; i < len(input); i++ {
 		if input[i] >= 0x80 {
-			return "", fmt.Errorf("%w: non-basic code point in input", ErrInvalid)
+			return dst, errNonBasic
 		}
 	}
-	var output []rune
 	pos := 0
-	if i := strings.LastIndexByte(input, delimiter); i >= 0 {
-		for _, c := range input[:i] {
-			output = append(output, c)
+	for i := len(input) - 1; i >= 0; i-- {
+		if input[i] == delimiter {
+			pos = i + 1
+			break
 		}
-		pos = i + 1
+	}
+	if pos > 0 {
+		for _, c := range string(input[:pos-1]) {
+			dst = append(dst, c)
+		}
 	}
 	n := int32(initialN)
 	i := int32(0)
@@ -163,15 +198,15 @@ func Decode(input string) (string, error) {
 		w := int32(1)
 		for k := int32(base); ; k += base {
 			if pos >= len(input) {
-				return "", fmt.Errorf("%w: truncated variable-length integer", ErrInvalid)
+				return dst[:floor], errTruncated
 			}
 			digit := byteToDigit(input[pos])
 			pos++
 			if digit < 0 {
-				return "", fmt.Errorf("%w: bad digit %q", ErrInvalid, input[pos-1])
+				return dst[:floor], errBadDigit
 			}
 			if digit > (maxInt32-i)/w {
-				return "", ErrOverflow
+				return dst[:floor], ErrOverflow
 			}
 			i += digit * w
 			t := k - bias
@@ -184,24 +219,25 @@ func Decode(input string) (string, error) {
 				break
 			}
 			if w > maxInt32/(base-t) {
-				return "", ErrOverflow
+				return dst[:floor], ErrOverflow
 			}
 			w *= base - t
 		}
-		outLen := int32(len(output)) + 1
+		outLen := int32(len(dst)-floor) + 1
 		bias = adapt(i-oldi, outLen, oldi == 0)
 		if i/outLen > maxInt32-n {
-			return "", ErrOverflow
+			return dst[:floor], ErrOverflow
 		}
 		n += i / outLen
 		i %= outLen
 		if n > utf8.MaxRune || (n >= 0xD800 && n <= 0xDFFF) {
-			return "", fmt.Errorf("%w: decoded code point out of range", ErrInvalid)
+			return dst[:floor], errOutOfRange
 		}
-		output = append(output, 0)
-		copy(output[i+1:], output[i:])
-		output[i] = rune(n)
+		dst = append(dst, 0)
+		at := floor + int(i)
+		copy(dst[at+1:], dst[at:])
+		dst[at] = rune(n)
 		i++
 	}
-	return string(output), nil
+	return dst, nil
 }

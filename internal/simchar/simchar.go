@@ -309,6 +309,24 @@ func parallelFor(n, workers int, f func(int)) {
 	wg.Wait()
 }
 
+// FromPairs builds a database directly from a pair list — the snapshot
+// load path, which must reconstruct the component database without a
+// font or Δ scan. Pairs are copied, normalized (A < B) and sorted, so
+// the result is identical to a Build that produced the same pair set.
+func FromPairs(pairs []Pair) *DB {
+	cp := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		cp[i] = orderedPair(p.A, p.B, p.Delta)
+	}
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].A != cp[j].A {
+			return cp[i].A < cp[j].A
+		}
+		return cp[i].B < cp[j].B
+	})
+	return fromPairs(cp)
+}
+
 func fromPairs(pairs []Pair) *DB {
 	db := &DB{pairs: pairs, partner: make(map[rune][]rune)}
 	for _, p := range pairs {

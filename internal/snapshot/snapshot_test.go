@@ -1,0 +1,348 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/confusables"
+	"repro/internal/core"
+	"repro/internal/fontgen"
+	"repro/internal/homoglyph"
+	"repro/internal/punycode"
+	"repro/internal/simchar"
+	"repro/internal/stats"
+	"repro/internal/ucd"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureDB   *homoglyph.DB
+)
+
+// builtDB is the freshly compiled database every snapshot is compared
+// against: mid-size synthetic font, default UC, full Δ scan.
+func builtDB(t testing.TB) *homoglyph.DB {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		font := fontgen.Generate(fontgen.Options{SkipCJK: true, SkipHangul: true})
+		sim, _ := simchar.Build(font, ucd.IDNASet(), simchar.Options{})
+		fixtureDB = homoglyph.New(confusables.Default(), sim, 0)
+	})
+	return fixtureDB
+}
+
+var testRefs = []string{
+	"google", "facebook", "amazon", "apple", "paypal",
+	"myetherwallet", "binance", "allstate", "netflix", "spotify",
+}
+
+// fuzzCorpus builds a deterministic mixed corpus: real homographs
+// (reference labels with 1–2 database substitutions), clean ASCII
+// labels, junk ACE labels, and raw garbage — the input families a zone
+// sweep actually sees.
+func fuzzCorpus(t testing.TB, db *homoglyph.DB, n int) []string {
+	t.Helper()
+	rng := stats.NewRNG(0x50a9)
+	var corpus []string
+	for len(corpus) < n {
+		switch rng.Intn(4) {
+		case 0: // homograph of a reference
+			ref := testRefs[rng.Intn(len(testRefs))]
+			runes := []rune(ref)
+			for subs := 1 + rng.Intn(2); subs > 0; subs-- {
+				pos := rng.Intn(len(runes))
+				if glyphs := db.Homoglyphs(runes[pos]); len(glyphs) > 0 {
+					runes[pos] = glyphs[rng.Intn(len(glyphs))]
+				}
+			}
+			if a, err := punycode.ToASCIILabel(string(runes)); err == nil {
+				corpus = append(corpus, a)
+			}
+		case 1: // clean ASCII label
+			b := make([]byte, 1+rng.Intn(12))
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(26))
+			}
+			corpus = append(corpus, string(b))
+		case 2: // syntactically plausible but junk ACE label
+			b := make([]byte, 1+rng.Intn(10))
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(26))
+			}
+			corpus = append(corpus, "xn--"+string(b))
+		default: // raw garbage, possibly invalid
+			b := make([]byte, rng.Intn(8))
+			for i := range b {
+				b[i] = byte(32 + rng.Intn(224))
+			}
+			corpus = append(corpus, string(b))
+		}
+	}
+	return corpus
+}
+
+// TestRoundTripDetectionParity is the tentpole guarantee: build → save →
+// load must produce byte-for-byte identical DetectLabel results versus
+// the freshly built detector, across a fuzzed corpus, for both the
+// embedded-detector path and a detector rebuilt over the loaded DB.
+func TestRoundTripDetectionParity(t *testing.T) {
+	db := builtDB(t)
+	det := core.NewDetector(db, testRefs)
+
+	loadedDB, loadedDet, err := Unmarshal(Marshal(db, det))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedDet == nil {
+		t.Fatal("detector section was not round-tripped")
+	}
+	rebuilt := core.NewDetector(loadedDB, testRefs)
+
+	corpus := fuzzCorpus(t, db, 4000)
+	matches := 0
+	for _, label := range corpus {
+		want := det.DetectLabel(label)
+		matches += len(want)
+		if got := loadedDet.DetectLabel(label); !reflect.DeepEqual(got, want) {
+			t.Fatalf("embedded detector diverges on %q:\n got %v\nwant %v", label, got, want)
+		}
+		if got := rebuilt.DetectLabel(label); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rebuilt detector diverges on %q:\n got %v\nwant %v", label, got, want)
+		}
+	}
+	if matches == 0 {
+		t.Fatal("corpus produced no matches; parity test is vacuous")
+	}
+}
+
+// TestRoundTripDBQueries checks the non-detection query surface of the
+// loaded database: Confusable, Homoglyphs, Canonical, Chars, and the
+// source-restricted views all answer as the built one does.
+func TestRoundTripDBQueries(t *testing.T) {
+	db := builtDB(t)
+	loaded, _, err := Unmarshal(Marshal(db, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars := db.Chars().Runes()
+	if got := loaded.Chars().Runes(); !reflect.DeepEqual(got, chars) {
+		t.Fatalf("Chars diverges: %d vs %d runes", len(got), len(chars))
+	}
+	rng := stats.NewRNG(99)
+	probe := append([]rune{'o', 'a', 'l', 0x043E, 0x0585, 0xFFFF}, chars[:min(len(chars), 2000)]...)
+	for _, r := range probe {
+		if got, want := loaded.Homoglyphs(r), db.Homoglyphs(r); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Homoglyphs(U+%04X) = %v, want %v", r, got, want)
+		}
+		if got, want := loaded.Canonical(r), db.Canonical(r); got != want {
+			t.Fatalf("Canonical(U+%04X) = U+%04X, want U+%04X", r, got, want)
+		}
+		other := chars[rng.Intn(len(chars))]
+		gotOK, gotSrc := loaded.Confusable(r, other)
+		wantOK, wantSrc := db.Confusable(r, other)
+		if gotOK != wantOK || gotSrc != wantSrc {
+			t.Fatalf("Confusable(U+%04X, U+%04X) = %v/%v, want %v/%v", r, other, gotOK, gotSrc, wantOK, wantSrc)
+		}
+	}
+	for _, use := range []homoglyph.Source{homoglyph.SourceUC, homoglyph.SourceSimChar} {
+		lv, dv := loaded.WithSources(use), db.WithSources(use)
+		for _, r := range probe[:100] {
+			if got, want := lv.Homoglyphs(r), dv.Homoglyphs(r); !reflect.DeepEqual(got, want) {
+				t.Fatalf("WithSources(%v).Homoglyphs(U+%04X) diverges", use, r)
+			}
+		}
+	}
+}
+
+// TestMarshalDeterministic: equal inputs must serialize identically, so
+// snapshot artifacts diff cleanly across builds.
+func TestMarshalDeterministic(t *testing.T) {
+	db := builtDB(t)
+	det := core.NewDetector(db, testRefs)
+	a := Marshal(db, det)
+	b := Marshal(db, det)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two Marshals of the same database differ")
+	}
+	// And a re-marshal of the loaded artifacts is byte-identical too:
+	// the canonical layout survives a round trip.
+	db2, det2, err := Unmarshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Marshal(db2, det2); !bytes.Equal(a, c) {
+		t.Fatal("marshal(unmarshal(x)) != x")
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	db := builtDB(t)
+	data := Marshal(db, nil)
+	data[0] ^= 0xFF
+	if _, _, err := Unmarshal(data); !errors.Is(err, ErrMagic) {
+		t.Fatalf("err = %v, want ErrMagic", err)
+	}
+}
+
+// reseal recomputes the trailing checksum after a deliberate mutation,
+// so version/structure checks are exercised rather than the crc.
+func reseal(data []byte) {
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+}
+
+func TestRejectsWrongVersion(t *testing.T) {
+	db := builtDB(t)
+	data := Marshal(db, nil)
+	binary.LittleEndian.PutUint32(data[len(Magic):], Version+1)
+	reseal(data)
+	if _, _, err := Unmarshal(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	db := builtDB(t)
+	det := core.NewDetector(db, testRefs)
+	clean := Marshal(db, det)
+	rng := stats.NewRNG(0xbad)
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), clean...)
+		pos := len(Magic) + 4 + rng.Intn(len(data)-len(Magic)-4)
+		data[pos] ^= byte(1 + rng.Intn(255))
+		if _, _, err := Unmarshal(data); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", pos, err)
+		}
+	}
+}
+
+// TestRejectsTruncation: every prefix must fail cleanly — no panic, no
+// silent partial load.
+func TestRejectsTruncation(t *testing.T) {
+	db := builtDB(t)
+	det := core.NewDetector(db, testRefs)
+	clean := Marshal(db, det)
+	rng := stats.NewRNG(0x7bc)
+	cuts := []int{0, 1, len(Magic), headerSize, headerSize + 1, len(clean) - 5, len(clean) - 1}
+	for i := 0; i < 60; i++ {
+		cuts = append(cuts, rng.Intn(len(clean)))
+	}
+	for _, cut := range cuts {
+		if _, _, err := Unmarshal(clean[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes was accepted", cut)
+		}
+	}
+}
+
+// TestRejectsResealedStructuralDamage attacks the section decoders
+// directly: with the checksum recomputed the payload validators are the
+// only defense, and they must reject (not panic) on arbitrary damage.
+func TestRejectsResealedStructuralDamage(t *testing.T) {
+	db := builtDB(t)
+	det := core.NewDetector(db, testRefs)
+	clean := Marshal(db, det)
+	rng := stats.NewRNG(0x5ea1)
+	rejected := 0
+	for trial := 0; trial < 400; trial++ {
+		data := append([]byte(nil), clean...)
+		pos := headerSize + rng.Intn(len(data)-headerSize-4)
+		data[pos] ^= byte(1 + rng.Intn(255))
+		reseal(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flip at %d: decoder panicked: %v", pos, r)
+				}
+			}()
+			if _, _, err := Unmarshal(data); err != nil {
+				rejected++
+			}
+		}()
+	}
+	// Some single-byte flips legitimately decode (e.g. a delta value or
+	// mask bit changes), but structural damage must usually be caught.
+	if rejected == 0 {
+		t.Fatal("no resealed mutation was ever rejected; validators look dead")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	db := builtDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db, nil); err != nil {
+		t.Fatal(err)
+	}
+	loaded, det, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det != nil {
+		t.Fatal("unexpected embedded detector")
+	}
+	if got, want := loaded.Homoglyphs('o'), db.Homoglyphs('o'); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Homoglyphs(o) = %v, want %v", got, want)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	db := builtDB(t)
+	det := core.NewDetector(db, testRefs)
+	path := t.TempDir() + "/test.snap"
+	if err := WriteFile(path, db, det); err != nil {
+		t.Fatal(err)
+	}
+	_, loadedDet, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedDet == nil {
+		t.Fatal("no detector in file")
+	}
+	idn := mustACE(t, "gооgle") // two Cyrillic о
+	m := loadedDet.DetectLabel(idn)
+	if len(m) != 1 || m[0].Reference != "google" {
+		t.Fatalf("DetectLabel(%s) = %v", idn, m)
+	}
+}
+
+func mustACE(t testing.TB, label string) string {
+	t.Helper()
+	a, err := punycode.ToASCIILabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestNilComponents: a DB built without UC or SimChar must survive the
+// round trip with its nil components preserved.
+func TestNilComponents(t *testing.T) {
+	font := fontgen.Generate(fontgen.Options{SkipCJK: true, SkipHangul: true})
+	sim, _ := simchar.Build(font, ucd.IDNASet(), simchar.Options{})
+	for _, tc := range []struct {
+		name string
+		db   *homoglyph.DB
+	}{
+		{"sim-only", homoglyph.New(nil, sim, 0)},
+		{"uc-only", homoglyph.New(confusables.Default(), nil, 0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			loaded, _, err := Unmarshal(Marshal(tc.db, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (loaded.UC() == nil) != (tc.db.UC() == nil) || (loaded.SimChar() == nil) != (tc.db.SimChar() == nil) {
+				t.Fatal("component presence not preserved")
+			}
+			for _, r := range []rune{'o', 'a', 0x043E} {
+				if got, want := loaded.Homoglyphs(r), tc.db.Homoglyphs(r); !reflect.DeepEqual(got, want) {
+					t.Fatalf("Homoglyphs(U+%04X) = %v, want %v", r, got, want)
+				}
+			}
+		})
+	}
+}

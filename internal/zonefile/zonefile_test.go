@@ -262,3 +262,46 @@ func TestLargeZoneScales(t *testing.T) {
 		t.Errorf("records = %d", len(z.Records))
 	}
 }
+
+// TestTokenizeQuotedEscapes pins the tokenize fast path introduced for
+// zone-scale parsing: unescaped quoted strings take the copy-free route,
+// escaped ones still unescape exactly as before.
+func TestTokenizeQuotedEscapes(t *testing.T) {
+	cases := []struct {
+		line   string
+		tokens []string
+	}{
+		{`foo TXT "plain"`, []string{"foo", "TXT", "\"plain"}},
+		{`foo TXT ""`, []string{"foo", "TXT", "\""}},
+		{`foo TXT "with \"inner\" quotes"`, []string{"foo", "TXT", "\"with \"inner\" quotes"}},
+		{`foo TXT "back\\slash"`, []string{"foo", "TXT", "\"back\\slash"}},
+		{`foo TXT "a" "b"`, []string{"foo", "TXT", "\"a", "\"b"}},
+		{`foo TXT "semi;colon" ; trailing comment`, []string{"foo", "TXT", "\"semi;colon"}},
+		{`foo TXT "paren()"`, []string{"foo", "TXT", "\"paren()"}},
+	}
+	for _, c := range cases {
+		tokens, opened, closed, err := tokenize(c.line)
+		if err != nil {
+			t.Errorf("tokenize(%q): %v", c.line, err)
+			continue
+		}
+		if opened != 0 || closed != 0 {
+			t.Errorf("tokenize(%q) counted parens %d/%d inside quotes", c.line, opened, closed)
+		}
+		if len(tokens) != len(c.tokens) {
+			t.Errorf("tokenize(%q) = %q, want %q", c.line, tokens, c.tokens)
+			continue
+		}
+		for i := range tokens {
+			if tokens[i] != c.tokens[i] {
+				t.Errorf("tokenize(%q)[%d] = %q, want %q", c.line, i, tokens[i], c.tokens[i])
+			}
+		}
+	}
+	if _, _, _, err := tokenize(`foo TXT "unterminated`); err == nil {
+		t.Error("unterminated quote accepted")
+	}
+	if _, _, _, err := tokenize(`foo TXT "trailing backslash\`); err == nil {
+		t.Error("unterminated escaped quote accepted")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/confusables"
 	"repro/internal/core"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/homoglyph"
 	"repro/internal/punycode"
 	"repro/internal/simchar"
+	"repro/internal/snapshot"
 	"repro/internal/ucd"
 )
 
@@ -153,6 +155,90 @@ func NewFromFont(font *hexfont.Font, cfg Config) (*Framework, error) {
 	}, nil
 }
 
+// WriteSnapshot serializes the framework's fully compiled artifacts —
+// and, when det is non-nil, that detector's posting-list index — as a
+// versioned, checksummed binary snapshot. Loading one skips the font
+// rasterization, the Section 3.3 Δ scan, and the index compilation
+// entirely, collapsing seconds of cold start into milliseconds; see
+// LoadSnapshot. The glyph source itself is not serialized (snapshots
+// carry compiled results, not inputs), so a loaded framework's Font()
+// is nil.
+func (f *Framework) WriteSnapshot(w io.Writer, det *Detector) error {
+	return snapshot.Write(w, f.db, detInner(det))
+}
+
+// SaveSnapshot is WriteSnapshot to a file path.
+func (f *Framework) SaveSnapshot(path string, det *Detector) error {
+	return snapshot.WriteFile(path, f.db, detInner(det))
+}
+
+func detInner(det *Detector) *core.Detector {
+	if det == nil {
+		return nil
+	}
+	return det.inner
+}
+
+// ReadSnapshot reconstructs a framework (and the embedded detector, nil
+// if none was compiled in) from a snapshot stream. Detection results
+// are byte-for-byte identical to the freshly built framework the
+// snapshot was taken from.
+func ReadSnapshot(r io.Reader) (*Framework, *Detector, error) {
+	db, det, err := snapshot.Read(r)
+	return loadSnapshot(db, det, err)
+}
+
+// LoadSnapshot is ReadSnapshot from a file path — the one-file cold
+// start for workers, serverless handlers, and short-lived CLI runs.
+func LoadSnapshot(path string) (*Framework, *Detector, error) {
+	db, det, err := snapshot.ReadFile(path)
+	return loadSnapshot(db, det, err)
+}
+
+func loadSnapshot(db *homoglyph.DB, det *core.Detector, err error) (*Framework, *Detector, error) {
+	if err != nil {
+		return nil, nil, err
+	}
+	fw := &Framework{db: db}
+	if det == nil {
+		return fw, nil, nil
+	}
+	return fw, &Detector{inner: det}, nil
+}
+
+// NormalizeZoneLine prepares one domain-list line for detection, in
+// place and without allocating: ASCII whitespace is trimmed, ASCII
+// letters are lowercased, and a trailing ".com" TLD is stripped. It
+// reports false for blank lines and non-IDN domains — the overwhelming
+// majority of a zone, rejected with zero work beyond the byte scan.
+// The returned label aliases line's storage.
+func NormalizeZoneLine(line []byte) ([]byte, bool) {
+	start, end := 0, len(line)
+	for start < end && asciiSpace(line[start]) {
+		start++
+	}
+	for end > start && asciiSpace(line[end-1]) {
+		end--
+	}
+	line = line[start:end]
+	if len(line) == 0 || !punycode.IsIDNBytes(line) {
+		return nil, false
+	}
+	for i, c := range line {
+		if c >= 'A' && c <= 'Z' {
+			line[i] = c + 'a' - 'A'
+		}
+	}
+	if n := len(line) - len(".com"); n >= 0 && string(line[n:]) == ".com" {
+		line = line[:n]
+	}
+	return line, true
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
+}
+
 // DB exposes the underlying homoglyph database for advanced callers
 // (the measurement pipeline in cmd/experiments).
 func (f *Framework) DB() *homoglyph.DB { return f.db }
@@ -219,6 +305,21 @@ func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
 // not deterministic; use SortMatches for the batch ordering.
 func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 	return d.inner.DetectStream(in, workers)
+}
+
+// DetectLabelBytes is DetectLabel over a reused line buffer: nothing is
+// retained from label and the miss path allocates nothing, so a feeder
+// can recycle one buffer per in-flight line.
+func (d *Detector) DetectLabelBytes(label []byte) []Match {
+	return d.inner.DetectLabelBytes(label)
+}
+
+// DetectStreamBytes is DetectStream for pooled line buffers: each *[]byte
+// drained from in is handed back to recycle (when non-nil) as soon as its
+// label has been scanned, making the whole line→match pipeline
+// allocation-free in steady state on the miss path.
+func (d *Detector) DetectStreamBytes(in <-chan *[]byte, workers int, recycle *sync.Pool) <-chan Match {
+	return d.inner.DetectStreamBytes(in, workers, recycle)
 }
 
 // SortMatches sorts matches into the deterministic batch order (IDN,

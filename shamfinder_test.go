@@ -209,3 +209,155 @@ func TestThresholdAffectsPairCount(t *testing.T) {
 		t.Errorf("θ=1 pairs %d not below θ=6 pairs %d", ns, nl)
 	}
 }
+
+// --- PR 2: snapshots and zero-allocation ingestion ---
+
+func TestSnapshotFacadeRoundTrip(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google", "facebook", "amazon"})
+	path := t.TempDir() + "/fw.snap"
+	if err := fw.SaveSnapshot(path, det); err != nil {
+		t.Fatal(err)
+	}
+	lfw, ldet, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldet == nil {
+		t.Fatal("embedded detector lost")
+	}
+	if lfw.Font() != nil {
+		t.Error("snapshot-loaded framework should have no font")
+	}
+	ace, _ := ToASCII("gооgle.com") // two Cyrillic о
+	label := strings.TrimSuffix(ace, ".com")
+	want := det.DetectLabel(label)
+	got := ldet.DetectLabel(label)
+	if len(got) != 1 || len(want) != 1 || got[0].Reference != want[0].Reference ||
+		got[0].Unicode != want[0].Unicode || len(got[0].Diffs) != len(want[0].Diffs) {
+		t.Fatalf("snapshot detector diverges: got %v want %v", got, want)
+	}
+	if lfw.Revert("gооgle") != "google" {
+		t.Error("Revert broken after snapshot load")
+	}
+}
+
+func TestReadSnapshotStream(t *testing.T) {
+	fw := framework(t)
+	var buf bytes.Buffer
+	if err := fw.WriteSnapshot(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	lfw, det, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det != nil {
+		t.Error("unexpected embedded detector")
+	}
+	if ok, _ := lfw.Confusable('o', 'о'); !ok {
+		t.Error("known twin lost in snapshot")
+	}
+}
+
+func TestNormalizeZoneLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		keep bool
+	}{
+		{"", "", false},
+		{"   \t", "", false},
+		{"plain.com", "", false},                     // not an IDN
+		{"xn--bcher-kva.com", "xn--bcher-kva", true}, // ACE + .com stripped
+		{"XN--BCHER-KVA.COM", "xn--bcher-kva", true}, // case-folded first
+		{"  xn--p1ai \r", "xn--p1ai", true},          // trimmed, no .com
+		{"sub.xn--p1ai", "sub.xn--p1ai", true},       // ACE in later label
+		{"notxn--fake.com", "", false},               // prefix must start a label
+	}
+	for _, c := range cases {
+		buf := []byte(c.in)
+		got, ok := NormalizeZoneLine(buf)
+		if ok != c.keep {
+			t.Errorf("NormalizeZoneLine(%q) keep = %v, want %v", c.in, ok, c.keep)
+			continue
+		}
+		if ok && string(got) != c.want {
+			t.Errorf("NormalizeZoneLine(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeZoneLineAllocs: the per-line feeder primitive must not
+// allocate, keep or miss.
+func TestNormalizeZoneLineAllocs(t *testing.T) {
+	idn := []byte("XN--GGLE-55DA.COM")
+	plain := []byte("just-a-plain-domain.com")
+	buf := make([]byte, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		copy(buf, idn)
+		NormalizeZoneLine(buf[:len(idn)])
+	}); n != 0 {
+		t.Errorf("NormalizeZoneLine(IDN) allocates %.1f/line", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		copy(buf, plain)
+		NormalizeZoneLine(buf[:len(plain)])
+	}); n != 0 {
+		t.Errorf("NormalizeZoneLine(plain) allocates %.1f/line", n)
+	}
+}
+
+// TestDetectStreamBytesMatchesBatch: the pooled-buffer stream must find
+// exactly what the batch API finds.
+func TestDetectStreamBytesMatchesBatch(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google", "facebook", "amazon"})
+	ace1, _ := ToASCII("gооgle")   // Cyrillic о ×2
+	ace2, _ := ToASCII("fаcebook") // Cyrillic а
+	labels := []string{ace1, "clean-label", ace2, "another", ace1}
+	want := det.Detect(labels)
+
+	pool := &sync.Pool{New: func() any { b := make([]byte, 0, 80); return &b }}
+	in := make(chan *[]byte, 4)
+	go func() {
+		defer close(in)
+		for _, l := range labels {
+			bp := pool.Get().(*[]byte)
+			*bp = append((*bp)[:0], l...)
+			in <- bp
+		}
+	}()
+	var got []Match
+	for m := range det.DetectStreamBytes(in, 3, pool) {
+		got = append(got, m)
+	}
+	SortMatches(got)
+	if len(got) != len(want) {
+		t.Fatalf("stream found %d matches, batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].IDN != want[i].IDN || got[i].Reference != want[i].Reference || got[i].Unicode != want[i].Unicode {
+			t.Fatalf("match %d diverges: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDetectLabelBytesDoesNotRetain: the engine must not alias the
+// caller's buffer in returned matches — the buffer is recycled.
+func TestDetectLabelBytesDoesNotRetain(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google"})
+	ace, _ := ToASCII("gооgle")
+	buf := []byte(ace)
+	matches := det.DetectLabelBytes(buf)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	for i := range buf {
+		buf[i] = 'Z' // clobber, as a recycled buffer would be
+	}
+	if matches[0].IDN != ace {
+		t.Fatalf("match IDN %q aliases the recycled buffer", matches[0].IDN)
+	}
+}
