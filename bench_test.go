@@ -560,9 +560,13 @@ func BenchmarkColdStart(b *testing.B) {
 
 // benchZoneLines builds a deterministic synthetic zone slice: mostly
 // plain (non-IDN) lines, the rest decodable ACE labels that miss every
-// reference — the steady-state composition of a TLD zone sweep. Every
-// line is pre-verified to miss so the benchmark isolates the miss path.
-func benchZoneLines(b *testing.B, det *core.Detector, n int) [][]byte {
+// reference — the steady-state composition of a TLD zone sweep. Lines
+// draw their suffix from suffixes (round-robin over the rng), and with
+// subdomains set, a fifth of them carry a www. prefix — the
+// multi-label, multi-TLD shape the domain pipeline must ingest at the
+// same cost as the single-TLD corpus. Every line is pre-verified to
+// miss so the benchmark isolates the miss path.
+func benchZoneLines(b *testing.B, det *core.Detector, n int, suffixes []string, subdomains bool) [][]byte {
 	b.Helper()
 	rng := stats.NewRNG(0x20e)
 	cyr := []rune("бвгджзклмнптфцчшщыэюя") // no Latin twins in the DB
@@ -574,7 +578,7 @@ func benchZoneLines(b *testing.B, det *core.Detector, n int) [][]byte {
 			for i := range bs {
 				bs[i] = byte('a' + rng.Intn(26))
 			}
-			line = string(bs) + ".com"
+			line = string(bs)
 		} else {
 			rs := make([]rune, 4+rng.Intn(8))
 			for i := range rs {
@@ -584,11 +588,15 @@ func benchZoneLines(b *testing.B, det *core.Detector, n int) [][]byte {
 			if err != nil {
 				continue
 			}
-			line = a + ".com"
+			line = a
 		}
+		if subdomains && rng.Intn(5) == 0 {
+			line = "www." + line
+		}
+		line += suffixes[rng.Intn(len(suffixes))]
 		buf := []byte(line)
-		if label, ok := NormalizeZoneLine(append([]byte(nil), buf...)); ok {
-			if ms := det.DetectLabelBytes(label); len(ms) != 0 {
+		if fqdn, ok := NormalizeZoneLine(append([]byte(nil), buf...)); ok {
+			if ms := det.DetectDomainBytes(fqdn); len(ms) != 0 {
 				continue // exceedingly unlikely; keep the bench a pure miss path
 			}
 		}
@@ -598,29 +606,37 @@ func benchZoneLines(b *testing.B, det *core.Detector, n int) [][]byte {
 }
 
 // BenchmarkIngestion measures the detect feeder path — raw zone line to
-// normalized label to verdict, including punycode decode for ACE labels
-// — on the miss path. The pooled variant must run at 0 allocs/op (CI
-// watches the -benchmem column); the seed variant reproduces the
-// Text/TrimSpace/ToLower/TrimSuffix per-line allocations the rewrite
-// removed.
+// normalized FQDN to verdict, including label splitting and punycode
+// decode for ACE labels — on the miss path. Both pooled variants must
+// run at 0 allocs/op (CI watches the -benchmem column): "pooled" is the
+// PR-2-comparable pure-.com corpus, "pooled-multitld" mixes .com, .net,
+// a co.uk-style multi-label suffix, an IDN TLD and www. subdomains to
+// prove TLD-awareness costs neither allocations nor more than a few
+// ns/line. The seed variant reproduces the Text/TrimSpace/ToLower/
+// TrimSuffix per-line allocations the rewrite removed.
 func BenchmarkIngestion(b *testing.B) {
 	det, _ := benchDetector(b, homoglyph.SourceUC|homoglyph.SourceSimChar)
-	lines := benchZoneLines(b, det, 4096)
-	b.Run("pooled", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, line := range lines {
-				label, ok := NormalizeZoneLine(line)
-				if !ok {
-					continue
-				}
-				if ms := det.DetectLabelBytes(label); len(ms) != 0 {
-					b.Fatal("unexpected match")
+	lines := benchZoneLines(b, det, 4096, []string{".com"}, false)
+	pooled := func(lines [][]byte) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, line := range lines {
+					fqdn, ok := NormalizeZoneLine(line)
+					if !ok {
+						continue
+					}
+					if ms := det.DetectDomainBytes(fqdn); len(ms) != 0 {
+						b.Fatal("unexpected match")
+					}
 				}
 			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(lines)), "ns/line")
 		}
-		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(lines)), "ns/line")
-	})
+	}
+	b.Run("pooled", pooled(lines))
+	b.Run("pooled-multitld", pooled(benchZoneLines(b, det, 4096,
+		[]string{".com", ".net", ".co.uk", ".xn--p1ai"}, true)))
 	b.Run("seed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -15,11 +15,14 @@
 //	shamfinder glyphs o
 //
 // refs.txt holds one reference domain per line (Alexa-style "rank,domain"
-// CSV also accepted); the domain list is read from -domains or stdin.
-// Detected domains are echoed in normalized form (lowercased, trailing
-// ".com" stripped): the feeder lowercases lines in place and retains
-// nothing per line, which is what keeps ingestion allocation-free at
-// zone scale.
+// CSV also accepted); references index on their registrable label, so
+// amazon.co.uk protects "amazon" just as google.com protects "google".
+// The domain list is read from -domains or stdin and may span any mix
+// of TLDs — .com, .net, co.uk-style multi-label suffixes, ACE/IDN TLDs
+// like xn--p1ai — with any label count per name. Detected domains are
+// echoed in normalized form (lowercased, root dot dropped): the feeder
+// lowercases lines in place and retains nothing per line, which is what
+// keeps ingestion allocation-free at zone scale.
 package main
 
 import (
@@ -69,7 +72,11 @@ func usage() {
   shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N]
   shamfinder explain {-refs FILE | -snapshot FILE} [-fastfont] DOMAIN
   shamfinder revert  [-snapshot FILE] [-fastfont] DOMAIN
-  shamfinder glyphs  [-snapshot FILE] [-fastfont] CHAR`)
+  shamfinder glyphs  [-snapshot FILE] [-fastfont] CHAR
+
+domain lists may span any TLD (.com, .net, co.uk, xn--p1ai, ...); full
+FQDNs are scanned label-aware and references index on their registrable
+label (amazon.co.uk protects "amazon").`)
 }
 
 func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
@@ -130,11 +137,13 @@ func loadEngine(snapPath, refsPath string, fast bool, db string, needDetector bo
 	return fw, det, nil
 }
 
-// loadRefs reads reference labels from a plain list or rank CSV,
-// stripping ".com" TLDs. Only the first non-blank line is sniffed for
-// the CSV comma: a plain domain list whose 512-byte head happens to
-// contain a comma further down must not be misrouted to the CSV
-// parser, and read/seek errors are reported instead of ignored.
+// loadRefs reads reference labels from a plain list or rank CSV. Each
+// domain contributes its registrable label — suffix-aware, so
+// amazon.co.uk indexes "amazon", not "amazon.co" — on any TLD. Only
+// the first non-blank line is sniffed for the CSV comma: a plain
+// domain list whose 512-byte head happens to contain a comma further
+// down must not be misrouted to the CSV parser, and read/seek errors
+// are reported instead of ignored.
 func loadRefs(path string) ([]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -171,7 +180,9 @@ func loadRefs(path string) ([]string, error) {
 		if d == "" || strings.HasPrefix(d, "#") {
 			continue
 		}
-		refs = append(refs, strings.TrimSuffix(strings.ToLower(d), ".com"))
+		if label, _ := shamfinder.Registrable(strings.ToLower(d)); label != "" {
+			refs = append(refs, label)
+		}
 	}
 	return refs, sc.Err()
 }
@@ -276,7 +287,10 @@ func cmdDetect(args []string) error {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	for _, m := range matches {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.IDN, m.Unicode, m.Reference+".com", diffsText(m))
+		// The matched FQDN as seen in the zone, the decoded label, and
+		// the imitated domain under the zone's own suffix — no TLD is
+		// assumed.
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.FQDN, m.Unicode, m.Imitated(), diffsText(m))
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d IDNs, detected %d homograph matches\n", scanned, len(matches))
 	return nil
@@ -303,8 +317,7 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
-	label := strings.TrimSuffix(strings.ToLower(fs.Arg(0)), ".com")
-	matches := det.DetectLabel(label)
+	matches := det.DetectDomain(strings.ToLower(fs.Arg(0)))
 	if len(matches) == 0 {
 		fmt.Printf("%s: no homograph of any reference domain\n", fs.Arg(0))
 		return nil
@@ -327,17 +340,20 @@ func cmdRevert(args []string) error {
 	if err != nil {
 		return err
 	}
-	domain := strings.ToLower(fs.Arg(0))
-	uni, err := shamfinder.ToUnicode(domain)
+	name := strings.ToLower(fs.Arg(0))
+	uni, err := shamfinder.ToUnicode(name)
 	if err != nil {
-		return fmt.Errorf("decoding %q: %w", domain, err)
+		return fmt.Errorf("decoding %q: %w", name, err)
 	}
-	label, tld, _ := strings.Cut(uni, ".")
+	// Revert the registrable label and reattach the (possibly
+	// multi-label) public suffix — "www.gооgle.co.uk" reverts through
+	// "gооgle", not "www".
+	label, tld := shamfinder.Registrable(uni)
 	reverted := fw.Revert(label)
 	if tld != "" {
 		reverted += "." + tld
 	}
-	fmt.Printf("%s\t%s\t%s\n", domain, uni, reverted)
+	fmt.Printf("%s\t%s\t%s\n", name, uni, reverted)
 	return nil
 }
 

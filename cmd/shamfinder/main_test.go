@@ -77,6 +77,35 @@ func TestLoadRefsLongFirstLine(t *testing.T) {
 	}
 }
 
+// TestLoadRefsMultiTLD is the registrable-label regression: the seed
+// TrimSuffix(d, ".com") indexed "amazon.co.uk" verbatim (an impossible
+// reference) and "google.net" with its TLD glued on. Every TLD must
+// route through the suffix-aware splitter.
+func TestLoadRefsMultiTLD(t *testing.T) {
+	path := writeTemp(t, "amazon.co.uk\ngoogle.net\nWWW.BBC.CO.UK\nxn--80ak6aa92e.xn--p1ai\npaypal.com\n")
+	refs, err := loadRefs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"amazon", "google", "bbc", "xn--80ak6aa92e", "paypal"}
+	if !reflect.DeepEqual(refs, want) {
+		t.Fatalf("refs = %v, want %v", refs, want)
+	}
+}
+
+// TestLoadRefsCSVMultiTLD: the CSV route must keep non-.com rows too
+// (the seed's SLDs dropped them before they reached the detector).
+func TestLoadRefsCSVMultiTLD(t *testing.T) {
+	refs, err := loadRefs(writeTemp(t, "1,google.com\n2,amazon.co.uk\n3,example.net\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"google", "amazon", "example"}
+	if !reflect.DeepEqual(refs, want) {
+		t.Fatalf("refs = %v, want %v", refs, want)
+	}
+}
+
 func TestLoadRefsMissingFile(t *testing.T) {
 	if _, err := loadRefs(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
 		t.Fatal("want error for missing file")

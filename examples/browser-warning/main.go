@@ -75,17 +75,15 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, p.interstitial(host, matches[0]))
 }
 
-// inspect returns homograph matches for the host's second-level label.
+// inspect returns homograph matches for the host, scanned as a full
+// domain: any TLD, any label depth, so xn--ggle-0nda.net and
+// www.xn--ggle-0nda.co.uk are inspected as readily as the .com form.
 func (p *proxy) inspect(host string) []shamfinder.Match {
-	label := host
-	if i := strings.IndexByte(label, ':'); i >= 0 {
-		label = label[:i]
+	name := host
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[:i]
 	}
-	label = strings.TrimSuffix(strings.ToLower(label), ".")
-	if i := strings.IndexByte(label, '.'); i >= 0 {
-		label = label[:i]
-	}
-	return p.det.DetectLabel(label)
+	return p.det.DetectDomain(strings.ToLower(name))
 }
 
 // interstitial renders the Figure 12 warning page.
@@ -98,7 +96,7 @@ func (p *proxy) interstitial(host string, m shamfinder.Match) string {
 			html.EscapeString(string(d.Got)), d.Got,
 			html.EscapeString(string(d.Want)), d.Want))
 	}
-	real := m.Reference + ".com"
+	real := m.Imitated() // the reference under the TLD actually accessed
 	return fmt.Sprintf(`<!doctype html>
 <html><head><meta charset="utf-8"><title>Warning — possible homograph</title>
 <style>

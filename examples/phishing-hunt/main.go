@@ -19,7 +19,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"strings"
 	"time"
 
 	"repro"
@@ -61,21 +60,17 @@ func main() {
 	idns := shamfinder.ExtractIDNs(all)
 	log.Printf("registry: %d domains, %d IDNs", len(all), len(idns))
 
-	// Step 3: Algorithm 1 against the top-10k references.
+	// Step 3: Algorithm 1 against the top-10k references. The detector
+	// is domain-aware: full FQDNs go in, matches carry the FQDN back.
 	det := fw.NewDetector(refs.SLDs(10000))
-	labels := make([]string, len(idns))
-	for i, d := range idns {
-		labels[i] = strings.TrimSuffix(d, ".com")
-	}
 	start := time.Now()
-	matches := det.Detect(labels)
+	matches := det.Detect(idns)
 	detected := make([]string, 0, len(matches))
 	seen := make(map[string]bool)
 	for _, m := range matches {
-		d := m.IDN + ".com"
-		if !seen[d] {
-			seen[d] = true
-			detected = append(detected, d)
+		if !seen[m.FQDN] {
+			seen[m.FQDN] = true
+			detected = append(detected, m.FQDN)
 		}
 	}
 	log.Printf("detected %d homographs in %v", len(detected), time.Since(start).Round(time.Millisecond))
@@ -133,11 +128,16 @@ func main() {
 		Resolve:   mapper.Resolve,
 		UserAgent: "Mozilla/5.0 (X11; Linux x86_64) HuntBrowser/1.0",
 		Reverter: func(domain string) (string, bool) {
-			uni, err := punycode.ToUnicodeLabel(strings.TrimSuffix(domain, ".com"))
+			label, tld := shamfinder.Registrable(domain)
+			uni, err := punycode.ToUnicodeLabel(label)
 			if err != nil {
 				return "", false
 			}
-			return fw.Revert(uni) + ".com", true
+			reverted := fw.Revert(uni)
+			if tld != "" {
+				reverted += "." + tld
+			}
+			return reverted, true
 		},
 		IsMalicious: feeds.AnyContains,
 	}

@@ -24,7 +24,8 @@ func main() {
 	// you want to protect works.
 	det := fw.NewDetector([]string{"google", "paypal", "wikipedia"})
 
-	// A user clicks this link. Is it what it looks like?
+	// A user clicks this link. Is it what it looks like? The whole
+	// FQDN goes in — any TLD works, .net or xn--p1ai as readily as .com.
 	suspicious := "xn--ggle-0nda.com" // gοοgle.com (Greek omicron ×2)
 	uni, err := shamfinder.ToUnicode(suspicious)
 	if err != nil {
@@ -32,13 +33,13 @@ func main() {
 	}
 	fmt.Printf("checking %s (%s)\n\n", suspicious, uni)
 
-	matches := det.DetectLabel("xn--ggle-0nda")
+	matches := det.DetectDomain(suspicious)
 	if len(matches) == 0 {
 		fmt.Println("no homograph detected")
 		return
 	}
 	for _, m := range matches {
-		fmt.Printf("HOMOGRAPH of %s.com\n", m.Reference)
+		fmt.Printf("HOMOGRAPH of %s\n", m.Imitated())
 		for _, d := range m.Diffs {
 			fmt.Printf("  position %d: %q imitates %q (flagged by %s)\n",
 				d.Pos, string(d.Got), string(d.Want), d.Source)

@@ -62,11 +62,12 @@ func main() {
 	start := time.Now()
 	alerts := 0
 	for _, domain := range newIDNs {
-		label := strings.TrimSuffix(strings.TrimSuffix(domain, "."), ".com")
-		for _, m := range det.DetectLabel(label) {
+		// DetectDomain splits the FQDN itself (root dot tolerated), so
+		// the same watch loop serves a .com, .net or IDN-TLD zone.
+		for _, m := range det.DetectDomain(domain) {
 			alerts++
-			fmt.Printf("ALERT: new registration %s (%s) is a homograph of %s.com\n",
-				domain, m.Unicode, m.Reference)
+			fmt.Printf("ALERT: new registration %s (%s) is a homograph of %s\n",
+				domain, m.Unicode, m.Imitated())
 		}
 	}
 	elapsed := time.Since(start)

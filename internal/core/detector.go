@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/domain"
 	"repro/internal/homoglyph"
 	"repro/internal/punycode"
 )
@@ -36,13 +37,28 @@ func (d CharDiff) String() string {
 	return fmt.Sprintf("%c≈%c@%d (%s)", d.Got, d.Want, d.Pos, d.Source)
 }
 
-// Match is one detected homograph: the IDN (in both forms) and the
-// reference it imitates.
+// Match is one detected homograph: the matched label (in both forms),
+// the reference it imitates, and the domain context it was found in —
+// so a report can say "xn--ggle-55da.net imitates google.net" instead
+// of hardcoding one TLD.
 type Match struct {
-	IDN       string // ASCII (xn--) form as seen in the zone
+	IDN       string // ASCII (xn--) form of the matched label, as seen in the zone
 	Unicode   string // decoded label
-	Reference string // targeted reference label (TLD removed)
+	Reference string // targeted reference label (registrable label, suffix removed)
+	FQDN      string // full domain the label was matched in (equals IDN for bare-label input)
+	TLD       string // public suffix of FQDN ("com", "co.uk", "xn--p1ai"); "" for bare labels
 	Diffs     []CharDiff
+}
+
+// Imitated returns the domain the match imitates: the reference label
+// under the matched FQDN's own public suffix ("google.net" for a
+// homograph registered in the .net zone). A bare-label match returns
+// just the reference.
+func (m Match) Imitated() string {
+	if m.TLD == "" {
+		return m.Reference
+	}
+	return m.Reference + "." + m.TLD
 }
 
 // refEntry is one indexed reference with its rune decomposition cached,
@@ -60,9 +76,9 @@ type bucket struct {
 	index []map[rune][]int32
 }
 
-// scratch holds the per-call working memory DetectLabel reuses across
-// labels, keeping the steady-state path allocation-free except for the
-// matches themselves.
+// scratch holds the per-call working memory DetectLabel and
+// DetectDomain reuse across labels, keeping the steady-state path
+// allocation-free except for the matches themselves.
 type scratch struct {
 	runes []rune
 	lists [][]int32
@@ -88,7 +104,19 @@ func NewDetector(db *homoglyph.DB, references []string) *Detector {
 	d.scratch.New = func() any { return &scratch{} }
 	seen := make(map[string]bool, len(references))
 	for _, ref := range references {
-		ref = strings.ToLower(strings.TrimSpace(ref))
+		// punycode.Fold is the same normalization the decode path applies
+		// to incoming labels, so an uppercase (even non-ASCII) reference
+		// and its lowercase spelling index identically.
+		ref = punycode.FoldString(strings.TrimSpace(ref))
+		// An ACE reference ("xn--bcher-kva") must index on its decoded
+		// runes — incoming labels are compared in Unicode form, so the
+		// literal ASCII spelling could never match any homograph. A
+		// label that fails to decode stays literal (inert, as before).
+		if punycode.IsACE(ref) {
+			if uni, err := punycode.ToUnicodeLabel(ref); err == nil {
+				ref = uni
+			}
+		}
 		if ref == "" || seen[ref] {
 			continue
 		}
@@ -186,11 +214,147 @@ func (d *Detector) DetectLabelBytes(label []byte) []Match {
 	return detectLabel(d, label)
 }
 
-// detectLabel is the shared hot path, compiled for both label spellings.
+// detectLabel is the label-level entry point: it borrows scratch and
+// runs the shared hot path.
 func detectLabel[S punycode.ByteSeq](d *Detector, idnLabel S) []Match {
 	sc := d.scratch.Get().(*scratch)
 	defer d.scratch.Put(sc)
+	return detectLabelIn(d, sc, idnLabel)
+}
 
+// DetectDomain checks a dotted FQDN — any TLD, any label count,
+// trailing root dot tolerated — by scanning each candidate label (ACE
+// "xn--" labels and labels carrying non-ASCII bytes; pure-ASCII labels
+// cannot be homographs) against the reference index. Only labels left
+// of the public suffix are scanned: the registrable label and any
+// subdomains are attacker-chosen, the suffix is the zone's own (and
+// skipping it keeps ACE TLDs like xn--p1ai from costing a punycode
+// decode per line). Matches carry the FQDN and its public suffix, so
+// reports can name the imitated domain on the zone it was actually
+// found in. Safe for concurrent use.
+func (d *Detector) DetectDomain(fqdn string) []Match {
+	return detectDomain(d, fqdn)
+}
+
+// DetectDomainBytes is DetectDomain over a reused line buffer: nothing
+// is retained from fqdn, and a domain that matches nothing allocates
+// nothing — the zone-feeder contract of DetectLabelBytes, lifted to
+// whole FQDNs.
+func (d *Detector) DetectDomainBytes(fqdn []byte) []Match {
+	return detectDomain(d, fqdn)
+}
+
+// detectDomain is the domain-level hot path, compiled for both
+// spellings. A cheap scratch-free gate runs first: the scannable
+// labels all sit left of the final dot (the suffix is never scanned),
+// so a name with no candidate label before its last dot — the shape of
+// almost every line in an IDN-TLD zone such as .xn--p1ai, where the
+// ACE TLD alone gets plain lines past the feeder's xn-- test — rejects
+// on one short byte scan. Names that pass split into label spans
+// (scratch-backed, no allocation); the candidate labels left of the
+// public suffix are scanned, and matches are enriched with the
+// FQDN/TLD context (materialized only when a label actually matched).
+func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S) []Match {
+	end := len(fqdn)
+	if end > 0 && fqdn[end-1] == '.' {
+		end-- // trailing root dot
+	}
+	trimmed := fqdn[:end]
+	firstDot := -1
+	for i := 0; i < end; i++ {
+		if trimmed[i] == '.' {
+			firstDot = i
+			break
+		}
+	}
+	if firstDot < 0 { // bare label
+		if !candidateLabel(trimmed) {
+			return nil
+		}
+		sc := d.scratch.Get().(*scratch)
+		defer d.scratch.Put(sc)
+		ms := detectLabelIn(d, sc, trimmed)
+		if len(ms) > 0 && end != len(fqdn) { // root-dot spelling: echo it
+			fq := string(fqdn)
+			for i := range ms {
+				ms[i].FQDN = fq
+			}
+		}
+		return ms
+	}
+
+	// One fused walk scans every scannable label. Scannability reduces
+	// to "not the final label": the first label is always scannable (the
+	// public suffix never swallows the whole name), the final label of a
+	// dotted name never is, and an interior label could only be excluded
+	// as the second half of a "co.uk"-style suffix — whose second-level
+	// entries are all plain ASCII, never candidates (an invariant the
+	// domain package pins with a test). Scratch is checked out lazily,
+	// so a line with no candidate label costs one byte scan and nothing
+	// else — the shape of almost every line an IDN TLD's xn-- sneaks
+	// past the feeder gate.
+	var out []Match
+	var sc *scratch
+	if label := trimmed[:firstDot]; candidateLabel(label) {
+		sc = d.scratch.Get().(*scratch)
+		out = detectLabelIn(d, sc, label)
+	}
+	secondLastStart, lastStart := 0, firstDot+1
+	start := firstDot + 1
+	for i := start; i < end; i++ {
+		if trimmed[i] != '.' {
+			continue
+		}
+		if label := trimmed[start:i]; candidateLabel(label) {
+			if sc == nil {
+				sc = d.scratch.Get().(*scratch)
+			}
+			out = append(out, detectLabelIn(d, sc, label)...)
+		}
+		secondLastStart, lastStart = lastStart, i+1
+		start = i + 1
+	}
+	if sc != nil {
+		d.scratch.Put(sc)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	// Attach the domain context, deciding the suffix width only now
+	// that a match exists.
+	fq := string(fqdn)
+	tldStart := lastStart
+	if lastStart > firstDot+1 && // three labels or more
+		domain.TwoLabelSuffix(trimmed, domain.Span{Start: secondLastStart, End: lastStart - 1}, domain.Span{Start: lastStart, End: end}) {
+		tldStart = secondLastStart
+	}
+	tld := fq[tldStart:end]
+	for i := range out {
+		out[i].FQDN = fq
+		out[i].TLD = tld
+	}
+	return out
+}
+
+// candidateLabel reports whether a label can be a homograph at all: an
+// ACE label decodes to non-ASCII by construction, and a raw label must
+// carry a non-ASCII byte (ASCII-to-ASCII pairs are never homoglyphs —
+// the soundness property the engine's tests pin).
+func candidateLabel[S punycode.ByteSeq](label S) bool {
+	if punycode.HasACEPrefix(label) {
+		return true
+	}
+	for i := 0; i < len(label); i++ {
+		if label[i] >= 0x80 {
+			return true
+		}
+	}
+	return false
+}
+
+// detectLabelIn is the shared per-label hot path, compiled for both
+// label spellings, running on borrowed scratch.
+func detectLabelIn[S punycode.ByteSeq](d *Detector, sc *scratch, idnLabel S) []Match {
 	runes, err := punycode.ToUnicodeLabelAppend(sc.runes[:0], idnLabel)
 	sc.runes = runes
 	if err != nil {
@@ -254,6 +418,7 @@ func detectLabel[S punycode.ByteSeq](d *Detector, idnLabel S) []Match {
 				IDN:       idn,
 				Unicode:   uni,
 				Reference: ref.label,
+				FQDN:      idn, // bare-label context; detectDomain overwrites
 				Diffs:     diffs,
 			})
 		}
@@ -332,6 +497,7 @@ func (d *Detector) DetectLabelLinear(idnLabel string) []Match {
 				IDN:       idnLabel,
 				Unicode:   uni,
 				Reference: b.refs[i].label,
+				FQDN:      idnLabel,
 				Diffs:     diffs,
 			})
 		}

@@ -10,35 +10,41 @@ import (
 	"repro/internal/punycode"
 )
 
-// compareMatch orders matches by IDN, then reference — the deterministic
-// output order every batch API guarantees regardless of worker count.
+// compareMatch orders matches by FQDN, then matched label, then
+// reference — the deterministic output order every batch API guarantees
+// regardless of worker count. (A multi-label FQDN can match through
+// more than one of its labels, so the label breaks FQDN ties.)
 func compareMatch(a, b Match) int {
+	if c := strings.Compare(a.FQDN, b.FQDN); c != 0 {
+		return c
+	}
 	if c := strings.Compare(a.IDN, b.IDN); c != 0 {
 		return c
 	}
 	return strings.Compare(a.Reference, b.Reference)
 }
 
-// Detect scans a set of IDN labels across GOMAXPROCS workers and returns
-// every (IDN, reference) match, sorted by IDN then reference.
-func (d *Detector) Detect(idnLabels []string) []Match {
-	return d.DetectParallel(idnLabels, 0)
+// Detect scans a set of domains (full FQDNs on any TLD, or bare IDN
+// labels) across GOMAXPROCS workers and returns every (domain,
+// reference) match, sorted by FQDN then reference.
+func (d *Detector) Detect(domains []string) []Match {
+	return d.DetectParallel(domains, 0)
 }
 
 // DetectParallel is Detect with an explicit worker count (≤ 0 means
 // GOMAXPROCS). The result is deterministic: workers accumulate private
 // match slices which are concatenated and sorted exactly once.
-func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
+func (d *Detector) DetectParallel(domains []string, workers int) []Match {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(idnLabels) {
-		workers = len(idnLabels)
+	if workers > len(domains) {
+		workers = len(domains)
 	}
 	var out []Match
 	if workers <= 1 {
-		for _, idn := range idnLabels {
-			out = append(out, d.DetectLabel(idn)...)
+		for _, idn := range domains {
+			out = append(out, d.DetectDomain(idn)...)
 		}
 	} else {
 		parts := make([][]Match, workers)
@@ -48,8 +54,8 @@ func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
 			go func(w int) {
 				defer wg.Done()
 				var local []Match
-				for i := w; i < len(idnLabels); i += workers {
-					local = append(local, d.DetectLabel(idnLabels[i])...)
+				for i := w; i < len(domains); i += workers {
+					local = append(local, d.DetectDomain(domains[i])...)
 				}
 				parts[w] = local
 			}(w)
@@ -68,11 +74,11 @@ func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
 	return out
 }
 
-// DetectStream scans labels arriving on in across workers (≤ 0 means
+// DetectStream scans domains arriving on in across workers (≤ 0 means
 // GOMAXPROCS) and sends every match on the returned channel, which is
 // closed once in is drained. Workers reuse the detector's per-call
 // buffers, so steady-state allocation is O(matches); match order across
-// labels is not deterministic — stream consumers that need the batch
+// domains is not deterministic — stream consumers that need the batch
 // ordering should sort with SortMatches.
 func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 	if workers <= 0 {
@@ -85,7 +91,7 @@ func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 		go func() {
 			defer wg.Done()
 			for idn := range in {
-				for _, m := range d.DetectLabel(idn) {
+				for _, m := range d.DetectDomain(idn) {
 					out <- m
 				}
 			}
@@ -98,12 +104,13 @@ func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 	return out
 }
 
-// DetectStreamBytes is DetectStream for pooled line buffers: labels
-// arrive as *[]byte, and each buffer is handed back to recycle (when
-// non-nil) as soon as its label has been scanned. Together with
-// DetectLabelBytes' lazy string materialization this makes the whole
-// line→match pipeline allocation-free in steady state on the miss path —
-// the common case at zone scale, where ~99% of labels match nothing.
+// DetectStreamBytes is DetectStream for pooled line buffers: normalized
+// zone lines (full FQDNs, any TLD) arrive as *[]byte, and each buffer is
+// handed back to recycle (when non-nil) as soon as its domain has been
+// scanned. Together with DetectDomainBytes' lazy string materialization
+// this makes the whole line→match pipeline allocation-free in steady
+// state on the miss path — the common case at zone scale, where ~99% of
+// domains match nothing.
 func (d *Detector) DetectStreamBytes(in <-chan *[]byte, workers int, recycle *sync.Pool) <-chan Match {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -115,7 +122,7 @@ func (d *Detector) DetectStreamBytes(in <-chan *[]byte, workers int, recycle *sy
 		go func() {
 			defer wg.Done()
 			for bp := range in {
-				for _, m := range d.DetectLabelBytes(*bp) {
+				for _, m := range d.DetectDomainBytes(*bp) {
 					out <- m
 				}
 				if recycle != nil {

@@ -35,8 +35,19 @@ func describeRune(r rune) string {
 }
 
 // BuildWarning converts a detection match into its user-facing context.
+// When the match carries domain context, both names are rendered under
+// the TLD the homograph was actually found on — "gооgle.net … did you
+// mean google.net?" — instead of a hardcoded suffix. Accessed is the
+// matched label plus that suffix; any subdomain prefix of the FQDN
+// (the "www." of www.gооgle.com) is dropped, which is what keeps the
+// Substitutes positions — label-relative rune indexes — valid as
+// direct indexes into Accessed.
 func BuildWarning(m Match) Warning {
-	w := Warning{Accessed: m.Unicode, Suggested: m.Reference}
+	accessed := m.Unicode
+	if m.TLD != "" {
+		accessed += "." + m.TLD
+	}
+	w := Warning{Accessed: accessed, Suggested: m.Imitated()}
 	for _, d := range m.Diffs {
 		w.Substitutes = append(w.Substitutes, Substitution{
 			Pos:      d.Pos,

@@ -1,0 +1,41 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultiSuffixEntriesAreNeverCandidates pins the invariant the
+// detection engine's fused domain walk relies on: every second-level
+// entry of the multi-label suffix table is plain lowercase ASCII with
+// no ACE prefix. It follows that an interior label which is a homograph
+// candidate (ACE or non-ASCII) can never be excluded as part of a
+// two-label public suffix — so "scannable" reduces to "not the final
+// label", with no per-line suffix probe. Whoever extends the table
+// with an entry violating this must teach core.detectDomain the
+// general case first.
+func TestMultiSuffixEntriesAreNeverCandidates(t *testing.T) {
+	for tld, slds := range multiSuffixes {
+		if tld != strings.ToLower(tld) {
+			t.Errorf("table TLD %q is not lowercase", tld)
+		}
+		// TwoLabelSuffix probes the table through a stack buffer of
+		// maxSuffixKeyLen bytes; a longer key would silently never match.
+		if len(tld) > maxSuffixKeyLen {
+			t.Errorf("table TLD %q is %d bytes, exceeding maxSuffixKeyLen=%d — TwoLabelSuffix would never find it", tld, len(tld), maxSuffixKeyLen)
+		}
+		for _, sld := range slds {
+			if sld != strings.ToLower(sld) {
+				t.Errorf("table entry %q.%s is not lowercase", sld, tld)
+			}
+			if strings.HasPrefix(sld, "xn--") {
+				t.Errorf("table entry %q.%s is an ACE label; core's fused scan assumes this never happens", sld, tld)
+			}
+			for i := 0; i < len(sld); i++ {
+				if sld[i] >= 0x80 {
+					t.Errorf("table entry %q.%s carries non-ASCII bytes; core's fused scan assumes this never happens", sld, tld)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package domain
+
+import "repro/internal/punycode"
+
+// multiSuffixes maps a final label to the second-level labels that,
+// combined with it, form a two-label public suffix — the "co.uk" cut
+// rule under which the third label from the right is the registrable
+// one. The table is a curated embed of the stable ccTLD second-level
+// registries most zone feeds cross (the full, churning public-suffix
+// list is an external dataset; swapping it in changes only this file).
+// Entries are lowercase; lookups fold ASCII case. Final-label keys
+// must fit maxSuffixKeyLen (invariant-tested), so long ACE TLD keys
+// (e.g. xn--90a3ac for .срб) can be added safely.
+var multiSuffixes = map[string][]string{
+	"ar": {"com", "gob", "net", "org"},
+	"au": {"com", "edu", "gov", "id", "net", "org"},
+	"br": {"com", "gov", "net", "nom", "org"},
+	"cn": {"ac", "com", "edu", "gov", "net", "org"},
+	"hk": {"com", "edu", "gov", "net", "org"},
+	"id": {"ac", "co", "go", "net", "or"},
+	"il": {"ac", "co", "gov", "muni", "net", "org"},
+	"in": {"ac", "co", "edu", "gov", "net", "org"},
+	"jp": {"ac", "ad", "co", "ed", "go", "lg", "ne", "or"},
+	"kr": {"ac", "co", "go", "ne", "or", "re"},
+	"mx": {"com", "edu", "gob", "net", "org"},
+	"my": {"com", "edu", "gov", "net", "org"},
+	"nz": {"ac", "co", "govt", "net", "org"},
+	"pl": {"com", "edu", "gov", "net", "org"},
+	"sg": {"com", "edu", "gov", "net", "org"},
+	"th": {"ac", "co", "go", "net", "or"},
+	"tr": {"av", "bel", "com", "edu", "gov", "net", "org"},
+	"tw": {"club", "com", "edu", "gov", "net", "org"},
+	"ua": {"com", "edu", "gov", "net", "org"},
+	"uk": {"ac", "co", "gov", "ltd", "me", "net", "org", "plc", "sch"},
+	"vn": {"ac", "com", "edu", "gov", "net", "org"},
+	"za": {"ac", "co", "edu", "gov", "net", "org", "web"},
+}
+
+// maxSuffixKeyLen bounds the byte length of a multiSuffixes key (a
+// final label). TwoLabelSuffix folds the probed label into a stack
+// buffer of this size, so a longer key would compile yet silently
+// never match — the invariant test asserts every table key fits.
+const maxSuffixKeyLen = 24
+
+// TwoLabelSuffix reports whether the labels of name at spans second
+// and last form a known two-label public suffix ("co"+"uk").
+// ASCII-case-insensitive, byte-wise: it runs on paths where the name
+// may not have been folded yet. The final label is folded into a
+// stack buffer for the map probe, so the test allocates nothing —
+// callers (the detector's per-line match path) rely on that.
+func TwoLabelSuffix[S punycode.ByteSeq](name S, second, last Span) bool {
+	var buf [maxSuffixKeyLen]byte
+	n := last.End - last.Start
+	if n <= 0 || n > len(buf) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := name[last.Start+i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	slds, ok := multiSuffixes[string(buf[:n])]
+	if !ok {
+		return false
+	}
+	for _, sld := range slds {
+		if equalFoldASCII(name, second, sld) {
+			return true
+		}
+	}
+	return false
+}
+
+// equalFoldASCII compares the span of name against want,
+// ASCII-case-insensitively.
+func equalFoldASCII[S punycode.ByteSeq](name S, sp Span, want string) bool {
+	if sp.End-sp.Start != len(want) {
+		return false
+	}
+	for i := 0; i < len(want); i++ {
+		c := name[sp.Start+i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"unicode"
 )
 
 // ACEPrefix is the ASCII-compatible-encoding prefix that marks an IDN label
@@ -18,6 +19,80 @@ var ErrLabelTooLong = errors.New("idna: encoded label exceeds 63 octets")
 
 // ErrEmptyLabel is returned for empty labels in domain conversion.
 var ErrEmptyLabel = errors.New("idna: empty label")
+
+// foldsBMP marks the Basic Multilingual Plane code points whose
+// unicode.ToLower differs from themselves — ~1,200 of 65,536. The
+// zone-ingestion hot path folds every decoded rune, and paying
+// unicode.ToLower's case-range binary search per (almost always
+// already-lowercase) rune showed up as tens of ns/line; one bit probe
+// rejects the common case instead. Built from unicode.CaseRanges so
+// coverage is exact by construction (Upper ∪ Lt alone would miss the
+// Nl/So oddities like Roman numerals and circled letters); a test
+// brute-forces the whole plane against unicode.ToLower.
+var foldsBMP [1 << 16 / 64]uint64
+
+func init() {
+	for _, cr := range unicode.CaseRanges {
+		lo, hi := rune(cr.Lo), rune(cr.Hi)
+		if lo > 0xFFFF {
+			continue
+		}
+		if hi > 0xFFFF {
+			hi = 0xFFFF
+		}
+		for r := lo; r <= hi; r++ {
+			if unicode.ToLower(r) != r {
+				foldsBMP[r>>6] |= 1 << (uint32(r) & 63)
+			}
+		}
+	}
+}
+
+// Fold maps one rune to its canonical lowercase form: the byte-cheap
+// A–Z shift for ASCII, unicode.ToLower beyond (bitset-gated so
+// already-lowercase runes cost one probe). It is the single case rule
+// every path normalizes through — reference labels in
+// core.NewDetector, decoded zone labels in ToUnicodeLabelAppend, and
+// encoding in ToASCIILabel — so an uppercase reference and an
+// uppercase-encoded zone label can never disagree about case.
+func Fold(r rune) rune {
+	if r < 0x80 {
+		if r >= 'A' && r <= 'Z' {
+			return r + 'a' - 'A'
+		}
+		return r
+	}
+	if r <= 0xFFFF && foldsBMP[r>>6]&(1<<(uint32(r)&63)) == 0 {
+		return r
+	}
+	return unicode.ToLower(r)
+}
+
+// FoldString lowercases s rune-wise via Fold, returning s itself (no
+// allocation) when it is already folded.
+func FoldString(s string) string {
+	for i, r := range s {
+		if Fold(r) != r {
+			// Fold the remainder into a fresh builder, keeping the
+			// already-folded prefix.
+			var sb strings.Builder
+			sb.Grow(len(s))
+			sb.WriteString(s[:i])
+			for _, r := range s[i:] {
+				sb.WriteRune(Fold(r))
+			}
+			return sb.String()
+		}
+	}
+	return s
+}
+
+// HasACEPrefix reports whether the label carries the xn-- ACE prefix,
+// for either label spelling — the allocation-free test the domain scan
+// uses to pick candidate labels out of an FQDN.
+func HasACEPrefix[S ByteSeq](label S) bool {
+	return hasACEPrefix(label)
+}
 
 // lowerASCII lowercases ASCII letters and passes everything else through.
 func lowerASCII(s string) string {
@@ -66,6 +141,7 @@ func hasACEPrefix[S ByteSeq](label S) bool {
 
 // ToASCIILabel converts one label to its ASCII (ACE) form. ASCII labels are
 // lowercased and returned as-is; labels with non-ASCII code points are
+// case-folded (Fold, so ToASCIILabel(x) == ToASCIILabel(FoldString(x))),
 // Punycode-encoded and prefixed with "xn--".
 func ToASCIILabel(label string) (string, error) {
 	if label == "" {
@@ -74,7 +150,7 @@ func ToASCIILabel(label string) (string, error) {
 	if IsASCII(label) {
 		return lowerASCII(label), nil
 	}
-	enc, err := Encode(lowerASCII(label))
+	enc, err := Encode(FoldString(label))
 	if err != nil {
 		return "", err
 	}
@@ -94,10 +170,10 @@ var errFakeACE = fmt.Errorf("%w: ACE label decodes to pure ASCII", ErrInvalid)
 // returned unchanged (lowercased). It is a thin wrapper over
 // ToUnicodeLabelAppend, differential-tested against it.
 func ToUnicodeLabel(label string) (string, error) {
-	label = lowerASCII(label)
-	if !IsACE(label) {
-		return label, nil
+	if !IsACE(label) { // the ACE-prefix test is case-insensitive
+		return FoldString(label), nil
 	}
+	label = lowerASCII(label)
 	dec, err := ToUnicodeLabelAppend(nil, label)
 	if err != nil {
 		return "", fmt.Errorf("label %q: %w", label, err)
@@ -115,14 +191,11 @@ func ToUnicodeLabelAppend[S ByteSeq](dst []rune, label S) ([]rune, error) {
 	base := len(dst)
 	if !hasACEPrefix(label) {
 		// range string(label) is conversion-free for the []byte
-		// instantiation; lowering A–Z on decoded runes is equivalent to
-		// the byte-level lowerASCII because those bytes never appear
-		// inside a multi-byte UTF-8 sequence.
+		// instantiation; folding decoded runes is equivalent to folding
+		// the raw bytes because A–Z never appear inside a multi-byte
+		// UTF-8 sequence.
 		for _, r := range string(label) {
-			if r >= 'A' && r <= 'Z' {
-				r += 'a' - 'A'
-			}
-			dst = append(dst, r)
+			dst = append(dst, Fold(r))
 		}
 		return dst, nil
 	}
@@ -133,16 +206,19 @@ func ToUnicodeLabelAppend[S ByteSeq](dst []rune, label S) ([]rune, error) {
 	if len(dst) == base {
 		return dst, ErrEmptyLabel
 	}
-	// The basic code points copied before the delimiter keep their input
-	// case; lower them here (non-basic output is ≥ U+0080, untouched) and
-	// detect the fake-ACE case in the same pass.
+	// Decoded output keeps the encoder's case; fold it here so labels
+	// and references meet on one normal form, and detect the fake-ACE
+	// case in the same pass. The ASCII verdict looks at the pre-fold
+	// rune: fake-ACE is a property of what was encoded, not of the fold
+	// (U+212A KELVIN SIGN folds to ASCII 'k' yet its encoding is a
+	// legitimate non-ASCII label).
 	ascii := true
 	for i := base; i < len(dst); i++ {
-		if r := dst[i]; r >= 'A' && r <= 'Z' {
-			dst[i] = r + 'a' - 'A'
-		} else if r >= 0x80 {
+		r := dst[i]
+		if r >= 0x80 {
 			ascii = false
 		}
+		dst[i] = Fold(r)
 	}
 	if ascii {
 		return dst[:base], errFakeACE
@@ -194,11 +270,6 @@ func ToUnicode(domain string) (string, error) {
 // ACE prefix — the paper's Step 2 test for extracting IDNs. It allocates
 // nothing: at ~134M lines per zone sweep this test runs on every line.
 func IsIDN(domain string) bool {
-	return isIDN(domain)
-}
-
-// IsIDNBytes is IsIDN for a reused line buffer.
-func IsIDNBytes(domain []byte) bool {
 	return isIDN(domain)
 }
 

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/domain"
 	"repro/internal/stats"
 )
 
@@ -63,17 +64,26 @@ func (l *List) Top(n int) []string {
 // Len reports the list size.
 func (l *List) Len() int { return len(l.Entries) }
 
-// SLDs returns the second-level labels of the top n ".com" domains —
-// the reference labels Algorithm 1 matches against (TLD removed).
+// SLDs returns the registrable labels of the top-ranked domains — the
+// reference labels Algorithm 1 matches against (public suffix removed,
+// co.uk-style multi-label suffixes handled) — until n distinct labels
+// are collected or the list is exhausted. Every TLD contributes: the
+// seed's ".com"-only filter silently dropped amazon.co.uk-style
+// references. Duplicate labels (google.com and google.net) keep their
+// best-ranked occurrence.
 func (l *List) SLDs(n int) []string {
 	var out []string
+	seen := make(map[string]bool, n)
 	for _, e := range l.Entries {
 		if len(out) == n {
 			break
 		}
-		if strings.HasSuffix(e.Domain, ".com") {
-			out = append(out, strings.TrimSuffix(e.Domain, ".com"))
+		label, _ := domain.Registrable(e.Domain)
+		if label == "" || seen[label] {
+			continue
 		}
+		seen[label] = true
+		out = append(out, label)
 	}
 	return out
 }

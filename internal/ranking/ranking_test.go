@@ -32,11 +32,36 @@ func TestTopAndSLDs(t *testing.T) {
 		t.Errorf("Top(99) = %v", got)
 	}
 	slds := l.SLDs(5)
-	if len(slds) != 2 || slds[0] != "google" || slds[1] != "amazon" {
+	// Every TLD contributes a registrable label now — the seed dropped
+	// example.net outright.
+	if len(slds) != 3 || slds[0] != "google" || slds[1] != "example" || slds[2] != "amazon" {
 		t.Errorf("SLDs = %v", slds)
 	}
 	if got := l.SLDs(1); len(got) != 1 {
 		t.Errorf("SLDs(1) = %v", got)
+	}
+}
+
+// TestSLDsMultiTLD: co.uk-style suffixes index on the registrable
+// label, duplicates collapse onto the best-ranked occurrence, and IDN
+// TLDs are handled.
+func TestSLDsMultiTLD(t *testing.T) {
+	l := NewList([]string{
+		"amazon.co.uk",
+		"google.com",
+		"google.net",                 // duplicate label, lower rank
+		"www.bbc.co.uk",              // subdomain present in the list
+		"xn--80ak6aa92e.xn--p1ai",    // ACE label under an IDN TLD
+	})
+	got := l.SLDs(10)
+	want := []string{"amazon", "google", "bbc", "xn--80ak6aa92e"}
+	if len(got) != len(want) {
+		t.Fatalf("SLDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SLDs = %v, want %v", got, want)
+		}
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package shamfinder
+
+const raceEnabled = false

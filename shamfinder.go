@@ -17,9 +17,9 @@
 //	sf, err := shamfinder.New(shamfinder.Config{})
 //	if err != nil { ... }
 //	det := sf.NewDetector([]string{"google", "facebook"})
-//	matches := det.DetectLabel("xn--ggle-55da") // gοοgle
+//	matches := det.DetectDomain("xn--ggle-55da.net") // gооgle, any TLD
 //	for _, m := range matches {
-//	    fmt.Println(sf.Warn(m).Text())
+//	    fmt.Println(sf.Warn(m).Text()) // "did you mean google.net?"
 //	}
 package shamfinder
 
@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/confusables"
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/fontgen"
 	"repro/internal/hexfont"
 	"repro/internal/homoglyph"
@@ -207,11 +208,19 @@ func loadSnapshot(db *homoglyph.DB, det *core.Detector, err error) (*Framework, 
 }
 
 // NormalizeZoneLine prepares one domain-list line for detection, in
-// place and without allocating: ASCII whitespace is trimmed, ASCII
-// letters are lowercased, and a trailing ".com" TLD is stripped. It
-// reports false for blank lines and non-IDN domains — the overwhelming
-// majority of a zone, rejected with zero work beyond the byte scan.
-// The returned label aliases line's storage.
+// place and without allocating: ASCII whitespace is trimmed, one
+// trailing root dot is dropped, and ASCII letters are lowercased. The
+// whole FQDN is kept — any TLD, any label count — for the domain-aware
+// detectors (DetectDomainBytes / DetectStreamBytes) to split; the seed
+// pipeline's trailing-".com" strip made every other zone invisible.
+//
+// It reports false for blank lines and lines with no scannable
+// homograph candidate: a candidate is an ACE label left of the final
+// dot, a bare ACE label, or any non-ASCII byte. The position test
+// matters in IDN-TLD zones (.xn--p1ai), where the TLD would otherwise
+// qualify every plain line: those reject here, before the pooled-buffer
+// copy and worker handoff, with zero work beyond one byte scan. The
+// returned domain aliases line's storage.
 func NormalizeZoneLine(line []byte) ([]byte, bool) {
 	start, end := 0, len(line)
 	for start < end && asciiSpace(line[start]) {
@@ -220,8 +229,11 @@ func NormalizeZoneLine(line []byte) ([]byte, bool) {
 	for end > start && asciiSpace(line[end-1]) {
 		end--
 	}
+	if end > start && line[end-1] == '.' {
+		end-- // zone files write FQDNs with the root dot
+	}
 	line = line[start:end]
-	if len(line) == 0 || !punycode.IsIDNBytes(line) {
+	if len(line) == 0 || !scannableZoneName(line) {
 		return nil, false
 	}
 	for i, c := range line {
@@ -229,10 +241,36 @@ func NormalizeZoneLine(line []byte) ([]byte, bool) {
 			line[i] = c + 'a' - 'A'
 		}
 	}
-	if n := len(line) - len(".com"); n >= 0 && string(line[n:]) == ".com" {
-		line = line[:n]
-	}
 	return line, true
+}
+
+// scannableZoneName is NormalizeZoneLine's gate, one early-exit pass:
+// keep on the first non-ASCII byte, or on a dot following an ACE label
+// start (the ACE label is then left of the final dot). A lone ACE
+// label with nothing after it is kept only when it IS the whole name
+// (firstACE == 0) — otherwise it is the name's TLD, which the detector
+// never scans. The prefix probe runs on the label tail; "xn--" cannot
+// span a dot, so no cross-label false positive exists.
+func scannableZoneName(line []byte) bool {
+	firstACE := -1
+	labelStart := true
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c >= 0x80 {
+			return true
+		}
+		if firstACE >= 0 {
+			if c == '.' {
+				return true
+			}
+			continue
+		}
+		if labelStart && punycode.HasACEPrefix(line[i:]) {
+			firstACE = i
+		}
+		labelStart = c == '.'
+	}
+	return firstACE == 0
 }
 
 func asciiSpace(c byte) bool {
@@ -251,7 +289,8 @@ func (f *Framework) Font() *hexfont.Font { return f.font }
 func (f *Framework) BuildTimings() simchar.Timings { return f.timings }
 
 // NewDetector builds an Algorithm 1 detector over reference labels
-// (second-level domains with the TLD removed, e.g. "google").
+// (registrable labels with the public suffix removed, e.g. "google" —
+// see Registrable for the co.uk-aware split).
 func (f *Framework) NewDetector(references []string) *Detector {
 	return &Detector{inner: core.NewDetector(f.db, references)}
 }
@@ -286,22 +325,23 @@ func (d *Detector) DetectLabel(idnLabel string) []Match {
 	return d.inner.DetectLabel(idnLabel)
 }
 
-// Detect scans a batch of IDN labels across GOMAXPROCS workers,
-// returning matches sorted by (IDN, reference).
-func (d *Detector) Detect(idnLabels []string) []Match {
-	return d.inner.Detect(idnLabels)
+// Detect scans a batch of domains (full FQDNs on any TLD, or bare IDN
+// labels) across GOMAXPROCS workers, returning matches sorted by
+// (FQDN, reference).
+func (d *Detector) Detect(domains []string) []Match {
+	return d.inner.Detect(domains)
 }
 
 // DetectParallel is Detect with an explicit worker count (≤ 0 means
 // GOMAXPROCS). Output is deterministic regardless of worker count.
-func (d *Detector) DetectParallel(idnLabels []string, workers int) []Match {
-	return d.inner.DetectParallel(idnLabels, workers)
+func (d *Detector) DetectParallel(domains []string, workers int) []Match {
+	return d.inner.DetectParallel(domains, workers)
 }
 
-// DetectStream scans labels arriving on in across workers (≤ 0 means
+// DetectStream scans domains arriving on in across workers (≤ 0 means
 // GOMAXPROCS), sending matches on the returned channel until in is
 // drained — the zone-scale entry point: per-worker buffers are reused,
-// so steady-state allocation is O(matches). Cross-label match order is
+// so steady-state allocation is O(matches). Cross-domain match order is
 // not deterministic; use SortMatches for the batch ordering.
 func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 	return d.inner.DetectStream(in, workers)
@@ -312,6 +352,22 @@ func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 // can recycle one buffer per in-flight line.
 func (d *Detector) DetectLabelBytes(label []byte) []Match {
 	return d.inner.DetectLabelBytes(label)
+}
+
+// DetectDomain checks a dotted FQDN on any TLD — "xn--ggle-55da.net",
+// "www.xn--ggle-55da.com", "xn--80ak6aa92e.xn--p1ai", "gооgle.co.uk" —
+// scanning every candidate label (ACE or non-ASCII) against the
+// references. Matches carry the FQDN and its public suffix; see
+// Match.Imitated for the "google.net"-style rendering.
+func (d *Detector) DetectDomain(fqdn string) []Match {
+	return d.inner.DetectDomain(fqdn)
+}
+
+// DetectDomainBytes is DetectDomain over a reused line buffer (zero
+// allocation when the domain matches nothing) — the primitive a zone
+// feeder pairs with NormalizeZoneLine.
+func (d *Detector) DetectDomainBytes(fqdn []byte) []Match {
+	return d.inner.DetectDomainBytes(fqdn)
 }
 
 // DetectStreamBytes is DetectStream for pooled line buffers: each *[]byte
@@ -340,9 +396,17 @@ func ToASCII(domain string) (string, error) { return punycode.ToASCII(domain) }
 // ToUnicode converts an ACE domain to its Unicode form.
 func ToUnicode(domain string) (string, error) { return punycode.ToUnicode(domain) }
 
-// IsIDN reports whether any label of domain carries the "xn--" ACE
+// IsIDN reports whether any label of the domain carries the "xn--" ACE
 // prefix.
-func IsIDN(domain string) bool { return punycode.IsIDN(domain) }
+func IsIDN(name string) bool { return punycode.IsIDN(name) }
+
+// Registrable splits a domain name into its registrable label — the
+// unit references index on — and its public suffix: ("amazon", "co.uk")
+// for "amazon.co.uk", ("google", "com") for "www.google.com". A bare
+// label returns (label, "").
+func Registrable(name string) (label, suffix string) {
+	return domain.Registrable(name)
+}
 
 // ExtractIDNs filters a domain list to the IDNs — the paper's Step 2.
 func ExtractIDNs(domains []string) []string {

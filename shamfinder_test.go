@@ -268,12 +268,20 @@ func TestNormalizeZoneLine(t *testing.T) {
 	}{
 		{"", "", false},
 		{"   \t", "", false},
-		{"plain.com", "", false},                     // not an IDN
-		{"xn--bcher-kva.com", "xn--bcher-kva", true}, // ACE + .com stripped
-		{"XN--BCHER-KVA.COM", "xn--bcher-kva", true}, // case-folded first
-		{"  xn--p1ai \r", "xn--p1ai", true},          // trimmed, no .com
-		{"sub.xn--p1ai", "sub.xn--p1ai", true},       // ACE in later label
-		{"notxn--fake.com", "", false},               // prefix must start a label
+		{"plain.com", "", false},                          // not an IDN
+		{".", "", false},                                  // bare root
+		{"xn--bcher-kva.com", "xn--bcher-kva.com", true},  // FQDN kept, TLD and all
+		{"XN--BCHER-KVA.COM", "xn--bcher-kva.com", true},  // case-folded
+		{"xn--bcher-kva.net", "xn--bcher-kva.net", true},  // non-.com zones visible
+		{"xn--bcher-kva.net.", "xn--bcher-kva.net", true}, // root dot dropped
+		{"www.XN--GGLE-55DA.CO.UK", "www.xn--ggle-55da.co.uk", true},
+		{"  xn--p1ai \r", "xn--p1ai", true}, // trimmed; bare ACE label kept
+		{"xn--p1ai.sub", "xn--p1ai.sub", true},
+		// A plain registrable label under an IDN TLD has no scannable
+		// candidate — the detector never scans the suffix — so the
+		// feeder rejects it before the pooled copy and worker handoff.
+		{"sub.xn--p1ai", "", false},
+		{"notxn--fake.com", "", false}, // prefix must start a label
 	}
 	for _, c := range cases {
 		buf := []byte(c.in)
@@ -286,6 +294,68 @@ func TestNormalizeZoneLine(t *testing.T) {
 			t.Errorf("NormalizeZoneLine(%q) = %q, want %q", c.in, got, c.want)
 		}
 	}
+}
+
+// naiveNormalizeZoneLine is the allocation-heavy reference
+// implementation of the zone-line contract: ASCII-whitespace trim, one
+// root dot dropped, scannable-candidate gate, ASCII lowercase. The
+// in-place NormalizeZoneLine is differentially fuzzed against it.
+func naiveNormalizeZoneLine(line string) (string, bool) {
+	s := strings.Trim(line, " \t\r\n\f\v")
+	s = strings.TrimSuffix(s, ".")
+	if s == "" || !naiveScannable(s) {
+		return "", false
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b), true
+}
+
+// naiveScannable spells out the gate via Split: any non-ASCII byte, or
+// an ACE label that is not the name's final label (a bare ACE label
+// counts — it IS the name).
+func naiveScannable(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return true
+		}
+	}
+	labels := strings.Split(s, ".")
+	for i, l := range labels {
+		if strings.HasPrefix(strings.ToLower(l), "xn--") && (len(labels) == 1 || i < len(labels)-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzNormalizeZoneLine: the in-place fast path must agree with the
+// naive reference on arbitrary bytes — including non-UTF-8 garbage,
+// interior dots, and whitespace runs. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzNormalizeZoneLine` explores further.
+func FuzzNormalizeZoneLine(f *testing.F) {
+	for _, s := range []string{
+		"", " ", ".", "..", "xn--a.com", " XN--A.NET. ", "sub.xn--p1ai",
+		"notxn--fake.com", "xn--a..", "\txn--b.co.uk\r\n", "plain.com",
+		"xn--", "a.b.xn--c", "xn--a.com extra", "\x80xn--a.com", "XN--A",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		buf := []byte(line)
+		got, ok := NormalizeZoneLine(buf)
+		want, wantOK := naiveNormalizeZoneLine(line)
+		if ok != wantOK {
+			t.Fatalf("NormalizeZoneLine(%q) keep = %v, naive = %v", line, ok, wantOK)
+		}
+		if ok && string(got) != want {
+			t.Fatalf("NormalizeZoneLine(%q) = %q, naive = %q", line, got, want)
+		}
+	})
 }
 
 // TestNormalizeZoneLineAllocs: the per-line feeder primitive must not
@@ -305,6 +375,47 @@ func TestNormalizeZoneLineAllocs(t *testing.T) {
 		NormalizeZoneLine(buf[:len(plain)])
 	}); n != 0 {
 		t.Errorf("NormalizeZoneLine(plain) allocates %.1f/line", n)
+	}
+}
+
+// TestDetectDomainBytesMissAllocs: the whole per-line pipeline —
+// normalize, split, decode, candidate-index probe — must allocate
+// nothing for domains that match no reference, across TLD shapes.
+func TestDetectDomainBytesMissAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google", "amazon"})
+	lines := [][]byte{
+		[]byte("xn--bcher-kva.com"),
+		[]byte("xn--bcher-kva.net"),
+		[]byte("xn--bcher-kva.co.uk"),
+		[]byte("www.xn--bcher-kva.com"),
+		[]byte("xn--bcher-kva.xn--p1ai"),
+		[]byte("plain-label.xn--p1ai"),
+	}
+	buf := make([]byte, 0, 80)
+	// Warm the detector's scratch pool outside the measured region.
+	for _, l := range lines {
+		buf = append(buf[:0], l...)
+		if fqdn, ok := NormalizeZoneLine(buf); ok {
+			det.DetectDomainBytes(fqdn)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for _, l := range lines {
+			buf = append(buf[:0], l...)
+			fqdn, ok := NormalizeZoneLine(buf)
+			if !ok {
+				continue
+			}
+			if ms := det.DetectDomainBytes(fqdn); len(ms) != 0 {
+				t.Fatal("unexpected match")
+			}
+		}
+	}); n != 0 {
+		t.Errorf("miss-path pipeline allocates %.1f per sweep; want 0", n)
 	}
 }
 
@@ -339,6 +450,82 @@ func TestDetectStreamBytesMatchesBatch(t *testing.T) {
 	for i := range got {
 		if got[i].IDN != want[i].IDN || got[i].Reference != want[i].Reference || got[i].Unicode != want[i].Unicode {
 			t.Fatalf("match %d diverges: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDetectMultiTLDEndToEnd drives the exact cmdDetect pipeline —
+// NormalizeZoneLine feeding pooled buffers into DetectStreamBytes —
+// over a zone slice spanning .com, .net, a multi-label suffix, and an
+// IDN TLD. The seed pipeline (strip ".com", treat the rest as one
+// label) silently missed every non-.com line here; the test first
+// re-enacts that miss, then asserts the domain-aware pipeline finds
+// them all with the right FQDN/TLD context.
+func TestDetectMultiTLDEndToEnd(t *testing.T) {
+	fw := framework(t)
+	det := fw.NewDetector([]string{"google", "amazon"})
+	g, _ := ToASCII("gооgle") // Cyrillic о ×2
+	a, _ := ToASCII("amаzon") // Cyrillic а
+
+	zone := []string{
+		"plain.net",           // not an IDN: rejected at the gate
+		g + ".net",            // non-.com gTLD
+		"www." + g + ".com",   // multi-label FQDN, IDN in non-final label
+		g + ".xn--p1ai",       // ACE/IDN TLD
+		a + ".co.uk",          // multi-label public suffix
+		strings.ToUpper(g) + ".NET.", // uppercase + root dot
+	}
+
+	// The seed treatment: TrimSuffix(".com") and detect the remainder as
+	// one label. Every line above either keeps its dots or keeps its TLD,
+	// so the single-label engine sees a malformed label and finds nothing.
+	for _, line := range zone[1:] {
+		seedLabel := strings.TrimSuffix(strings.ToLower(line), ".com")
+		if ms := det.DetectLabel(seedLabel); len(ms) != 0 {
+			t.Fatalf("seed-style DetectLabel(%q) unexpectedly matched: %v", seedLabel, ms)
+		}
+	}
+
+	// The real pipeline, verbatim from cmdDetect.
+	labels := make(chan *[]byte, 4)
+	pool := &sync.Pool{New: func() any { b := make([]byte, 0, 80); return &b }}
+	go func() {
+		defer close(labels)
+		for _, line := range zone {
+			buf := []byte(line)
+			label, ok := NormalizeZoneLine(buf)
+			if !ok {
+				continue
+			}
+			bp := pool.Get().(*[]byte)
+			*bp = append((*bp)[:0], label...)
+			labels <- bp
+		}
+	}()
+	var matches []Match
+	for m := range det.DetectStreamBytes(labels, 2, pool) {
+		matches = append(matches, m)
+	}
+	SortMatches(matches)
+
+	type hit struct{ fqdn, ref, tld, imitated string }
+	var got []hit
+	for _, m := range matches {
+		got = append(got, hit{m.FQDN, m.Reference, m.TLD, m.Imitated()})
+	}
+	want := []hit{ // sorted by FQDN: "www." < "xn--"
+		{"www." + g + ".com", "google", "com", "google.com"},
+		{a + ".co.uk", "amazon", "co.uk", "amazon.co.uk"},
+		{g + ".net", "google", "net", "google.net"},
+		{g + ".net", "google", "net", "google.net"}, // the uppercase spelling, normalized
+		{g + ".xn--p1ai", "google", "xn--p1ai", "google.xn--p1ai"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %+v, want %d hits %+v", got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("match %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
 }
