@@ -12,15 +12,23 @@
 package shamfinder
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/homoglyph"
 	"repro/internal/punycode"
+	"repro/internal/service"
 	"repro/internal/simchar"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
@@ -652,6 +660,245 @@ func BenchmarkIngestion(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(lines)), "ns/line")
+	})
+}
+
+// --- PR 4: serving-layer benches ---
+
+// benchServer spins up the HTTP serving layer over a 10k-reference
+// engine — the load-generator fixture for the serve benches.
+func benchServer(b *testing.B, refs []string) (*httptest.Server, *core.Engine) {
+	b.Helper()
+	e := benchSetup(b)
+	engine := core.NewEngine(core.NewDetector(e.DB(), refs))
+	srv := service.New(service.Config{Engine: engine})
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+	return ts, engine
+}
+
+// benchClient returns an HTTP client whose idle pool matches the
+// bench's parallelism: DefaultTransport keeps only 2 idle conns per
+// host, which would make a parallel load test measure TCP connection
+// setup (and risk ephemeral-port exhaustion at long -benchtime)
+// instead of the detect path.
+func benchClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+}
+
+// BenchmarkServeDetect is the serving-layer load generator: parallel
+// clients hammer POST /v1/detect over real HTTP (connection reuse,
+// JSON round-trip, the bounded-concurrency gate — the whole request
+// path), alternating a homograph hit and a zone-shaped miss. Reported
+// alongside ns/op: requests/sec, and the server's own p50/p99 service
+// time read back from /metrics — the numbers CI publishes as
+// BENCH_serve.json.
+func BenchmarkServeDetect(b *testing.B) {
+	e := benchSetup(b)
+	ts, _ := benchServer(b, e.Refs().SLDs(10000))
+	bodies := [][]byte{
+		[]byte(`{"fqdn":"xn--ggle-55da.com"}`),
+		[]byte(`{"fqdn":"plainzonename.com"}`),
+		[]byte(`{"fqdns":["xn--ggle-55da.net","miss.example.net","xn--fcebook-2fg.com"]}`),
+	}
+	var failed atomic.Uint64
+	client := benchClient()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/v1/detect", "application/json",
+				bytes.NewReader(bodies[i%len(bodies)]))
+			i++
+			if err != nil {
+				failed.Add(1)
+				continue
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				failed.Add(1)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := failed.Load(); n != 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	var st service.Stats
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	b.ReportMetric(float64(st.P50Ns), "p50_ns")
+	b.ReportMetric(float64(st.P99Ns), "p99_ns")
+}
+
+// BenchmarkServeReload is the zero-downtime acceptance bench: each
+// iteration hot-swaps the serving state from a compiled snapshot file
+// over POST /v1/reload (alternating two artifacts with disjoint
+// reference sets) while background clients query continuously over
+// HTTP. Every response must be error-free and exactly consistent with
+// the epoch it reports — odd epochs hold the google set (probe
+// matches), even the paypal set (probe misses) — and reported epochs
+// may never precede one the checker already observed, so an answer
+// can never be more than one swap stale. Run with -benchtime 100x or
+// more (CI does) to prove ≥100 consecutive swaps under load;
+// query_errors and epoch_violations are reported and must be zero.
+func BenchmarkServeReload(b *testing.B) {
+	e := benchSetup(b)
+	dir := b.TempDir()
+	snapA, snapB := dir+"/a.snap", dir+"/b.snap"
+	if err := snapshot.WriteFile(snapA, e.DB(), core.NewDetector(e.DB(), []string{"google"})); err != nil {
+		b.Fatal(err)
+	}
+	if err := snapshot.WriteFile(snapB, e.DB(), core.NewDetector(e.DB(), []string{"paypal"})); err != nil {
+		b.Fatal(err)
+	}
+	ts, engine := benchServer(b, []string{"google"}) // epoch 1 = google = odd
+
+	var stop atomic.Bool
+	var queries, errors, violations atomic.Uint64
+	var wg sync.WaitGroup
+	client := benchClient()
+	probe := []byte(`{"fqdn":"xn--ggle-55da.com"}`)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			for !stop.Load() {
+				resp, err := client.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(probe))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				var out struct {
+					Epoch   uint64            `json:"epoch"`
+					Matches []json.RawMessage `json:"matches"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if decErr != nil || resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				queries.Add(1)
+				if (out.Epoch%2 == 1) != (len(out.Matches) == 1) {
+					violations.Add(1) // answer from a different epoch than reported
+				}
+				if out.Epoch < lastEpoch {
+					violations.Add(1) // served state older than one already seen
+				}
+				lastEpoch = out.Epoch
+			}
+		}()
+	}
+
+	reload := func(path string) {
+		body := fmt.Sprintf(`{"snapshot":%q}`, path)
+		resp, err := client.Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("reload: status %d", resp.StatusCode)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if engine.Epoch()%2 == 1 {
+			reload(snapB)
+		} else {
+			reload(snapA)
+		}
+	}
+	b.StopTimer()
+	// The acceptance bar is ≥100 consecutive swaps; top up untimed if
+	// the bench harness chose a smaller N.
+	for extra := b.N; extra < 100; extra++ {
+		if engine.Epoch()%2 == 1 {
+			reload(snapB)
+		} else {
+			reload(snapA)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	b.ReportMetric(float64(engine.Epoch()-1), "swaps")
+	b.ReportMetric(float64(queries.Load()), "queries")
+	b.ReportMetric(float64(errors.Load()), "query_errors")
+	b.ReportMetric(float64(violations.Load()), "epoch_violations")
+	if errors.Load() != 0 || violations.Load() != 0 {
+		b.Fatalf("%d query errors, %d epoch violations across %d swaps",
+			errors.Load(), violations.Load(), engine.Epoch()-1)
+	}
+	if queries.Load() == 0 {
+		b.Fatal("no queries completed during the swap storm")
+	}
+}
+
+// BenchmarkExtractIDNs measures the Step-2 filter on a zone-shaped
+// corpus (~10% IDNs): the seed append-grow loop, the two-pass
+// exact-size ExtractIDNs, and the aliasing ExtractIDNsBytes, which
+// must allocate exactly once (the result slice) per call.
+func BenchmarkExtractIDNs(b *testing.B) {
+	rng := stats.NewRNG(0x51d)
+	strs := make([]string, 0, 8192)
+	byteLines := make([][]byte, 0, 8192)
+	for i := 0; i < 8192; i++ {
+		var line string
+		if rng.Intn(10) == 0 {
+			line = fmt.Sprintf("xn--idn%d-abc.com", i)
+		} else {
+			line = fmt.Sprintf("plainzonename%d.com", i)
+		}
+		strs = append(strs, line)
+		byteLines = append(byteLines, []byte(line))
+	}
+	b.Run("seed-append", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var out []string
+			for _, d := range strs {
+				if IsIDN(d) {
+					out = append(out, d)
+				}
+			}
+			if len(out) == 0 {
+				b.Fatal("no IDNs")
+			}
+		}
+	})
+	b.Run("prealloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(ExtractIDNs(strs)) == 0 {
+				b.Fatal("no IDNs")
+			}
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(ExtractIDNsBytes(byteLines)) == 0 {
+				b.Fatal("no IDNs")
+			}
+		}
 	})
 }
 

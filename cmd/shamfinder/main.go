@@ -1,14 +1,16 @@
 // Command shamfinder is the framework's CLI: detect IDN homographs in
-// a domain list, explain a single suspicious domain, revert a
-// homograph to its plausible original, dump homoglyphs of a
-// character, or compile the built databases into a binary snapshot so
-// later runs cold-start in milliseconds instead of rebuilding the
-// font + SimChar + UC pipeline.
+// a domain list, serve detection as a long-running hot-swappable HTTP
+// service, explain a single suspicious domain, revert a homograph to
+// its plausible original, dump homoglyphs of a character, or compile
+// the built databases into a binary snapshot so later runs cold-start
+// in milliseconds instead of rebuilding the font + SimChar + UC
+// pipeline.
 //
 // Usage:
 //
 //	shamfinder compile -o shamfinder.snap [-refs refs.txt] [-db uc|simchar|both]
-//	shamfinder detect -refs refs.txt [-domains zone.txt] [-db uc|simchar|both] [-workers N]
+//	shamfinder serve -snapshot shamfinder.snap [-addr 127.0.0.1:8080] [-watch 2s]
+//	shamfinder detect -refs refs.txt [-domains zone.txt] [-db uc|simchar|both] [-workers N] [-json]
 //	shamfinder detect -snapshot shamfinder.snap [-domains zone.txt]
 //	shamfinder explain -refs refs.txt xn--ggle-55da.com
 //	shamfinder revert xn--ggle-55da.com
@@ -27,15 +29,21 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 
 	"repro"
-	"repro/internal/ranking"
+	"repro/internal/reflist"
+	"repro/internal/service"
 )
 
 func main() {
@@ -48,6 +56,8 @@ func main() {
 	switch cmd {
 	case "compile":
 		err = cmdCompile(args)
+	case "serve":
+		err = cmdServe(args)
 	case "detect":
 		err = cmdDetect(args)
 	case "explain":
@@ -69,17 +79,23 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   shamfinder compile -o FILE [-refs FILE] [-db uc|simchar|both] [-fastfont]
-  shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N]
+  shamfinder serve   {-refs FILE | -snapshot FILE} [-addr HOST:PORT] [-watch DUR] [-max-inflight N] [-db uc|simchar|both] [-fastfont]
+  shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N] [-json]
   shamfinder explain {-refs FILE | -snapshot FILE} [-fastfont] DOMAIN
   shamfinder revert  [-snapshot FILE] [-fastfont] DOMAIN
   shamfinder glyphs  [-snapshot FILE] [-fastfont] CHAR
 
 domain lists may span any TLD (.com, .net, co.uk, xn--p1ai, ...); full
 FQDNs are scanned label-aware and references index on their registrable
-label (amazon.co.uk protects "amazon").`)
+label (amazon.co.uk protects "amazon").
+
+serve exposes the hot-swappable engine as an HTTP JSON API (POST
+/v1/detect, GET /v1/explain, POST /v1/reload, GET /healthz, GET
+/metrics); -watch polls the snapshot file and swaps new state in with
+zero downtime.`)
 }
 
-func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
+func buildConfig(fast bool, db string) (shamfinder.Config, error) {
 	cfg := shamfinder.Config{}
 	if fast {
 		cfg.FontScope = shamfinder.FontFast
@@ -92,7 +108,15 @@ func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
 	case "simchar":
 		cfg.Sources = shamfinder.SourceSimChar
 	default:
-		return nil, fmt.Errorf("unknown -db %q (want uc, simchar or both)", db)
+		return cfg, fmt.Errorf("unknown -db %q (want uc, simchar or both)", db)
+	}
+	return cfg, nil
+}
+
+func newFramework(fast bool, db string) (*shamfinder.Framework, error) {
+	cfg, err := buildConfig(fast, db)
+	if err != nil {
+		return nil, err
 	}
 	return shamfinder.New(cfg)
 }
@@ -137,54 +161,14 @@ func loadEngine(snapPath, refsPath string, fast bool, db string, needDetector bo
 	return fw, det, nil
 }
 
-// loadRefs reads reference labels from a plain list or rank CSV. Each
-// domain contributes its registrable label — suffix-aware, so
-// amazon.co.uk indexes "amazon", not "amazon.co" — on any TLD. Only
-// the first non-blank line is sniffed for the CSV comma: a plain
-// domain list whose 512-byte head happens to contain a comma further
-// down must not be misrouted to the CSV parser, and read/seek errors
-// are reported instead of ignored.
+// loadRefs reads reference labels from a plain list or rank CSV —
+// shared with the serving layer's /v1/reload endpoint through
+// internal/reflist, so a list hot-loaded over HTTP parses exactly as
+// it does here. Each domain contributes its registrable label —
+// suffix-aware, so amazon.co.uk indexes "amazon", not "amazon.co" —
+// on any TLD.
 func loadRefs(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sniff := bufio.NewScanner(f)
-	sniff.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	isCSV := false
-	for sniff.Scan() {
-		if line := strings.TrimSpace(sniff.Text()); line != "" {
-			isCSV = strings.Contains(line, ",")
-			break
-		}
-	}
-	if err := sniff.Err(); err != nil {
-		return nil, err
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	if isCSV {
-		list, err := ranking.ParseCSV(f)
-		if err != nil {
-			return nil, err
-		}
-		return list.SLDs(list.Len()), nil
-	}
-	var refs []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		d := strings.TrimSpace(sc.Text())
-		if d == "" || strings.HasPrefix(d, "#") {
-			continue
-		}
-		if label, _ := shamfinder.Registrable(strings.ToLower(d)); label != "" {
-			refs = append(refs, label)
-		}
-	}
-	return refs, sc.Err()
+	return reflist.Load(path)
 }
 
 // cmdCompile builds the databases once and persists the compiled
@@ -222,6 +206,40 @@ func cmdCompile(args []string) error {
 	return nil
 }
 
+// cmdServe runs the long-lived detection service: the hot-swappable
+// engine behind the HTTP JSON API, with optional snapshot watching.
+// Ctrl-C / SIGTERM drains in-flight requests and exits cleanly.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	snapPath := fs.String("snapshot", "", "cold-start from a compiled snapshot (and the -watch reload source)")
+	refsPath := fs.String("refs", "", "reference domain list (overrides the snapshot's embedded detector)")
+	watch := fs.Duration("watch", 0, "poll the snapshot file at this interval and hot-swap on change (e.g. 2s); 0 = off")
+	db := fs.String("db", "both", "homoglyph database when building fresh: uc, simchar or both")
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation when building fresh")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent detection requests before shedding; 0 = default")
+	fs.Parse(args)
+	if *watch > 0 && *snapPath == "" {
+		return fmt.Errorf("serve: -watch needs -snapshot (it polls the snapshot file)")
+	}
+	cfg, err := buildConfig(*fast, *db)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger := log.New(os.Stderr, "shamfinder: ", log.LstdFlags)
+	return shamfinder.Serve(ctx, shamfinder.ServeOptions{
+		Addr:         *addr,
+		SnapshotPath: *snapPath,
+		RefsPath:     *refsPath,
+		Watch:        *watch,
+		Build:        cfg,
+		MaxInFlight:  *maxInFlight,
+		Logf:         logger.Printf,
+	})
+}
+
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	refsPath := fs.String("refs", "", "reference domain list")
@@ -230,6 +248,7 @@ func cmdDetect(args []string) error {
 	db := fs.String("db", "both", "homoglyph database: uc, simchar or both")
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	workers := fs.Int("workers", 0, "detection workers; 0 = GOMAXPROCS")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per match (the serve API's wire format)")
 	fs.Parse(args)
 	_, det, err := loadEngine(*snapPath, *refsPath, *fast, *db, true)
 	if err != nil {
@@ -286,11 +305,25 @@ func cmdDetect(args []string) error {
 	shamfinder.SortMatches(matches)
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	for _, m := range matches {
-		// The matched FQDN as seen in the zone, the decoded label, and
-		// the imitated domain under the zone's own suffix — no TLD is
-		// assumed.
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.FQDN, m.Unicode, m.Imitated(), diffsText(m))
+	if *jsonOut {
+		// One JSON object per match, in the exact wire format the serve
+		// API's /v1/detect responds with (service.Match) — downstream
+		// tooling parses one shape whether it scraped the CLI or the
+		// HTTP endpoint.
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		for _, m := range matches {
+			if err := enc.Encode(service.NewMatch(m)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, m := range matches {
+			// The matched FQDN as seen in the zone, the decoded label,
+			// and the imitated domain under the zone's own suffix — no
+			// TLD is assumed.
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.FQDN, m.Unicode, m.Imitated(), diffsText(m))
+		}
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d IDNs, detected %d homograph matches\n", scanned, len(matches))
 	return nil

@@ -4,122 +4,24 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"strings"
 	"testing"
 )
 
-func writeTemp(t *testing.T, content string) string {
-	t.Helper()
+// TestLoadRefsRoutesThroughReflist pins the CLI to the shared loader:
+// the full parsing suite (CSV sniffing, multi-TLD registrable labels,
+// comments) lives in internal/reflist, which the serve layer's
+// /v1/reload endpoint shares — one implementation, one behaviour.
+func TestLoadRefsRoutesThroughReflist(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "refs.txt")
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("google.com\namazon.co.uk\n# note\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	return path
-}
-
-func TestLoadRefsPlainList(t *testing.T) {
-	path := writeTemp(t, "google.com\n# comment\nFACEBOOK.COM\n\namazon\n")
 	refs, err := loadRefs(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"google", "facebook", "amazon"}
+	want := []string{"google", "amazon"}
 	if !reflect.DeepEqual(refs, want) {
-		t.Fatalf("refs = %v, want %v", refs, want)
-	}
-}
-
-func TestLoadRefsNoTrailingNewline(t *testing.T) {
-	refs, err := loadRefs(writeTemp(t, "google.com\nfacebook.com"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := []string{"google", "facebook"}; !reflect.DeepEqual(refs, want) {
-		t.Fatalf("refs = %v, want %v", refs, want)
-	}
-}
-
-func TestLoadRefsCSV(t *testing.T) {
-	refs, err := loadRefs(writeTemp(t, "1,google.com\n2,facebook.com\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := []string{"google", "facebook"}; !reflect.DeepEqual(refs, want) {
-		t.Fatalf("refs = %v, want %v", refs, want)
-	}
-}
-
-// TestLoadRefsCommaBeyondFirstLine is the sniffing regression: a plain
-// list with a comma somewhere in its first 512 bytes (but not on line 1)
-// used to be misrouted to the CSV parser.
-func TestLoadRefsCommaBeyondFirstLine(t *testing.T) {
-	path := writeTemp(t, "google.com\n# ranked, by popularity\nfacebook.com\n")
-	refs, err := loadRefs(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"google", "facebook"}
-	if !reflect.DeepEqual(refs, want) {
-		t.Fatalf("refs = %v, want %v (comma on line 2 misrouted to CSV?)", refs, want)
-	}
-}
-
-// TestLoadRefsLongFirstLine: the sniff must work for first lines longer
-// than any fixed head buffer.
-func TestLoadRefsLongFirstLine(t *testing.T) {
-	long := strings.Repeat("a", 5000)
-	refs, err := loadRefs(writeTemp(t, long+".com\ngoogle.com\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(refs) != 2 || refs[0] != long || refs[1] != "google" {
-		t.Fatalf("unexpected refs (%d entries)", len(refs))
-	}
-}
-
-// TestLoadRefsMultiTLD is the registrable-label regression: the seed
-// TrimSuffix(d, ".com") indexed "amazon.co.uk" verbatim (an impossible
-// reference) and "google.net" with its TLD glued on. Every TLD must
-// route through the suffix-aware splitter.
-func TestLoadRefsMultiTLD(t *testing.T) {
-	path := writeTemp(t, "amazon.co.uk\ngoogle.net\nWWW.BBC.CO.UK\nxn--80ak6aa92e.xn--p1ai\npaypal.com\n")
-	refs, err := loadRefs(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"amazon", "google", "bbc", "xn--80ak6aa92e", "paypal"}
-	if !reflect.DeepEqual(refs, want) {
-		t.Fatalf("refs = %v, want %v", refs, want)
-	}
-}
-
-// TestLoadRefsCSVMultiTLD: the CSV route must keep non-.com rows too
-// (the seed's SLDs dropped them before they reached the detector).
-func TestLoadRefsCSVMultiTLD(t *testing.T) {
-	refs, err := loadRefs(writeTemp(t, "1,google.com\n2,amazon.co.uk\n3,example.net\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"google", "amazon", "example"}
-	if !reflect.DeepEqual(refs, want) {
-		t.Fatalf("refs = %v, want %v", refs, want)
-	}
-}
-
-func TestLoadRefsMissingFile(t *testing.T) {
-	if _, err := loadRefs(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
-		t.Fatal("want error for missing file")
-	}
-}
-
-// TestLoadRefsCSVBlankFirstLine: sniffing must skip blank lines, so a
-// rank CSV with a leading blank line still routes to the CSV parser.
-func TestLoadRefsCSVBlankFirstLine(t *testing.T) {
-	refs, err := loadRefs(writeTemp(t, "\n1,google.com\n2,facebook.com\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := []string{"google", "facebook"}; !reflect.DeepEqual(refs, want) {
 		t.Fatalf("refs = %v, want %v", refs, want)
 	}
 }

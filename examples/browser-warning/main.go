@@ -31,9 +31,13 @@ var protectedBrands = []string{
 	"paypal", "binance", "myetherwallet", "wikipedia",
 }
 
+// proxy holds the detection state behind a hot-swappable Engine: a
+// long-running interceptor must absorb brand-list updates without a
+// restart (the seed version froze a Detector at startup — adding a
+// brand meant rebuilding the world and bouncing the proxy).
 type proxy struct {
-	fw  *shamfinder.Framework
-	det *shamfinder.Detector
+	fw     *shamfinder.Framework
+	engine *shamfinder.Engine
 }
 
 func main() {
@@ -46,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := &proxy{fw: fw, det: fw.NewDetector(protectedBrands)}
+	p := &proxy{fw: fw, engine: fw.NewEngine(protectedBrands)}
 
 	if *once {
 		fmt.Println(p.renderDemo("xn--ggle-0nda.com"))
@@ -83,7 +87,11 @@ func (p *proxy) inspect(host string) []shamfinder.Match {
 	if i := strings.IndexByte(name, ':'); i >= 0 {
 		name = name[:i]
 	}
-	return p.det.DetectDomain(strings.ToLower(name))
+	// One atomic engine load per request: a brand-list swap (e.g.
+	// p.engine.Rebuild(updatedBrands) from an admin endpoint) lands
+	// between requests, never mid-inspection.
+	matches, _ := p.engine.DetectDomain(strings.ToLower(name))
+	return matches
 }
 
 // interstitial renders the Figure 12 warning page.

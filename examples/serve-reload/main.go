@@ -1,0 +1,116 @@
+// Serve + hot reload: the paper's "daily operation" model (Section 5)
+// as a running service. Detection must answer continuously while new
+// reference lists and zone snapshots arrive; this example starts the
+// HTTP serving layer, queries it, swaps the reference set live over
+// POST /v1/reload, and shows the detection set change — same process,
+// no restart, epochs proving which state answered each query.
+//
+//	go run ./examples/serve-reload
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.Println("building homoglyph database...")
+	ready := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Start the service on an ephemeral port. Serve owns the engine:
+	// epoch 1 protects google and paypal.
+	done := make(chan error, 1)
+	go func() {
+		done <- shamfinder.Serve(ctx, shamfinder.ServeOptions{
+			Addr:       "127.0.0.1:0",
+			References: []string{"google", "paypal"},
+			Build:      shamfinder.Config{FontScope: shamfinder.FontFast},
+			OnListen:   func(addr net.Addr) { ready <- addr.String() },
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s", base)
+
+	// gооgle.com (Cyrillic о ×2) and wіkіpedia.org (Ukrainian і ×2):
+	// only the first is a homograph of an epoch-1 reference.
+	probes := []string{"xn--ggle-55da.com", "xn--wkpedia-rogb.org"}
+	query(base, probes)
+
+	// The daily update arrives: wikipedia joins the protected set,
+	// paypal rotates out. One POST, one epoch, zero downtime.
+	log.Println("reloading references: google, wikipedia ...")
+	reload(base, []string{"google", "wikipedia"})
+	query(base, probes)
+
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	log.Println("drained and shut down cleanly")
+}
+
+// query posts the probe batch to /v1/detect and prints which state
+// (epoch) answered and what it detected.
+func query(base string, fqdns []string) {
+	body, _ := json.Marshal(map[string]any{"fqdns": fqdns})
+	var out struct {
+		Epoch   uint64 `json:"epoch"`
+		Matches []struct {
+			FQDN     string `json:"fqdn"`
+			Unicode  string `json:"unicode"`
+			Imitated string `json:"imitated"`
+		} `json:"matches"`
+	}
+	post(base+"/v1/detect", body, &out)
+	fmt.Printf("epoch %d: %d of %d probes are homographs\n", out.Epoch, len(out.Matches), len(fqdns))
+	for _, m := range out.Matches {
+		fmt.Printf("  %s (%s) imitates %s\n", m.FQDN, m.Unicode, m.Imitated)
+	}
+}
+
+// reload swaps the reference set via the API and reports the new epoch.
+func reload(base string, refs []string) {
+	body, _ := json.Marshal(map[string]any{"references": refs})
+	var out struct {
+		Epoch      uint64 `json:"epoch"`
+		References int    `json:"references"`
+	}
+	post(base+"/v1/reload", body, &out)
+	fmt.Printf("swapped to epoch %d (%d references)\n", out.Epoch, out.References)
+}
+
+func post(url string, body []byte, v any) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s: %s", url, resp.Status, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -169,6 +169,11 @@ func (b *bucket) buildIndex(homoglyphs func(rune) []rune) {
 	}
 }
 
+// NumReferences returns the deduplicated reference count without
+// copying the list — the serving layer's health and metrics endpoints
+// read it on every scrape.
+func (d *Detector) NumReferences() int { return len(d.refs) }
+
 // References returns the deduplicated reference labels.
 func (d *Detector) References() []string {
 	out := make([]string, len(d.refs))

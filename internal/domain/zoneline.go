@@ -1,0 +1,74 @@
+package domain
+
+import "repro/internal/punycode"
+
+// NormalizeZoneLine prepares one domain-list line (or one incoming
+// query FQDN — the HTTP serving layer routes through the same rules,
+// so `serve` and `detect` can never disagree on normalization) for
+// detection, in place and without allocating: ASCII whitespace is
+// trimmed, one trailing root dot is dropped, and ASCII letters are
+// lowercased. The whole FQDN is kept — any TLD, any label count — for
+// the domain-aware detectors to split.
+//
+// It reports false for blank lines and lines with no scannable
+// homograph candidate: a candidate is an ACE label left of the final
+// dot, a bare ACE label, or any non-ASCII byte. The position test
+// matters in IDN-TLD zones (.xn--p1ai), where the TLD would otherwise
+// qualify every plain line: those reject here, before the pooled-buffer
+// copy and worker handoff, with zero work beyond one byte scan. The
+// returned domain aliases line's storage.
+func NormalizeZoneLine(line []byte) ([]byte, bool) {
+	start, end := 0, len(line)
+	for start < end && asciiSpace(line[start]) {
+		start++
+	}
+	for end > start && asciiSpace(line[end-1]) {
+		end--
+	}
+	if end > start && line[end-1] == '.' {
+		end-- // zone files write FQDNs with the root dot
+	}
+	line = line[start:end]
+	if len(line) == 0 || !scannableZoneName(line) {
+		return nil, false
+	}
+	for i, c := range line {
+		if c >= 'A' && c <= 'Z' {
+			line[i] = c + 'a' - 'A'
+		}
+	}
+	return line, true
+}
+
+// scannableZoneName is NormalizeZoneLine's gate, one early-exit pass:
+// keep on the first non-ASCII byte, or on a dot following an ACE label
+// start (the ACE label is then left of the final dot). A lone ACE
+// label with nothing after it is kept only when it IS the whole name
+// (firstACE == 0) — otherwise it is the name's TLD, which the detector
+// never scans. The prefix probe runs on the label tail; "xn--" cannot
+// span a dot, so no cross-label false positive exists.
+func scannableZoneName(line []byte) bool {
+	firstACE := -1
+	labelStart := true
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c >= 0x80 {
+			return true
+		}
+		if firstACE >= 0 {
+			if c == '.' {
+				return true
+			}
+			continue
+		}
+		if labelStart && punycode.HasACEPrefix(line[i:]) {
+			firstACE = i
+		}
+		labelStart = c == '.'
+	}
+	return firstACE == 0
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
+}

@@ -273,6 +273,12 @@ func IsIDN(domain string) bool {
 	return isIDN(domain)
 }
 
+// IsIDNBytes is IsIDN over a byte slice — same zero-allocation test,
+// for feeders that keep zone lines in reused buffers.
+func IsIDNBytes(domain []byte) bool {
+	return isIDN(domain)
+}
+
 func isIDN[S ByteSeq](domain S) bool {
 	start := 0
 	for i := 0; i <= len(domain); i++ {

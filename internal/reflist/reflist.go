@@ -1,0 +1,105 @@
+// Package reflist loads reference domain lists — the brand names the
+// detector protects — from the two formats defenders actually have:
+// a plain one-domain-per-line file (comments and blanks tolerated) or
+// an Alexa-style "rank,domain" CSV. Each domain contributes its
+// registrable label, suffix-aware, so amazon.co.uk indexes "amazon"
+// just as google.com indexes "google", on any TLD.
+//
+// The loader sits in its own package because three layers share it:
+// the CLI (detect/compile/serve flags), the HTTP serving layer's
+// /v1/reload endpoint, and the facade's Serve wiring. A reference
+// list is the unit of hot reload, so the parsing rules must be one
+// implementation — a list that loads differently over HTTP than it
+// did at startup would make epochs incomparable.
+package reflist
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/ranking"
+)
+
+// maxLineBytes bounds one list line; zone-scale lists stay streamable.
+const maxLineBytes = 16 * 1024 * 1024
+
+// Load reads reference labels from a plain list or rank CSV at path.
+func Load(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Only the first non-blank line is sniffed for the CSV comma: a
+	// plain domain list whose head happens to contain a comma further
+	// down must not be misrouted to the CSV parser, and read/seek
+	// errors are reported instead of ignored.
+	sniff := bufio.NewScanner(f)
+	sniff.Buffer(make([]byte, 64*1024), maxLineBytes)
+	isCSV := false
+	for sniff.Scan() {
+		if line := strings.TrimSpace(sniff.Text()); line != "" {
+			isCSV = strings.Contains(line, ",")
+			break
+		}
+	}
+	if err := sniff.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if isCSV {
+		return ReadCSV(f)
+	}
+	return Read(f)
+}
+
+// Read parses a plain domain list: one domain per line, blank lines
+// and #-comments skipped, each domain reduced to its registrable label.
+func Read(r io.Reader) ([]string, error) {
+	var refs []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		d := strings.TrimSpace(sc.Text())
+		if d == "" || strings.HasPrefix(d, "#") {
+			continue
+		}
+		if label, _ := domain.Registrable(strings.ToLower(d)); label != "" {
+			refs = append(refs, label)
+		}
+	}
+	return refs, sc.Err()
+}
+
+// Labels reduces an inline reference list exactly the way the file
+// loaders reduce their lines: whitespace trimmed, blanks and
+// #-comments skipped, lowercased, and cut to the registrable label —
+// so {"references":["paypal.com"]} over the reload API indexes
+// "paypal", not an inert dotted literal no label can ever match.
+func Labels(domains []string) []string {
+	refs := make([]string, 0, len(domains))
+	for _, d := range domains {
+		d = strings.TrimSpace(d)
+		if d == "" || strings.HasPrefix(d, "#") {
+			continue
+		}
+		if label, _ := domain.Registrable(strings.ToLower(d)); label != "" {
+			refs = append(refs, label)
+		}
+	}
+	return refs
+}
+
+// ReadCSV parses an Alexa-style "rank,domain" CSV, keeping rank order.
+func ReadCSV(r io.Reader) ([]string, error) {
+	list, err := ranking.ParseCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return list.SLDs(list.Len()), nil
+}

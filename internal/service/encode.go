@@ -1,0 +1,58 @@
+package service
+
+import "repro/internal/core"
+
+// Match is the wire form of one detected homograph — the single JSON
+// encoding every output path shares: the HTTP API's /v1/detect and
+// /v1/explain responses and the CLI's `detect -json` lines all
+// marshal this struct, so a downstream consumer parses one shape no
+// matter which entry point produced it. Field order is fixed by the
+// struct, which keeps golden transcripts stable.
+type Match struct {
+	FQDN      string `json:"fqdn"`
+	IDN       string `json:"idn"`
+	Unicode   string `json:"unicode"`
+	Reference string `json:"reference"`
+	Imitated  string `json:"imitated"`
+	TLD       string `json:"tld,omitempty"`
+	Diffs     []Diff `json:"diffs"`
+}
+
+// Diff is the wire form of one substituted character.
+type Diff struct {
+	Pos    int    `json:"pos"`
+	Got    string `json:"got"`
+	Want   string `json:"want"`
+	Source string `json:"source"`
+}
+
+// NewMatch converts a core match to its wire form.
+func NewMatch(m core.Match) Match {
+	diffs := make([]Diff, len(m.Diffs))
+	for i, d := range m.Diffs {
+		diffs[i] = Diff{
+			Pos:    d.Pos,
+			Got:    string(d.Got),
+			Want:   string(d.Want),
+			Source: d.Source.String(),
+		}
+	}
+	return Match{
+		FQDN:      m.FQDN,
+		IDN:       m.IDN,
+		Unicode:   m.Unicode,
+		Reference: m.Reference,
+		Imitated:  m.Imitated(),
+		TLD:       m.TLD,
+		Diffs:     diffs,
+	}
+}
+
+// NewMatches converts a batch, preserving order.
+func NewMatches(ms []core.Match) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = NewMatch(m)
+	}
+	return out
+}

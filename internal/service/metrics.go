@@ -1,0 +1,124 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free power-of-two latency histogram: bucket i
+// counts observations in [2^(i-1), 2^i) nanoseconds. Recording is one
+// atomic increment, so the serving hot path pays no lock and no
+// allocation; quantiles are read by walking the (fixed, small) bucket
+// array and reporting the ceiling of the bucket holding the target
+// rank — ≤2× resolution, which is what capacity planning needs from
+// p50/p99 counters, at zero cost to the request path.
+type latencyHist struct {
+	buckets [40]atomic.Uint64 // 2^39 ns ≈ 9 min: far past any request
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	i := bits.Len64(ns)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile returns the upper bound (ns) of the bucket containing the
+// q-th fraction of observations, or 0 with none recorded. Reads are
+// not atomic across buckets; under concurrent traffic the answer is a
+// valid quantile of *some* recent state, which is all a scrape needs.
+func (h *latencyHist) quantile(q float64) uint64 {
+	var counts [40]uint64
+	total := uint64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	seen := uint64(0)
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << uint(len(counts)-1)
+}
+
+// metrics aggregates the counters /metrics exposes. All fields are
+// atomics: the request path records with plain increments and the
+// scrape path assembles a consistent-enough snapshot without ever
+// blocking a query.
+type metrics struct {
+	start     time.Time
+	requests  atomic.Uint64 // detection requests accepted (detect + explain)
+	domains   atomic.Uint64 // FQDNs scanned (batch requests count each)
+	matches   atomic.Uint64 // matches returned
+	shed      atomic.Uint64 // requests refused by the concurrency limiter
+	reloads   atomic.Uint64 // successful reloads/swaps through this server
+	latency   latencyHist   // per-request service time (detect + explain)
+	inFlight  atomic.Int64  // currently admitted detection requests
+	badInput  atomic.Uint64 // 4xx rejections (malformed body, missing fqdn)
+	lastSwapN atomic.Int64  // unix nanos of the last observed swap; 0 = never
+}
+
+// Stats is the JSON shape /metrics serves. QPS is cumulative
+// (requests over uptime): a zone-scale load test reads throughput off
+// one scrape, and a dashboard that wants instantaneous rates can
+// difference two scrapes of Requests itself.
+type Stats struct {
+	Epoch      uint64  `json:"epoch"`
+	References int     `json:"references"`
+	UptimeSec  float64 `json:"uptime_sec"`
+	Requests   uint64  `json:"requests"`
+	Domains    uint64  `json:"domains"`
+	Matches    uint64  `json:"matches"`
+	Shed       uint64  `json:"shed"`
+	Reloads    uint64  `json:"reloads"`
+	BadInput   uint64  `json:"bad_input"`
+	InFlight   int64   `json:"in_flight"`
+	QPS        float64 `json:"qps"`
+	P50Ns      uint64  `json:"p50_ns"`
+	P90Ns      uint64  `json:"p90_ns"`
+	P99Ns      uint64  `json:"p99_ns"`
+	LastReload string  `json:"last_reload,omitempty"` // RFC3339; absent before the first swap
+}
+
+func (m *metrics) snapshot(epoch uint64, references int) Stats {
+	uptime := time.Since(m.start).Seconds()
+	req := m.requests.Load()
+	s := Stats{
+		Epoch:      epoch,
+		References: references,
+		UptimeSec:  uptime,
+		Requests:   req,
+		Domains:    m.domains.Load(),
+		Matches:    m.matches.Load(),
+		Shed:       m.shed.Load(),
+		Reloads:    m.reloads.Load(),
+		BadInput:   m.badInput.Load(),
+		InFlight:   m.inFlight.Load(),
+		P50Ns:      m.latency.quantile(0.50),
+		P90Ns:      m.latency.quantile(0.90),
+		P99Ns:      m.latency.quantile(0.99),
+	}
+	if uptime > 0 {
+		s.QPS = float64(req) / uptime
+	}
+	if ns := m.lastSwapN.Load(); ns != 0 {
+		s.LastReload = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	return s
+}

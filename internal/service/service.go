@@ -1,0 +1,415 @@
+// Package service exposes the hot-swappable detection engine over an
+// HTTP JSON API — the serving layer of the paper's "daily operation"
+// model (Section 5): detection answers continuously while new zone
+// data and reference lists arrive and are swapped in underneath it.
+//
+// Routes:
+//
+//	POST /v1/detect   {"fqdn":"..."} or {"fqdns":["...", ...]}
+//	GET  /v1/explain  ?fqdn=...          (matches + Figure-12 warnings)
+//	POST /v1/reload   {"snapshot":"path"} | {"refs":"path"} |
+//	                  {"references":["google", ...]}
+//	GET  /healthz     liveness + current epoch and reference count
+//	GET  /metrics     epoch, reference count, QPS, p50/p90/p99 latency
+//
+// Every detection response names the engine epoch it was computed
+// against, and each request runs entirely on one atomically-loaded
+// state: a reload mid-request never splits an answer across epochs.
+// Queries are normalized by the exact zone-line rules the CLI feeder
+// uses (internal/domain.NormalizeZoneLine), so `serve` and `detect`
+// cannot disagree about case folding or the trailing root dot.
+//
+// Overload sheds instead of OOMing: a bounded-concurrency gate admits
+// at most MaxInFlight detection requests; beyond that the server
+// answers 503 with Retry-After immediately, keeping memory flat and
+// the admitted requests fast. /healthz and /metrics bypass the gate —
+// an overloaded server must still tell its monitor it is alive.
+//
+// /v1/reload reads operator-named files from the server's own
+// filesystem; bind the listener to localhost or a trusted network, as
+// you would any operations endpoint.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/reflist"
+	"repro/internal/snapshot"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine is the hot-swappable detection state. Required.
+	Engine *core.Engine
+	// MaxInFlight bounds concurrently admitted detection requests;
+	// excess requests are shed with 503. 0 means 8×GOMAXPROCS.
+	MaxInFlight int
+	// MaxBatch bounds the FQDN count of one /v1/detect request.
+	// 0 means 10000.
+	MaxBatch int
+	// Logf receives operational log lines; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP serving layer over a core.Engine. Construct with
+// New; it implements http.Handler.
+type Server struct {
+	engine   *core.Engine
+	sem      chan struct{}
+	maxBatch int
+	logf     func(string, ...any)
+	mux      *http.ServeMux
+	met      metrics
+	reloadMu sync.Mutex // serializes /v1/reload; queries never take it
+	bufs     sync.Pool  // *[]byte normalization buffers
+}
+
+// New builds a Server over cfg.Engine.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("service: Config.Engine is required")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 8 * runtime.GOMAXPROCS(0)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 10000
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		engine:   cfg.Engine,
+		sem:      make(chan struct{}, maxInFlight),
+		maxBatch: maxBatch,
+		logf:     logf,
+		mux:      http.NewServeMux(),
+	}
+	s.met.start = time.Now()
+	s.bufs.New = func() any { b := make([]byte, 0, 256); return &b }
+	s.mux.HandleFunc("POST /v1/detect", s.bounded(s.handleDetect))
+	s.mux.HandleFunc("GET /v1/explain", s.bounded(s.handleExplain))
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the serving counters — what /metrics serves.
+func (s *Server) Stats() Stats {
+	det, epoch := s.engine.Current()
+	return s.met.snapshot(epoch, det.NumReferences())
+}
+
+// bounded wraps a detection handler in the concurrency gate and the
+// latency/QPS accounting. Admission is one non-blocking channel send:
+// a full gate means the server is at capacity, and queueing further
+// requests would only grow memory until the process died — shedding
+// with Retry-After keeps the admitted requests fast and the process
+// alive (the "overload sheds instead of OOMing" contract).
+func (s *Server) bounded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "overloaded: concurrency limit reached")
+			return
+		}
+		s.met.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			s.met.latency.observe(time.Since(start))
+			s.met.inFlight.Add(-1)
+			<-s.sem
+		}()
+		s.met.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// maxPooledBuf caps what goes back into the normalization pool. A
+// legitimate FQDN is ≤253 bytes; a hostile multi-megabyte "fqdn"
+// would otherwise inflate a pooled buffer permanently — up to
+// MaxInFlight of them — on the very path whose contract is "overload
+// sheds instead of OOMing". Oversized buffers are simply dropped for
+// the GC.
+const maxPooledBuf = 4096
+
+func (s *Server) putBuf(buf *[]byte) {
+	if cap(*buf) <= maxPooledBuf {
+		s.bufs.Put(buf)
+	}
+}
+
+// --- request/response shapes ---
+
+type detectRequest struct {
+	FQDN  string   `json:"fqdn,omitempty"`
+	FQDNs []string `json:"fqdns,omitempty"`
+}
+
+type detectResponse struct {
+	Epoch   uint64  `json:"epoch"`
+	Queried int     `json:"queried"`
+	Matches []Match `json:"matches"`
+}
+
+type explainResponse struct {
+	Epoch    uint64   `json:"epoch"`
+	Matches  []Match  `json:"matches"`
+	Warnings []string `json:"warnings"`
+}
+
+type reloadRequest struct {
+	Snapshot   string   `json:"snapshot,omitempty"`
+	Refs       string   `json:"refs,omitempty"`
+	References []string `json:"references,omitempty"`
+}
+
+type reloadResponse struct {
+	Epoch      uint64 `json:"epoch"`
+	References int    `json:"references"`
+	Source     string `json:"source"`
+}
+
+type healthResponse struct {
+	Status     string `json:"status"`
+	Epoch      uint64 `json:"epoch"`
+	References int    `json:"references"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+// scan normalizes one incoming name into the pooled buffer and scans
+// it against det. The zone-line rules decide everything: trailing root
+// dot dropped, ASCII uppercase folded (non-ASCII folding happens in
+// the punycode decode, same as ingestion), and names with no scannable
+// candidate label — plain ASCII, or an ACE-TLD-only shape — return no
+// matches without touching the index.
+func scan(det *core.Detector, buf *[]byte, name string) []core.Match {
+	*buf = append((*buf)[:0], name...)
+	fqdn, ok := domain.NormalizeZoneLine(*buf)
+	if !ok {
+		return nil
+	}
+	return det.DetectDomainBytes(fqdn)
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	names := req.FQDNs
+	if req.FQDN != "" {
+		names = append([]string{req.FQDN}, names...)
+	}
+	if len(names) == 0 {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, `need "fqdn" or "fqdns"`)
+		return
+	}
+	if len(names) > s.maxBatch {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(names), s.maxBatch))
+		return
+	}
+
+	// One engine load for the whole request: every name in the batch is
+	// answered by the same epoch, even if a reload lands mid-loop.
+	det, epoch := s.engine.Current()
+	buf := s.bufs.Get().(*[]byte)
+	var matches []core.Match
+	for _, name := range names {
+		matches = append(matches, scan(det, buf, name)...)
+	}
+	s.putBuf(buf)
+	core.SortMatches(matches)
+	s.met.domains.Add(uint64(len(names)))
+	s.met.matches.Add(uint64(len(matches)))
+	writeJSON(w, http.StatusOK, detectResponse{
+		Epoch:   epoch,
+		Queried: len(names),
+		Matches: NewMatches(matches),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("fqdn")
+	if name == "" {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, `need ?fqdn=`)
+		return
+	}
+	det, epoch := s.engine.Current()
+	buf := s.bufs.Get().(*[]byte)
+	matches := scan(det, buf, name)
+	s.putBuf(buf)
+	core.SortMatches(matches)
+	s.met.domains.Add(1)
+	s.met.matches.Add(uint64(len(matches)))
+	warnings := make([]string, len(matches))
+	for i, m := range matches {
+		warnings[i] = core.BuildWarning(m).Text()
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Epoch:    epoch,
+		Matches:  NewMatches(matches),
+		Warnings: warnings,
+	})
+}
+
+// handleReload swaps new state under live traffic. The three sources,
+// in precedence order: a compiled snapshot file (the 20 ms path — the
+// artifact `shamfinder compile` writes), a reference list file
+// (rebuild off the current homoglyph DB), or an inline reference
+// array. Reloads serialize among themselves; queries never wait.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	epoch, refs, source, err := s.reload(req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.noteSwap()
+	s.logf("reload: epoch %d, %d references (%s)", epoch, refs, source)
+	writeJSON(w, http.StatusOK, reloadResponse{Epoch: epoch, References: refs, Source: source})
+}
+
+func (s *Server) reload(req reloadRequest) (epoch uint64, refs int, source string, err error) {
+	switch {
+	case req.Snapshot != "":
+		db, det, rerr := snapshot.ReadFile(req.Snapshot)
+		if rerr != nil {
+			return 0, 0, "", fmt.Errorf("loading snapshot: %w", rerr)
+		}
+		// An explicit reference list overrides the snapshot's embedded
+		// detector — the same precedence `serve -snapshot -refs` (and
+		// the CLI's loadEngine) applies at startup, so the operator who
+		// POSTs both gets the list they named, not silently the stale
+		// embedded set.
+		refList := reflist.Labels(req.References)
+		source := "snapshot:" + req.Snapshot
+		if req.Refs != "" {
+			if refList, rerr = reflist.Load(req.Refs); rerr != nil {
+				return 0, 0, "", fmt.Errorf("loading refs: %w", rerr)
+			}
+			if len(refList) == 0 {
+				return 0, 0, "", fmt.Errorf("reference list %s is empty", req.Refs)
+			}
+			source += " refs:" + req.Refs
+		} else if len(refList) > 0 {
+			source += " inline"
+		} else if len(req.References) > 0 {
+			return 0, 0, "", errors.New("references reduce to no registrable labels")
+		}
+		if len(refList) > 0 {
+			det = core.NewDetector(db, refList)
+		}
+		if det == nil {
+			return 0, 0, "", errors.New("snapshot embeds no detector; recompile with -refs or include refs/references")
+		}
+		return s.engine.Swap(det), det.NumReferences(), source, nil
+	case req.Refs != "":
+		refList, rerr := reflist.Load(req.Refs)
+		if rerr != nil {
+			return 0, 0, "", fmt.Errorf("loading refs: %w", rerr)
+		}
+		if len(refList) == 0 {
+			return 0, 0, "", fmt.Errorf("reference list %s is empty", req.Refs)
+		}
+		// Build-then-swap so the response reports THIS detector's count:
+		// a concurrent -watch swap between an engine-level rebuild and a
+		// later Detector() read could pair epoch N with another epoch's
+		// reference count.
+		det := core.NewDetector(s.engine.DB(), refList)
+		return s.engine.Swap(det), det.NumReferences(), "refs:" + req.Refs, nil
+	case len(req.References) > 0:
+		refList := reflist.Labels(req.References)
+		if len(refList) == 0 {
+			return 0, 0, "", errors.New("references reduce to no registrable labels")
+		}
+		det := core.NewDetector(s.engine.DB(), refList)
+		return s.engine.Swap(det), det.NumReferences(), "inline", nil
+	default:
+		return 0, 0, "", errors.New(`need "snapshot", "refs" or "references"`)
+	}
+}
+
+// noteSwap records a successful swap for /metrics.
+func (s *Server) noteSwap() {
+	s.met.reloads.Add(1)
+	s.met.lastSwapN.Store(time.Now().UnixNano())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	det, epoch := s.engine.Current()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Epoch:      epoch,
+		References: det.NumReferences(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// --- plumbing ---
+
+// maxBodyBytes bounds request bodies; a detect batch of maxBatch
+// 253-byte FQDNs fits with an order of magnitude to spare.
+const maxBodyBytes = 32 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the client hanging up mid-response is its problem
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -221,60 +221,13 @@ func loadSnapshot(db *homoglyph.DB, det *core.Detector, err error) (*Framework, 
 // qualify every plain line: those reject here, before the pooled-buffer
 // copy and worker handoff, with zero work beyond one byte scan. The
 // returned domain aliases line's storage.
+//
+// The rules live in internal/domain so the HTTP serving layer
+// (internal/service) applies the exact same normalization to incoming
+// queries — `serve` and `detect` can never disagree on folding or the
+// root dot.
 func NormalizeZoneLine(line []byte) ([]byte, bool) {
-	start, end := 0, len(line)
-	for start < end && asciiSpace(line[start]) {
-		start++
-	}
-	for end > start && asciiSpace(line[end-1]) {
-		end--
-	}
-	if end > start && line[end-1] == '.' {
-		end-- // zone files write FQDNs with the root dot
-	}
-	line = line[start:end]
-	if len(line) == 0 || !scannableZoneName(line) {
-		return nil, false
-	}
-	for i, c := range line {
-		if c >= 'A' && c <= 'Z' {
-			line[i] = c + 'a' - 'A'
-		}
-	}
-	return line, true
-}
-
-// scannableZoneName is NormalizeZoneLine's gate, one early-exit pass:
-// keep on the first non-ASCII byte, or on a dot following an ACE label
-// start (the ACE label is then left of the final dot). A lone ACE
-// label with nothing after it is kept only when it IS the whole name
-// (firstACE == 0) — otherwise it is the name's TLD, which the detector
-// never scans. The prefix probe runs on the label tail; "xn--" cannot
-// span a dot, so no cross-label false positive exists.
-func scannableZoneName(line []byte) bool {
-	firstACE := -1
-	labelStart := true
-	for i := 0; i < len(line); i++ {
-		c := line[i]
-		if c >= 0x80 {
-			return true
-		}
-		if firstACE >= 0 {
-			if c == '.' {
-				return true
-			}
-			continue
-		}
-		if labelStart && punycode.HasACEPrefix(line[i:]) {
-			firstACE = i
-		}
-		labelStart = c == '.'
-	}
-	return firstACE == 0
-}
-
-func asciiSpace(c byte) bool {
-	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
+	return domain.NormalizeZoneLine(line)
 }
 
 // DB exposes the underlying homoglyph database for advanced callers
@@ -409,10 +362,47 @@ func Registrable(name string) (label, suffix string) {
 }
 
 // ExtractIDNs filters a domain list to the IDNs — the paper's Step 2.
+// Two passes, one exact-size allocation: a zone-scale list is ~0.7%
+// IDNs, so growing the output by append would allocate (and copy)
+// log₂(hits) times for nothing, while sizing it to len(domains) would
+// waste two orders of magnitude of memory. The IsIDN test itself is
+// allocation-free, so the count pass costs only the scan.
 func ExtractIDNs(domains []string) []string {
-	var out []string
+	n := 0
 	for _, d := range domains {
 		if IsIDN(d) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for _, d := range domains {
+		if IsIDN(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ExtractIDNsBytes is ExtractIDNs for feeders that hold zone lines as
+// byte slices: the output aliases the input's backing arrays (nothing
+// is copied), so the only allocation is the exact-size result slice —
+// per-hit allocation on zone-scale input drops to zero.
+func ExtractIDNsBytes(domains [][]byte) [][]byte {
+	n := 0
+	for _, d := range domains {
+		if punycode.IsIDNBytes(d) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for _, d := range domains {
+		if punycode.IsIDNBytes(d) {
 			out = append(out, d)
 		}
 	}
