@@ -13,6 +13,7 @@ package shamfinder
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,14 +26,21 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dnsclient"
+	"repro/internal/dnsserver"
 	"repro/internal/experiments"
 	"repro/internal/homoglyph"
+	"repro/internal/hostsim"
 	"repro/internal/punycode"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/simchar"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
+	"repro/internal/triage"
 	"repro/internal/ucd"
+	"repro/internal/webclassify"
+	"repro/internal/websim"
 )
 
 var (
@@ -922,4 +930,81 @@ func BenchmarkSnapshotCodec(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTriagePipeline measures the streaming measurement pipeline
+// (detect → DNS probe → web classify → blacklist) end to end against
+// the in-process simulated infrastructure: per iteration, every
+// detected homograph of the shared registry flows through the full
+// triage chain. domains/s is the pipeline's survey throughput —
+// probes, fetches and feed lookups included — and records/iter pins
+// the population size the number was measured over.
+func BenchmarkTriagePipeline(b *testing.B) {
+	e := benchSetup(b)
+	reg, err := e.Registry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := core.NewDetector(e.DB(), e.Refs().SLDs(10000))
+	inputs := triage.InputsFromMatches(det.Detect(reg.IDNs()))
+	if len(inputs) == 0 {
+		b.Fatal("no homographs detected")
+	}
+
+	store := dnsserver.NewStore()
+	store.AddZone(reg.BuildProbeZone(0))
+	dns := dnsserver.NewServer(store)
+	if err := dns.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer dns.Close()
+	mapper, err := hostsim.NewMapper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	web := websim.NewServer()
+	if err := web.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer web.Close()
+	websim.Deploy(reg, web, mapper)
+	feeds, err := e.Blacklists()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	newPipeline := func() *triage.Pipeline {
+		p, err := triage.New(triage.Config{
+			DNS: dnsclient.New(dns.Addr()),
+			Classifier: &webclassify.Classifier{
+				Resolve:     mapper.Resolve,
+				UserAgent:   "BenchCrawler/1.0",
+				IsMalicious: feeds.AnyContains,
+			},
+			Blacklists: feeds,
+			DNSWorkers: 32,
+			WebWorkers: 32,
+			ParkingNS:  registry.ParkingProviders,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		records, err := newPipeline().Run(context.Background(), inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(records) != len(inputs) {
+			b.Fatalf("%d records for %d inputs", len(records), len(inputs))
+		}
+		total += len(records)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "domains/s")
+	b.ReportMetric(float64(len(inputs)), "records/iter")
 }

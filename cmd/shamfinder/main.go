@@ -35,15 +35,22 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro"
+	"repro/internal/blacklist"
+	"repro/internal/dnsclient"
 	"repro/internal/reflist"
 	"repro/internal/service"
+	"repro/internal/triage"
+	"repro/internal/webclassify"
 )
 
 func main() {
@@ -60,6 +67,8 @@ func main() {
 		err = cmdServe(args)
 	case "detect":
 		err = cmdDetect(args)
+	case "survey":
+		err = cmdSurvey(args)
 	case "explain":
 		err = cmdExplain(args)
 	case "revert":
@@ -81,6 +90,10 @@ func usage() {
   shamfinder compile -o FILE [-refs FILE] [-db uc|simchar|both] [-fastfont]
   shamfinder serve   {-refs FILE | -snapshot FILE} [-addr HOST:PORT] [-watch DUR] [-max-inflight N] [-db uc|simchar|both] [-fastfont]
   shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N] [-json]
+  shamfinder survey  {-matches FILE | {-refs FILE | -snapshot FILE} [-domains FILE]} -resolver HOST:PORT
+                     [-dns-workers N] [-web-workers N] [-rate QPS] [-retries N] [-stage-timeout DUR] [-dns-timeout DUR]
+                     [-skip-dns] [-skip-web] [-blacklist NAME=FILE ...] [-parking-ns LIST]
+                     [-http-addr HOST:PORT] [-https-addr HOST:PORT] [-o FILE.jsonl] [-resume FILE.jsonl] [-table]
   shamfinder explain {-refs FILE | -snapshot FILE} [-fastfont] DOMAIN
   shamfinder revert  [-snapshot FILE] [-fastfont] DOMAIN
   shamfinder glyphs  [-snapshot FILE] [-fastfont] CHAR
@@ -90,9 +103,18 @@ FQDNs are scanned label-aware and references index on their registrable
 label (amazon.co.uk protects "amazon").
 
 serve exposes the hot-swappable engine as an HTTP JSON API (POST
-/v1/detect, GET /v1/explain, POST /v1/reload, GET /healthz, GET
-/metrics); -watch polls the snapshot file and swaps new state in with
-zero downtime.`)
+/v1/detect, GET /v1/explain, POST /v1/reload, POST /v1/survey, GET
+/healthz, GET /metrics); -watch polls the snapshot file and swaps new
+state in with zero downtime.
+
+survey runs the measurement pipeline (paper §5–6) over detected
+homographs: DNS probing against -resolver, web classification of the
+resolvable set, and blacklist coverage, streaming one JSONL record per
+domain. Input is either a match file (-matches: one FQDN per line,
+optionally TAB-separated reference and source columns) or a domain
+list (-domains/stdin) detected on the fly. -resume loads a previous
+run's JSONL output and skips already-probed domains; the rewritten
+output is byte-identical to an uninterrupted run.`)
 }
 
 func buildConfig(fast bool, db string) (shamfinder.Config, error) {
@@ -264,45 +286,10 @@ func cmdDetect(args []string) error {
 		in = f
 	}
 
-	// Stream the zone through the parallel engine: a feeder goroutine
-	// pushes labels while workers detect, so scanning overlaps I/O and
-	// memory scales with the IDNs (0.67% of a zone), not the zone.
-	// Labels travel as pooled byte buffers that workers recycle after
-	// each scan — with the in-place normalization and the engine's lazy
-	// string materialization, a line that matches nothing allocates
-	// nothing. Matches are sorted before printing, making the output
-	// deterministic for any worker count.
-	labels := make(chan *[]byte, 1024)
-	pool := &sync.Pool{New: func() any { b := make([]byte, 0, 80); return &b }}
-	scanned := 0
-	var scanErr error
-	go func() {
-		defer close(labels)
-		sc := bufio.NewScanner(in)
-		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-		for sc.Scan() {
-			label, ok := shamfinder.NormalizeZoneLine(sc.Bytes())
-			if !ok {
-				continue
-			}
-			scanned++
-			bp := pool.Get().(*[]byte)
-			*bp = append((*bp)[:0], label...)
-			labels <- bp
-		}
-		scanErr = sc.Err()
-	}()
-
-	var matches []shamfinder.Match
-	for m := range det.DetectStreamBytes(labels, *workers, pool) {
-		matches = append(matches, m)
+	matches, scanned, err := streamDetect(det, in, *workers)
+	if err != nil {
+		return err
 	}
-	// The stream has drained, so the feeder is done: scanErr is safe to
-	// read from here on.
-	if scanErr != nil {
-		return scanErr
-	}
-	shamfinder.SortMatches(matches)
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	if *jsonOut {
@@ -329,12 +316,351 @@ func cmdDetect(args []string) error {
 	return nil
 }
 
+// streamDetect drives the zone through the parallel engine: a feeder
+// goroutine pushes labels while workers detect, so scanning overlaps
+// I/O and memory scales with the IDNs (0.67% of a zone), not the zone.
+// Labels travel as pooled byte buffers that workers recycle after each
+// scan — with the in-place normalization and the engine's lazy string
+// materialization, a line that matches nothing allocates nothing.
+// Matches are sorted before returning, making the output deterministic
+// for any worker count. Shared by detect (which prints them) and
+// survey (which pipes them into the triage pipeline).
+func streamDetect(det *shamfinder.Detector, in io.Reader, workers int) ([]shamfinder.Match, int, error) {
+	labels := make(chan *[]byte, 1024)
+	pool := &sync.Pool{New: func() any { b := make([]byte, 0, 80); return &b }}
+	scanned := 0
+	var scanErr error
+	go func() {
+		defer close(labels)
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			label, ok := shamfinder.NormalizeZoneLine(sc.Bytes())
+			if !ok {
+				continue
+			}
+			scanned++
+			bp := pool.Get().(*[]byte)
+			*bp = append((*bp)[:0], label...)
+			labels <- bp
+		}
+		scanErr = sc.Err()
+	}()
+	var matches []shamfinder.Match
+	for m := range det.DetectStreamBytes(labels, workers, pool) {
+		matches = append(matches, m)
+	}
+	// The stream has drained, so the feeder is done: scanErr is safe to
+	// read from here on.
+	if scanErr != nil {
+		return nil, scanned, scanErr
+	}
+	shamfinder.SortMatches(matches)
+	return matches, scanned, nil
+}
+
 func diffsText(m shamfinder.Match) string {
 	parts := make([]string, len(m.Diffs))
 	for i, d := range m.Diffs {
 		parts[i] = d.String()
 	}
 	return strings.Join(parts, ",")
+}
+
+// cmdSurvey runs the measurement half of the framework (paper §5–6)
+// as one streaming pipeline: detected homographs → DNS probing → web
+// classification of the resolvable set → blacklist coverage, one
+// JSONL record per domain, flushed as produced so the output doubles
+// as a checkpoint.
+func cmdSurvey(args []string) error {
+	fs := flag.NewFlagSet("survey", flag.ExitOnError)
+	refsPath := fs.String("refs", "", "reference domain list (for -domains detection and homograph reversion)")
+	snapPath := fs.String("snapshot", "", "load a compiled snapshot instead of building")
+	domainsPath := fs.String("domains", "", "domain list to detect then survey; empty = stdin (ignored with -matches)")
+	matchesPath := fs.String("matches", "", "pre-detected match file: FQDN per line, optional TAB-separated reference and source columns")
+	db := fs.String("db", "both", "homoglyph database: uc, simchar or both")
+	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
+	workers := fs.Int("workers", 0, "detection workers; 0 = GOMAXPROCS")
+	resolver := fs.String("resolver", "", "DNS server HOST:PORT to probe (required unless -skip-dns)")
+	dnsWorkers := fs.Int("dns-workers", 16, "concurrent DNS probes")
+	webWorkers := fs.Int("web-workers", 16, "concurrent web fetches")
+	rate := fs.Float64("rate", 0, "max DNS probes per second across workers; 0 = unlimited")
+	retries := fs.Int("retries", 1, "extra attempts per failed DNS probe; negative = none")
+	stageTimeout := fs.Duration("stage-timeout", 15*time.Second, "per-domain ceiling in one pipeline stage")
+	dnsTimeout := fs.Duration("dns-timeout", 2*time.Second, "per-attempt DNS query timeout")
+	webTimeout := fs.Duration("web-timeout", 3*time.Second, "per-fetch HTTP timeout")
+	skipDNS := fs.Bool("skip-dns", false, "skip the DNS stage (web-classify everything)")
+	skipWeb := fs.Bool("skip-web", false, "skip the web classification stage")
+	var blacklistSpecs []string
+	fs.Func("blacklist", "NAME=FILE hosts-format feed (hphosts, gsb or symantec; repeatable); none = skip the blacklist stage",
+		func(v string) error { blacklistSpecs = append(blacklistSpecs, v); return nil })
+	parkingNS := fs.String("parking-ns", "", "comma-separated parking-provider NS suffixes (parked-by-delegation first pass)")
+	httpAddr := fs.String("http-addr", "", "dial every port-80 fetch here (simulated/shared web infrastructure); empty = dial the domain")
+	httpsAddr := fs.String("https-addr", "", "dial every port-443 fetch here; empty = dial the domain")
+	userAgent := fs.String("user-agent", "Mozilla/5.0 (X11; Linux x86_64) ShamFinder/1.0", "User-Agent for web fetches")
+	outPath := fs.String("o", "", "write JSONL records here (the checkpoint file); empty = stdout")
+	resumePath := fs.String("resume", "", "previous JSONL output: domains already recorded there are not re-probed")
+	table := fs.Bool("table", false, "print Tables 12–14-shaped summaries after the run")
+	fs.Parse(args)
+
+	if !*skipDNS && *resolver == "" {
+		return fmt.Errorf("survey: need -resolver HOST:PORT (or -skip-dns)")
+	}
+
+	// Resolve the input set: a pre-detected match file, or run
+	// detection over -domains/stdin with the loaded engine.
+	var inputs []triage.Input
+	var fw *shamfinder.Framework
+	if *matchesPath != "" {
+		var err error
+		if inputs, err = loadMatchFile(*matchesPath); err != nil {
+			return err
+		}
+		// A snapshot or refs file is optional here; when given it still
+		// supplies the homoglyph DB for brand-redirect reversion.
+		if *snapPath != "" || *refsPath != "" {
+			if fw, _, err = loadEngine(*snapPath, *refsPath, *fast, *db, false); err != nil {
+				return err
+			}
+		}
+	} else {
+		var det *shamfinder.Detector
+		var err error
+		if fw, det, err = loadEngine(*snapPath, *refsPath, *fast, *db, true); err != nil {
+			return err
+		}
+		var in io.Reader = os.Stdin
+		if *domainsPath != "" {
+			f, err := os.Open(*domainsPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		matches, scanned, err := streamDetect(det, in, *workers)
+		if err != nil {
+			return err
+		}
+		inputs = triage.InputsFromMatches(matches)
+		fmt.Fprintf(os.Stderr, "scanned %d IDNs, detected %d homograph domains\n", scanned, len(inputs))
+	}
+
+	feeds, err := parseBlacklistFlags(blacklistSpecs)
+	if err != nil {
+		return err
+	}
+
+	// Resume BEFORE the output file is truncated: -resume and -o may
+	// (and normally do) name the same file.
+	resume := map[string]triage.Record{}
+	if *resumePath != "" {
+		if resume, err = triage.LoadCheckpoint(*resumePath); err != nil {
+			return err
+		}
+	}
+
+	cfg := triage.Config{
+		Blacklists:    feeds,
+		DNSWorkers:    *dnsWorkers,
+		WebWorkers:    *webWorkers,
+		RateLimit:     *rate,
+		Retries:       *retries,
+		StageTimeout:  *stageTimeout,
+		Resume:        resume,
+		SkipDNS:       *skipDNS,
+		SkipWeb:       *skipWeb,
+		SkipBlacklist: feeds == nil,
+	}
+	if *parkingNS != "" {
+		for _, p := range strings.Split(*parkingNS, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.ParkingNS = append(cfg.ParkingNS, p)
+			}
+		}
+	}
+	if !*skipDNS {
+		client := dnsclient.New(*resolver)
+		client.Timeout = *dnsTimeout
+		// -retries is the one retry knob: the pipeline owns the policy,
+		// so the client's own UDP retransmits are disabled rather than
+		// silently multiplying it.
+		client.Retries = 0
+		cfg.DNS = client
+	}
+	if !*skipWeb {
+		classifier := &webclassify.Classifier{
+			Resolve: func(domain string, port int) string {
+				if port == 443 && *httpsAddr != "" {
+					return *httpsAddr
+				}
+				if port != 443 && *httpAddr != "" {
+					return *httpAddr
+				}
+				return net.JoinHostPort(domain, strconv.Itoa(port))
+			},
+			Timeout:   *webTimeout,
+			UserAgent: *userAgent,
+		}
+		if fw != nil {
+			classifier.Reverter = fw.RevertDomain
+		}
+		if feeds != nil {
+			classifier.IsMalicious = feeds.AnyContains
+		}
+		cfg.Classifier = classifier
+	}
+	p, err := triage.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	rw := triage.NewRecordWriter(w)
+	tally := triage.NewTally()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	in := make(chan triage.Input)
+	go func() {
+		defer close(in)
+		for _, input := range inputs {
+			select {
+			case in <- input:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	for rec := range p.Stream(ctx, in) {
+		if err := rw.Write(rec); err != nil {
+			return err
+		}
+		tally.Add(rec)
+	}
+	if err := ctx.Err(); err != nil {
+		where := *outPath
+		if where == "" {
+			where = "the saved output"
+		}
+		return fmt.Errorf("survey interrupted after %d of %d domains; rerun with -resume %s to continue", tally.Total, len(inputs), where)
+	}
+	fmt.Fprintf(os.Stderr, "surveyed %d domains in %v: %d with NS, %d with A, %d DNS errors, %d blacklisted (%d resumed)\n",
+		tally.Total, time.Since(start).Round(time.Millisecond),
+		tally.WithNS, tally.WithA, tally.DNSErrors, tally.Blacklisted, tally.Resumed)
+	if *table {
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		for _, tbl := range tally.Tables() {
+			tbl.Write(out)
+			fmt.Fprintln(out)
+		}
+		if len(tally.ByFeedSource) > 0 {
+			tally.TableFourteen().Write(out)
+		}
+	}
+	return nil
+}
+
+// loadMatchFile reads a pre-detected match list: one FQDN per line,
+// optionally followed by TAB-separated reference and source columns
+// (extra columns ignored, # comments skipped). Duplicate FQDNs keep
+// their first line.
+func loadMatchFile(path string) ([]triage.Input, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var inputs []triage.Input
+	seen := make(map[string]bool)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		// ACE-aware normalization: a Unicode-form line probes as its
+		// xn-- form, same as the detection path would emit it.
+		fqdn := triage.NormalizeFQDN(fields[0])
+		if fqdn == "" || seen[fqdn] {
+			continue
+		}
+		seen[fqdn] = true
+		input := triage.Input{FQDN: fqdn}
+		if len(fields) > 1 {
+			input.Reference = fields[1]
+		}
+		if len(fields) > 2 {
+			input.Source = fields[2]
+		}
+		inputs = append(inputs, input)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return inputs, nil
+}
+
+// parseBlacklistFlags assembles the Table 14 feed set from repeated
+// NAME=FILE flags. No flags means no blacklist stage; named feeds are
+// loaded from hosts-format files and the unnamed ones stay empty.
+func parseBlacklistFlags(specs []string) (*blacklist.Set, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	set := &blacklist.Set{
+		HpHosts:  blacklist.NewFeed("hpHosts"),
+		GSB:      blacklist.NewFeed("GSB"),
+		Symantec: blacklist.NewFeed("Symantec"),
+	}
+	for _, spec := range specs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("survey: -blacklist %q: want NAME=FILE", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		var canonical string
+		switch strings.ToLower(name) {
+		case "hphosts":
+			canonical = "hpHosts"
+		case "gsb":
+			canonical = "GSB"
+		case "symantec":
+			canonical = "Symantec"
+		default:
+			f.Close()
+			return nil, fmt.Errorf("survey: unknown blacklist %q (want hphosts, gsb or symantec)", name)
+		}
+		feed, err := blacklist.Parse(canonical, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch canonical {
+		case "hpHosts":
+			set.HpHosts = feed
+		case "GSB":
+			set.GSB = feed
+		case "Symantec":
+			set.Symantec = feed
+		}
+	}
+	return set, nil
 }
 
 func cmdExplain(args []string) error {
@@ -381,10 +707,9 @@ func cmdRevert(args []string) error {
 	// Revert the registrable label and reattach the (possibly
 	// multi-label) public suffix — "www.gооgle.co.uk" reverts through
 	// "gооgle", not "www".
-	label, tld := shamfinder.Registrable(uni)
-	reverted := fw.Revert(label)
-	if tld != "" {
-		reverted += "." + tld
+	reverted, ok := fw.RevertDomain(name)
+	if !ok {
+		return fmt.Errorf("decoding %q: registrable label does not decode", name)
 	}
 	fmt.Printf("%s\t%s\t%s\n", name, uni, reverted)
 	return nil

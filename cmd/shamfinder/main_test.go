@@ -25,3 +25,59 @@ func TestLoadRefsRoutesThroughReflist(t *testing.T) {
 		t.Fatalf("refs = %v, want %v", refs, want)
 	}
 }
+
+func TestLoadMatchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "matches.txt")
+	data := "# comment\n" +
+		"xn--ggle-55da.com\tgoogle.com\tUC\n" +
+		"XN--PYPAL-4VE.COM.\n" +
+		"xn--ggle-55da.com\tduplicate.com\n" +
+		"\n" +
+		"xn--bare.net\tbare.net\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := loadMatchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != 3 {
+		t.Fatalf("inputs = %+v", inputs)
+	}
+	if inputs[0].FQDN != "xn--ggle-55da.com" || inputs[0].Reference != "google.com" || inputs[0].Source != "UC" {
+		t.Errorf("input 0 = %+v", inputs[0])
+	}
+	if inputs[1].FQDN != "xn--pypal-4ve.com" || inputs[1].Reference != "" {
+		t.Errorf("input 1 must be normalized: %+v", inputs[1])
+	}
+	if inputs[2].FQDN != "xn--bare.net" {
+		t.Errorf("input 2 = %+v", inputs[2])
+	}
+}
+
+func TestParseBlacklistFlags(t *testing.T) {
+	if set, err := parseBlacklistFlags(nil); set != nil || err != nil {
+		t.Fatalf("no flags: %v %v", set, err)
+	}
+	dir := t.TempDir()
+	hp := filepath.Join(dir, "hp.txt")
+	if err := os.WriteFile(hp, []byte("127.0.0.1 bad.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := parseBlacklistFlags([]string{"hphosts=" + hp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.HpHosts.Contains("bad.com") || set.HpHosts.Name != "hpHosts" {
+		t.Errorf("hpHosts = %+v", set.HpHosts)
+	}
+	if set.GSB.Len() != 0 || set.Symantec.Len() != 0 {
+		t.Error("unnamed feeds must stay empty")
+	}
+	if _, err := parseBlacklistFlags([]string{"nope=" + hp}); err == nil {
+		t.Error("unknown feed name must fail")
+	}
+	if _, err := parseBlacklistFlags([]string{"justapath"}); err == nil {
+		t.Error("missing = must fail")
+	}
+}

@@ -1,0 +1,149 @@
+// Command surveysim stands up the in-repo simulated measurement
+// infrastructure as one long-running process, for driving `shamfinder
+// survey` end to end from outside the test harness (the CI golden
+// smoke, local experimentation):
+//
+//   - a deterministic synthetic .com registry with injected homographs,
+//   - the authoritative DNS server loaded with its probe zone,
+//   - the web simulator hosting every active homograph's site,
+//   - the three Table 14 blacklist feeds, written as hosts files.
+//
+// It writes refs.txt (the reference list the homographs imitate),
+// zone.txt (the domain list to detect over), hphosts.txt / gsb.txt /
+// symantec.txt (the feeds) and — last, atomically — addrs.env with the
+// bound listener addresses:
+//
+//	DNS=127.0.0.1:PORT
+//	HTTP=127.0.0.1:PORT
+//	HTTPS=127.0.0.1:PORT
+//
+// so a shell can wait for addrs.env, source it, and run:
+//
+//	shamfinder survey -fastfont -refs refs.txt -domains zone.txt \
+//	  -resolver $DNS -http-addr $HTTP -https-addr $HTTPS \
+//	  -blacklist hphosts=hphosts.txt -blacklist gsb=gsb.txt \
+//	  -blacklist symantec=symantec.txt -o survey.jsonl
+//
+// Everything is seeded: the same -seed always produces the same
+// registry, zone, feeds and site behaviour, so survey output diffs
+// cleanly against a golden transcript. SIGINT/SIGTERM shuts down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"repro"
+	"repro/internal/blacklist"
+	"repro/internal/dnsserver"
+	"repro/internal/hostsim"
+	"repro/internal/ranking"
+	"repro/internal/registry"
+	"repro/internal/websim"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1337, "registry seed; everything derives deterministically from it")
+	nrefs := flag.Int("nrefs", 3000, "reference-list size")
+	scale := flag.Float64("scale", 0.0005, "registry scale (fraction of the paper's population)")
+	benign := flag.Int("benign-zone", 25, "benign domains included in the probe zone")
+	dir := flag.String("dir", ".", "directory for refs.txt, zone.txt, feed files and addrs.env")
+	flag.Parse()
+	if err := run(*seed, *nrefs, *scale, *benign, *dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed uint64, nrefs int, scale float64, benign int, dir string) error {
+	log.Println("surveysim: building homoglyph database (fast font)...")
+	fw, err := shamfinder.New(shamfinder.Config{FontScope: shamfinder.FontFast})
+	if err != nil {
+		return err
+	}
+	refs := ranking.Generate(nrefs, seed, ranking.PaperAnchors())
+	reg, err := registry.Generate(registry.Options{Seed: seed, Scale: scale, Refs: refs, DB: fw.DB()})
+	if err != nil {
+		return err
+	}
+
+	writeFile := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile("refs.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, strings.Join(refs.SLDs(nrefs), "\n")+"\n")
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeFile("zone.txt", reg.WriteDomainList); err != nil {
+		return err
+	}
+
+	// Small filler keeps the feed files reviewable while preserving the
+	// paper's shape: a big community feed, small commercial ones, the
+	// рф-TLD entries inside hpHosts.
+	feeds := blacklist.FromRegistry(reg, blacklist.FillerCounts{
+		HpHosts: 1500, GSB: 150, Symantec: 60, RFDomains: 40,
+	}, seed)
+	for _, pair := range []struct {
+		name string
+		feed *blacklist.Feed
+	}{{"hphosts.txt", feeds.HpHosts}, {"gsb.txt", feeds.GSB}, {"symantec.txt", feeds.Symantec}} {
+		if err := writeFile(pair.name, pair.feed.Write); err != nil {
+			return err
+		}
+	}
+
+	store := dnsserver.NewStore()
+	store.AddZone(reg.BuildProbeZone(benign))
+	dns := dnsserver.NewServer(store)
+	if err := dns.ListenAndServe("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer dns.Close()
+
+	mapper, err := hostsim.NewMapper()
+	if err != nil {
+		return err
+	}
+	web := websim.NewServer()
+	if err := web.Start(); err != nil {
+		return err
+	}
+	defer web.Close()
+	deployed := websim.Deploy(reg, web, mapper)
+
+	// addrs.env goes last and lands atomically (rename), so its
+	// existence means every listener above is live.
+	env := fmt.Sprintf("DNS=%s\nHTTP=%s\nHTTPS=%s\n", dns.Addr(), web.HTTPAddr(), web.HTTPSAddr())
+	tmp := filepath.Join(dir, ".addrs.env.tmp")
+	if err := os.WriteFile(tmp, []byte(env), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addrs.env")); err != nil {
+		return err
+	}
+
+	log.Printf("surveysim: %d homographs, %d sites deployed; DNS %s, HTTP %s, HTTPS %s",
+		len(reg.Homographs), deployed, dns.Addr(), web.HTTPAddr(), web.HTTPSAddr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("surveysim: shutting down")
+	return nil
+}

@@ -1,5 +1,7 @@
 // Phishing hunt: the paper's Section 5–6 pipeline end to end, on live
-// (simulated) infrastructure.
+// (simulated) infrastructure — now driven by the triage pipeline, so
+// DNS probing, web classification and blacklist coverage run as one
+// streaming, backpressured chain instead of three sequential batches.
 //
 //  1. Generate a synthetic .com registry with injected homographs.
 //
@@ -7,16 +9,19 @@
 //
 //  3. Detect homographs of the Alexa-style reference list (Step 3).
 //
-//  4. Probe DNS for NS/A records, port-scan the resolvable set, and
-//     classify the responsive websites over HTTP.
+//  4. Stream every detected homograph through the triage pipeline:
+//     bounded-concurrency DNS probing (rate-limited), web
+//     classification of the resolvable set (§6.2 gate, with the
+//     parked-by-delegation first pass), and blacklist lookup — one
+//     record per domain, in deterministic input order.
 //
-//  5. Cross-check against the blacklist feeds and print the hunt
-//     report.
+//  5. Print the hunt report from the running tally (Tables 12–14).
 //
 //     go run ./examples/phishing-hunt
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,10 +31,9 @@ import (
 	"repro/internal/dnsclient"
 	"repro/internal/dnsserver"
 	"repro/internal/hostsim"
-	"repro/internal/portscan"
-	"repro/internal/punycode"
 	"repro/internal/ranking"
 	"repro/internal/registry"
+	"repro/internal/triage"
 	"repro/internal/webclassify"
 	"repro/internal/websim"
 )
@@ -65,15 +69,8 @@ func main() {
 	det := fw.NewDetector(refs.SLDs(10000))
 	start := time.Now()
 	matches := det.Detect(idns)
-	detected := make([]string, 0, len(matches))
-	seen := make(map[string]bool)
-	for _, m := range matches {
-		if !seen[m.FQDN] {
-			seen[m.FQDN] = true
-			detected = append(detected, m.FQDN)
-		}
-	}
-	log.Printf("detected %d homographs in %v", len(detected), time.Since(start).Round(time.Millisecond))
+	inputs := triage.InputsFromMatches(matches)
+	log.Printf("detected %d homographs in %v", len(inputs), time.Since(start).Round(time.Millisecond))
 
 	// Stand up the simulated serving infrastructure.
 	store := dnsserver.NewStore()
@@ -95,80 +92,71 @@ func main() {
 	defer web.Close()
 	websim.Deploy(reg, web, mapper)
 
-	// Step 4a: DNS probing.
+	// Steps 4–5 as ONE streaming chain: DNS probe → web classify →
+	// blacklist, connected by bounded channels. The §6.2 gate means
+	// unresolvable homographs never reach the web stage; parked
+	// delegations classify without a fetch; the rate limit caps the
+	// aggregate query rate the way a polite zone-scale sweep must.
 	client := dnsclient.New(dns.Addr())
-	probes := client.ProbeBatch(detected, 32)
-	var withA []string
-	for _, p := range probes {
-		if p.Err != nil {
-			log.Fatalf("probing %s: %v", p.Name, p.Err)
-		}
-		if p.HasA {
-			withA = append(withA, p.Name)
-		}
-	}
-	log.Printf("resolvable: %d of %d", len(withA), len(detected))
-
-	// Step 4b: port scan.
-	scanner := &portscan.Scanner{Resolve: mapper.Resolve, Timeout: time.Second, Workers: 64}
-	scan := scanner.Scan(withA, []int{80, 443})
-	sum := portscan.Summarize(scan)
-	log.Printf("port scan: %d on :80, %d on :443, %d active", sum.Port80, sum.Port443, sum.AnyOpen)
-
-	var active []string
-	for _, r := range scan {
-		if r.AnyOpen() {
-			active = append(active, r.Domain)
-		}
-	}
-
-	// Step 4c: web classification.
 	feeds := blacklist.FromRegistry(reg, blacklist.DefaultFiller(), seed)
-	classifier := &webclassify.Classifier{
-		Resolve:   mapper.Resolve,
-		UserAgent: "Mozilla/5.0 (X11; Linux x86_64) HuntBrowser/1.0",
-		Reverter: func(domain string) (string, bool) {
-			label, tld := shamfinder.Registrable(domain)
-			uni, err := punycode.ToUnicodeLabel(label)
-			if err != nil {
-				return "", false
-			}
-			reverted := fw.Revert(uni)
-			if tld != "" {
-				reverted += "." + tld
-			}
-			return reverted, true
+	pipeline, err := triage.New(triage.Config{
+		DNS: client,
+		Classifier: &webclassify.Classifier{
+			Resolve:     mapper.Resolve,
+			UserAgent:   "Mozilla/5.0 (X11; Linux x86_64) HuntBrowser/1.0",
+			Reverter:    fw.RevertDomain,
+			IsMalicious: feeds.AnyContains,
 		},
-		IsMalicious: feeds.AnyContains,
+		Blacklists: feeds,
+		DNSWorkers: 32,
+		WebWorkers: 32,
+		RateLimit:  2000,
+		ParkingNS:  registry.ParkingProviders,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	results := classifier.ClassifyBatch(active)
-	tally := webclassify.TallyResults(results)
+
+	start = time.Now()
+	in := make(chan triage.Input)
+	go func() {
+		defer close(in)
+		for _, input := range inputs {
+			in <- input
+		}
+	}()
+	tally := triage.NewTally()
+	var catches []triage.Record
+	for rec := range pipeline.Stream(context.Background(), in) {
+		tally.Add(rec)
+		if len(rec.Blacklists) > 0 || rec.RedirectClass == string(webclassify.RedirMalicious) {
+			catches = append(catches, rec)
+		}
+	}
+	log.Printf("triaged %d homographs in %v (%d probed, %d fetched)",
+		tally.Total, time.Since(start).Round(time.Millisecond),
+		pipeline.Progress().Probed, pipeline.Progress().Fetched)
 
 	fmt.Println("\n=== hunt report ===")
-	fmt.Printf("%-18s %d\n", "detected:", len(detected))
-	fmt.Printf("%-18s %d\n", "active:", len(active))
-	for cat, n := range tally.ByCategory {
-		fmt.Printf("  %-16s %d\n", cat, n)
+	for _, tbl := range tally.Tables() {
+		fmt.Println(tbl.String())
 	}
-	fmt.Println("redirects:")
-	for class, n := range tally.ByRedirect {
-		fmt.Printf("  %-16s %d\n", class, n)
-	}
+	fmt.Println(tally.TableFourteen().String())
 
-	// Step 5: the catch — blacklisted or maliciously redirecting.
-	fmt.Println("\nconfirmed-malicious homographs:")
-	shown := 0
-	for _, r := range results {
-		bad := feeds.AnyContains(r.Domain) || r.RedirectClass == webclassify.RedirMalicious
-		if !bad || shown >= 10 {
-			continue
+	// The catch — blacklisted or maliciously redirecting.
+	fmt.Println("confirmed-malicious homographs:")
+	for i, rec := range catches {
+		if i >= 10 {
+			break
 		}
-		uni, _ := shamfinder.ToUnicode(r.Domain)
-		original := "?"
-		if o, ok := classifier.Reverter(r.Domain); ok {
-			original = o
+		uni, _ := shamfinder.ToUnicode(rec.FQDN)
+		original := rec.Reference
+		if original == "" {
+			if o, ok := fw.RevertDomain(rec.FQDN); ok {
+				original = o
+			}
 		}
-		fmt.Printf("  %-28s (%s) imitates %-20s [%s]\n", r.Domain, uni, original, r.Category)
-		shown++
+		fmt.Printf("  %-28s (%s) imitates %-20s [%s %v]\n",
+			rec.FQDN, uni, original, rec.Category, rec.Blacklists)
 	}
 }

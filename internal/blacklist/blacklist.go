@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/punycode"
 	"repro/internal/registry"
 	"repro/internal/stats"
 )
@@ -67,8 +68,24 @@ func (f *Feed) Match(domains []string) []string {
 	return out
 }
 
+// normalize reduces a feed entry (or a queried domain) to the one
+// canonical form both sides of a lookup meet on: the lowercased ACE
+// FQDN, trailing root dot dropped. Routing through punycode.ToASCII
+// means a Unicode-form entry ("gооgle.com") and a mixed-case ACE entry
+// ("XN--GGLE-55DA.COM") both land on "xn--ggle-55da.com" — the exact
+// shape the detection pipeline emits — instead of silently never
+// matching. Entries that fail IDNA conversion (overlong labels, stray
+// encodings real feeds do carry) fall back to the unified case fold so
+// they still match byte-identical queries.
 func normalize(domain string) string {
-	return strings.ToLower(strings.TrimSuffix(strings.TrimSpace(domain), "."))
+	d := strings.TrimSuffix(strings.TrimSpace(domain), ".")
+	if d == "" {
+		return ""
+	}
+	if ace, err := punycode.ToASCII(d); err == nil {
+		return ace
+	}
+	return punycode.FoldString(d)
 }
 
 // Write emits the feed as a hosts-file-style list, sorted.

@@ -100,3 +100,57 @@ func TestTableFourteenCounts(t *testing.T) {
 		t.Errorf("Symantec row = %+v", rows[2])
 	}
 }
+
+func TestNormalizeACEAndUnicodeAgree(t *testing.T) {
+	f := NewFeed("test")
+	// A Unicode-form entry, a mixed-case ACE entry and a mixed-case
+	// Unicode entry must all hit the ACE FQDN the detection pipeline
+	// emits, and vice versa. Before the normalize fix, only the
+	// byte-identical lowercase ACE form matched.
+	f.Add("gооgle.com")           // Cyrillic о ×2: encodes to xn--ggle-55da
+	f.Add("XN--FCEBOOK-2FG.COM.") // uppercase ACE, trailing root dot
+	f.Add("PАYPAL.com")           // uppercase with Cyrillic А
+	for _, q := range []string{
+		"xn--ggle-55da.com",
+		"XN--GGLE-55DA.COM",
+		"gооgle.com",
+		"xn--fcebook-2fg.com",
+		"fаcebook.com", // Cyrillic а
+		"xn--pypal-4ve.com",
+		"pаypal.com",
+	} {
+		if !f.Contains(q) {
+			t.Errorf("Contains(%q) = false, want true", q)
+		}
+	}
+	if f.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (forms must collapse to one entry each)", f.Len())
+	}
+	if f.Contains("google.com") || f.Contains("paypal.com") {
+		t.Error("ASCII originals must not match their homograph entries")
+	}
+	// Malformed entries (label beyond the 63-octet ACE limit) fall back
+	// to a pure case fold and still match byte-identical queries.
+	long := strings.Repeat("ö", 80) + ".com"
+	f.Add(long)
+	if !f.Contains(long) {
+		t.Error("malformed entry must still match itself")
+	}
+}
+
+func TestMatchACEFQDNsAgainstMixedFeed(t *testing.T) {
+	// The Table-14 path: detected homographs arrive as lowercase ACE
+	// FQDNs; the feed was parsed from a hosts file in whatever form the
+	// feed publisher chose.
+	feedFile := "127.0.0.1 GООGLE.com\n127.0.0.1 xn--mazon-3ve.CO.UK\n# comment\n127.0.0.1 unrelated.badexample\n"
+	f, err := Parse("hp", strings.NewReader(feedFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := []string{"xn--ggle-55da.com", "xn--mazon-3ve.co.uk", "xn--clean-0a.com"}
+	got := f.Match(detected)
+	want := []string{"xn--ggle-55da.com", "xn--mazon-3ve.co.uk"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Match = %v, want %v", got, want)
+	}
+}

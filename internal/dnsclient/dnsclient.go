@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,7 +175,20 @@ type ProbeResult struct {
 	HasNS bool
 	HasA  bool
 	HasMX bool
-	Err   error
+	// NSHosts are the delegation targets (trailing root dot stripped)
+	// from the NS answer — the input to parked-by-delegation
+	// classification, captured here so downstream stages need no second
+	// NS round trip.
+	NSHosts []string
+	Err     error
+}
+
+// Probe checks NS, A and MX presence for one domain — the single-
+// domain unit ProbeBatch fans out, exported for pipelines that manage
+// their own concurrency (internal/triage wraps it per worker, so a
+// zone-scale survey pays no per-domain pool setup).
+func (c *Client) Probe(domain string) ProbeResult {
+	return c.probeOne(domain)
 }
 
 // ProbeBatch checks NS, A and MX presence for every domain,
@@ -203,13 +217,18 @@ func (c *Client) ProbeBatch(domains []string, workers int) []ProbeResult {
 
 func (c *Client) probeOne(domain string) ProbeResult {
 	res := ProbeResult{Name: domain}
-	hasNS, err := c.Has(domain, dnswire.TypeNS)
+	resp, err := c.Query(domain, dnswire.TypeNS)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	res.HasNS = hasNS
-	if !hasNS {
+	for _, rr := range resp.Answers {
+		if ns, ok := rr.Data.(dnswire.NS); ok {
+			res.NSHosts = append(res.NSHosts, strings.TrimSuffix(ns.Host, "."))
+		}
+	}
+	res.HasNS = len(res.NSHosts) > 0
+	if !res.HasNS {
 		return res
 	}
 	if res.HasA, err = c.Has(domain, dnswire.TypeA); err != nil {

@@ -1,12 +1,16 @@
 package dnsclient
 
 import (
+	"fmt"
 	"net"
 	"net/netip"
+	"reflect"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/dnsserver"
 	"repro/internal/dnswire"
 )
 
@@ -194,4 +198,116 @@ func TestQueryIDsDiffer(t *testing.T) {
 	if r1.Header.ID == r2.Header.ID {
 		t.Error("consecutive queries reused the same ID")
 	}
+}
+
+// --- ProbeBatch concurrency ---
+
+// startStoreServer runs the real authoritative server over a
+// programmatically built store: domains d000..dNNN where every 3rd
+// has no A record, every 5th no MX, and every 7th is absent entirely
+// (NXDOMAIN) — enough outcome diversity that an ordering bug cannot
+// cancel out.
+func startStoreServer(t *testing.T, n int) (*dnsserver.Server, []string) {
+	t.Helper()
+	store := dnsserver.NewStore()
+	store.AddApex("com.")
+	domains := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("d%03d.com", i)
+		domains[i] = name
+		if i%7 == 0 {
+			continue // NXDOMAIN
+		}
+		store.Add(dnswire.Record{Name: name + ".", Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.NS{Host: "ns1." + name + "."}})
+		if i%3 != 0 {
+			store.Add(dnswire.Record{Name: name + ".", Class: dnswire.ClassIN, TTL: 60,
+				Data: dnswire.A{Addr: netip.MustParseAddr("127.0.0.1")}})
+		}
+		if i%5 != 0 {
+			store.Add(dnswire.Record{Name: name + ".", Class: dnswire.ClassIN, TTL: 60,
+				Data: dnswire.MX{Preference: 10, Host: "mail." + name + "."}})
+		}
+	}
+	srv := dnsserver.NewServer(store)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, domains
+}
+
+func TestProbeBatchOrderAcrossWorkerCounts(t *testing.T) {
+	srv, domains := startStoreServer(t, 60)
+	var baseline []ProbeResult
+	for _, workers := range []int{1, 4, 32} {
+		c := New(srv.Addr())
+		c.Timeout = 2 * time.Second
+		results := c.ProbeBatch(domains, workers)
+		if len(results) != len(domains) {
+			t.Fatalf("workers=%d: %d results for %d domains", workers, len(results), len(domains))
+		}
+		for i, res := range results {
+			if res.Name != domains[i] {
+				t.Fatalf("workers=%d: position %d = %s, want %s", workers, i, res.Name, domains[i])
+			}
+			if res.Err != nil {
+				t.Fatalf("workers=%d: %s: %v", workers, res.Name, res.Err)
+			}
+			wantNS := i%7 != 0
+			wantA := wantNS && i%3 != 0
+			wantMX := wantNS && i%5 != 0
+			if res.HasNS != wantNS || res.HasA != wantA || res.HasMX != wantMX {
+				t.Fatalf("workers=%d: %s = %+v, want NS=%v A=%v MX=%v", workers, res.Name, res, wantNS, wantA, wantMX)
+			}
+			if wantNS && (len(res.NSHosts) != 1 || res.NSHosts[0] != "ns1."+res.Name) {
+				t.Fatalf("workers=%d: %s NSHosts = %v", workers, res.Name, res.NSHosts)
+			}
+		}
+		if baseline == nil {
+			baseline = results
+		} else if !reflect.DeepEqual(results, baseline) {
+			t.Fatalf("workers=%d results differ from workers=1 baseline", workers)
+		}
+	}
+}
+
+func TestProbeBatchTimeoutDrainsWorkers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// Black hole: reads queries, never answers. Every probe times out;
+	// the pool must still drain completely.
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			if _, _, err := conn.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c := New(conn.LocalAddr().String())
+	c.Timeout = 100 * time.Millisecond
+	c.Retries = 0
+	domains := make([]string, 48)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("t%02d.com", i)
+	}
+	results := c.ProbeBatch(domains, 32)
+	for i, res := range results {
+		if res.Err == nil {
+			t.Fatalf("probe %d unexpectedly succeeded", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("worker goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
 }

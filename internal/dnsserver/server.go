@@ -12,6 +12,28 @@ import (
 	"repro/internal/dnswire"
 )
 
+// Fault is an injected server-side failure mode for one query,
+// selected by a Server's OnFault hook. The triage pipeline's
+// fault-injection harness uses these to reproduce the pathologies a
+// zone-scale DNS sweep meets in the wild: silently dropped datagrams,
+// responses that only fit over TCP, and lame servers.
+type Fault int
+
+// Fault modes.
+const (
+	// FaultNone answers normally.
+	FaultNone Fault = iota
+	// FaultDrop swallows the query: no response on either transport.
+	// A UDP client retries and eventually times out.
+	FaultDrop
+	// FaultTruncate answers over UDP with the TC bit set and an empty
+	// answer section, forcing the standard TCP fallback; TCP queries
+	// are answered normally.
+	FaultTruncate
+	// FaultServFail answers SERVFAIL, the lame-delegation shape.
+	FaultServFail
+)
+
 // Server answers DNS queries over UDP and TCP from a Store. Start it
 // with ListenAndServe on an address like "127.0.0.1:0"; Addr reports
 // the port actually bound so tests and the simulator can point clients
@@ -31,6 +53,11 @@ type Server struct {
 	started bool
 	queries atomic.Int64
 	OnQuery func(q dnswire.Question) // optional observation hook (passive DNS taps this)
+	// OnFault, when non-nil, is consulted once per parsed query and may
+	// inject a failure mode instead of the normal answer. udp reports
+	// the transport the query arrived on. The hook runs on the serving
+	// goroutine; it must be safe for concurrent use.
+	OnFault func(q dnswire.Question, udp bool) Fault
 }
 
 // NewServer returns a server over the given store.
@@ -214,6 +241,25 @@ func (s *Server) handle(pkt []byte, udp bool) []byte {
 	q := query.Questions[0]
 	if s.OnQuery != nil {
 		s.OnQuery(q)
+	}
+	if s.OnFault != nil {
+		switch s.OnFault(q, udp) {
+		case FaultDrop:
+			return nil
+		case FaultTruncate:
+			if udp {
+				resp := dnswire.NewResponse(&query, dnswire.RCodeSuccess)
+				resp.Header.Authoritative = true
+				resp.Header.Truncated = true
+				out, _ := resp.Pack(nil)
+				return out
+			}
+			// TCP retry after the forced truncation answers normally.
+		case FaultServFail:
+			resp := dnswire.NewResponse(&query, dnswire.RCodeServerFailure)
+			out, _ := resp.Pack(nil)
+			return out
+		}
 	}
 
 	var resp *dnswire.Message

@@ -72,6 +72,10 @@ type metrics struct {
 	inFlight  atomic.Int64  // currently admitted detection requests
 	badInput  atomic.Uint64 // 4xx rejections (malformed body, missing fqdn)
 	lastSwapN atomic.Int64  // unix nanos of the last observed swap; 0 = never
+
+	surveys       atomic.Uint64 // survey jobs accepted
+	surveysActive atomic.Int64  // survey jobs currently running
+	surveyDomains atomic.Uint64 // domains triaged across all survey jobs
 }
 
 // Stats is the JSON shape /metrics serves. QPS is cumulative
@@ -94,6 +98,10 @@ type Stats struct {
 	P90Ns      uint64  `json:"p90_ns"`
 	P99Ns      uint64  `json:"p99_ns"`
 	LastReload string  `json:"last_reload,omitempty"` // RFC3339; absent before the first swap
+
+	Surveys       uint64 `json:"surveys"`
+	SurveysActive int64  `json:"surveys_active"`
+	SurveyDomains uint64 `json:"survey_domains"`
 }
 
 func (m *metrics) snapshot(epoch uint64, references int) Stats {
@@ -113,6 +121,10 @@ func (m *metrics) snapshot(epoch uint64, references int) Stats {
 		P50Ns:      m.latency.quantile(0.50),
 		P90Ns:      m.latency.quantile(0.90),
 		P99Ns:      m.latency.quantile(0.99),
+
+		Surveys:       m.surveys.Load(),
+		SurveysActive: m.surveysActive.Load(),
+		SurveyDomains: m.surveyDomains.Load(),
 	}
 	if uptime > 0 {
 		s.QPS = float64(req) / uptime

@@ -5,12 +5,16 @@
 //
 // Routes:
 //
-//	POST /v1/detect   {"fqdn":"..."} or {"fqdns":["...", ...]}
-//	GET  /v1/explain  ?fqdn=...          (matches + Figure-12 warnings)
-//	POST /v1/reload   {"snapshot":"path"} | {"refs":"path"} |
-//	                  {"references":["google", ...]}
-//	GET  /healthz     liveness + current epoch and reference count
-//	GET  /metrics     epoch, reference count, QPS, p50/p90/p99 latency
+//	POST /v1/detect        {"fqdn":"..."} or {"fqdns":["...", ...]}
+//	GET  /v1/explain       ?fqdn=...          (matches + Figure-12 warnings)
+//	POST /v1/reload        {"snapshot":"path"} | {"refs":"path"} |
+//	                       {"references":["google", ...]}
+//	POST   /v1/survey      {"fqdns":[...], "resolver":"host:port", ...}
+//	                       async triage job: detect → DNS → web → blacklist
+//	GET    /v1/survey/{id} job status, progress counters, records + tally when done
+//	DELETE /v1/survey/{id} cancel a running job
+//	GET  /healthz          liveness + current epoch and reference count
+//	GET  /metrics          epoch, reference count, QPS, p50/p99 latency, survey counters
 //
 // Every detection response names the engine epoch it was computed
 // against, and each request runs entirely on one atomically-loaded
@@ -55,6 +59,9 @@ type Config struct {
 	// MaxBatch bounds the FQDN count of one /v1/detect request.
 	// 0 means 10000.
 	MaxBatch int
+	// Survey wires the async triage job API (POST /v1/survey). The
+	// zero value works; see SurveyConfig.
+	Survey SurveyConfig
 	// Logf receives operational log lines; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -62,14 +69,16 @@ type Config struct {
 // Server is the HTTP serving layer over a core.Engine. Construct with
 // New; it implements http.Handler.
 type Server struct {
-	engine   *core.Engine
-	sem      chan struct{}
-	maxBatch int
-	logf     func(string, ...any)
-	mux      *http.ServeMux
-	met      metrics
-	reloadMu sync.Mutex // serializes /v1/reload; queries never take it
-	bufs     sync.Pool  // *[]byte normalization buffers
+	engine    *core.Engine
+	sem       chan struct{}
+	maxBatch  int
+	logf      func(string, ...any)
+	mux       *http.ServeMux
+	met       metrics
+	reloadMu  sync.Mutex // serializes /v1/reload; queries never take it
+	bufs      sync.Pool  // *[]byte normalization buffers
+	surveyCfg SurveyConfig
+	surveys   surveyRegistry
 }
 
 // New builds a Server over cfg.Engine.
@@ -90,17 +99,24 @@ func New(cfg Config) *Server {
 		logf = func(string, ...any) {}
 	}
 	s := &Server{
-		engine:   cfg.Engine,
-		sem:      make(chan struct{}, maxInFlight),
-		maxBatch: maxBatch,
-		logf:     logf,
-		mux:      http.NewServeMux(),
+		engine:    cfg.Engine,
+		sem:       make(chan struct{}, maxInFlight),
+		maxBatch:  maxBatch,
+		logf:      logf,
+		mux:       http.NewServeMux(),
+		surveyCfg: cfg.Survey,
 	}
 	s.met.start = time.Now()
 	s.bufs.New = func() any { b := make([]byte, 0, 256); return &b }
 	s.mux.HandleFunc("POST /v1/detect", s.bounded(s.handleDetect))
 	s.mux.HandleFunc("GET /v1/explain", s.bounded(s.handleExplain))
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	// Survey jobs run in the background on their own worker pools, so
+	// submission is not gated by the detection-concurrency limiter —
+	// the per-registry running-jobs cap bounds them instead.
+	s.mux.HandleFunc("POST /v1/survey", s.handleSurveySubmit)
+	s.mux.HandleFunc("GET /v1/survey/{id}", s.handleSurveyStatus)
+	s.mux.HandleFunc("DELETE /v1/survey/{id}", s.handleSurveyCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -1,0 +1,462 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/blacklist"
+	"repro/internal/core"
+	"repro/internal/dnsclient"
+	"repro/internal/triage"
+	"repro/internal/webclassify"
+)
+
+// The async survey job API: POST /v1/survey submits a candidate list,
+// the server detects homographs against the current engine epoch and
+// pushes the matches through the triage pipeline (DNS → web →
+// blacklist) in the background; GET /v1/survey/{id} reports progress
+// and, once done, the records and tally; DELETE cancels. Jobs are
+// in-memory: they live as long as the process, which matches the
+// serving model (a survey is operational tooling, not durable state —
+// the CLI's JSONL checkpoints cover durability).
+
+// SurveyConfig wires the serving layer's triage backends. The zero
+// value works: DNS probing uses the resolver named per request, web
+// fetches dial the surveyed domain directly, and the blacklist stage
+// is skipped.
+type SurveyConfig struct {
+	// Resolve overrides how web fetches dial (domain, port) — the
+	// simulated-infrastructure hook. Nil dials domain:port.
+	Resolve webclassify.Resolver
+	// Blacklists enables the blacklist stage.
+	Blacklists *blacklist.Set
+	// ParkingNS are parking-provider NS suffixes for the
+	// parked-by-delegation first pass.
+	ParkingNS []string
+	// MaxJobs bounds concurrently running surveys; more are rejected
+	// with 429. 0 means 2.
+	MaxJobs int
+	// MaxDomains bounds one survey's candidate list. 0 means 100000.
+	MaxDomains int
+}
+
+type surveyRequest struct {
+	FQDNs []string `json:"fqdns"`
+	// Resolver is the DNS server to probe ("host:port"). Required
+	// unless SkipDNS.
+	Resolver string `json:"resolver,omitempty"`
+	// Detect, default true, filters the candidates through the
+	// detection engine first and surveys only the homograph matches.
+	// Explicitly false surveys every submitted FQDN.
+	Detect *bool `json:"detect,omitempty"`
+
+	DNSWorkers     int     `json:"dns_workers,omitempty"`
+	WebWorkers     int     `json:"web_workers,omitempty"`
+	Rate           float64 `json:"rate,omitempty"`
+	Retries        *int    `json:"retries,omitempty"`
+	StageTimeoutMS int     `json:"stage_timeout_ms,omitempty"`
+	DNSTimeoutMS   int     `json:"dns_timeout_ms,omitempty"`
+	WebTimeoutMS   int     `json:"web_timeout_ms,omitempty"`
+	SkipDNS        bool    `json:"skip_dns,omitempty"`
+	SkipWeb        bool    `json:"skip_web,omitempty"`
+	SkipBlacklist  bool    `json:"skip_blacklist,omitempty"`
+}
+
+type surveyAccepted struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Epoch    uint64 `json:"epoch"`
+	Queried  int    `json:"queried"`
+	Detected int    `json:"detected"`
+}
+
+type surveyStatus struct {
+	ID       string          `json:"id"`
+	Status   string          `json:"status"`
+	Epoch    uint64          `json:"epoch"`
+	Queried  int             `json:"queried"`
+	Detected int             `json:"detected"`
+	Progress triage.Progress `json:"progress"`
+	Error    string          `json:"error,omitempty"`
+	Records  []triage.Record `json:"records,omitempty"`
+	Tally    *triage.Tally   `json:"tally,omitempty"`
+}
+
+// Job states.
+const (
+	surveyRunning   = "running"
+	surveyDone      = "done"
+	surveyFailed    = "failed"
+	surveyCancelled = "cancelled"
+)
+
+type surveyJob struct {
+	id       string
+	epoch    uint64
+	queried  int
+	detected int
+	pipeline *triage.Pipeline
+	cancel   context.CancelFunc
+
+	mu      sync.Mutex
+	status  string
+	err     string
+	records []triage.Record
+	tally   *triage.Tally
+}
+
+func (j *surveyJob) snapshot(includeRecords bool) surveyStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := surveyStatus{
+		ID:       j.id,
+		Status:   j.status,
+		Epoch:    j.epoch,
+		Queried:  j.queried,
+		Detected: j.detected,
+		Progress: j.pipeline.Progress(),
+		Error:    j.err,
+	}
+	if j.status == surveyDone {
+		st.Tally = j.tally
+		if includeRecords {
+			st.Records = j.records
+		}
+	}
+	return st
+}
+
+// keepFinished bounds how many finished jobs the registry retains:
+// old results (and their record sets) are evicted oldest-first when a
+// new job is published, so a long-lived server's memory stays flat no
+// matter how many surveys it has run.
+const keepFinished = 32
+
+type surveyRegistry struct {
+	mu      sync.Mutex
+	seq     int
+	running int
+	jobs    map[string]*surveyJob
+	order   []string // publication order, for oldest-first eviction
+}
+
+// reserve claims a running-job slot and an id BEFORE any submit-time
+// work happens, so a request destined for 429 is rejected without
+// paying for detection. The job itself is published only once fully
+// constructed; until then the id 404s (the client has not seen it
+// yet).
+func (r *surveyRegistry) reserve(maxJobs int) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running >= maxJobs {
+		return "", fmt.Errorf("survey: %d jobs already running", r.running)
+	}
+	r.running++
+	r.seq++
+	return "s" + strconv.Itoa(r.seq), nil
+}
+
+// release returns a reserved slot (job finished, or submit failed
+// after reserve).
+func (r *surveyRegistry) release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.running--
+}
+
+// publish makes a fully-constructed job visible and evicts the oldest
+// finished jobs beyond the retention bound.
+func (r *surveyRegistry) publish(job *surveyJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.jobs == nil {
+		r.jobs = make(map[string]*surveyJob)
+	}
+	r.jobs[job.id] = job
+	r.order = append(r.order, job.id)
+	kept := make([]string, 0, len(r.order))
+	finished := 0
+	for i := len(r.order) - 1; i >= 0; i-- {
+		j := r.jobs[r.order[i]]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		done := j.status != surveyRunning
+		j.mu.Unlock()
+		if done {
+			finished++
+			if finished > keepFinished {
+				delete(r.jobs, r.order[i])
+				continue
+			}
+		}
+		kept = append(kept, r.order[i])
+	}
+	// kept was built newest-first; restore publication order.
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	r.order = kept
+}
+
+// remove evicts a job (DELETE on a finished job frees its records).
+func (r *surveyRegistry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, id)
+}
+
+func (r *surveyRegistry) get(id string) (*surveyJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	job, ok := r.jobs[id]
+	return job, ok
+}
+
+func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
+	var req surveyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	maxDomains := s.surveyCfg.MaxDomains
+	if maxDomains <= 0 {
+		maxDomains = 100000
+	}
+	if len(req.FQDNs) == 0 {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, `need "fqdns"`)
+		return
+	}
+	if len(req.FQDNs) > maxDomains {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("survey of %d exceeds limit %d", len(req.FQDNs), maxDomains))
+		return
+	}
+	if !req.SkipDNS && req.Resolver == "" {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, `need "resolver" (or "skip_dns")`)
+		return
+	}
+
+	// Claim the running-job slot FIRST: a request the cap will reject
+	// must be shed before it pays for detection, the way /v1/detect's
+	// admission gate sheds before scanning.
+	maxJobs := s.surveyCfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 2
+	}
+	id, err := s.surveys.reserve(maxJobs)
+	if err != nil {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+
+	// The detect stage answers from ONE epoch, exactly like /v1/detect:
+	// the whole survey is attributable to the engine state it started
+	// on, even if reloads land while probes run.
+	det, epoch := s.engine.Current()
+	var inputs []triage.Input
+	if req.Detect == nil || *req.Detect {
+		buf := s.bufs.Get().(*[]byte)
+		var matches []core.Match
+		for _, name := range req.FQDNs {
+			if ms := scan(det, buf, name); len(ms) > 0 {
+				matches = append(matches, ms...)
+			}
+		}
+		s.putBuf(buf)
+		core.SortMatches(matches)
+		inputs = triage.InputsFromMatches(matches)
+	} else {
+		seen := make(map[string]bool, len(req.FQDNs))
+		for _, name := range req.FQDNs {
+			// The same ACE-aware normalization the blacklist and the CLI
+			// match-file path use: a Unicode-form candidate probes as its
+			// xn-- form, never as a raw non-ASCII DNS name.
+			fqdn := triage.NormalizeFQDN(name)
+			if fqdn == "" || seen[fqdn] {
+				continue
+			}
+			seen[fqdn] = true
+			inputs = append(inputs, triage.Input{FQDN: fqdn})
+		}
+	}
+
+	cfg, err := s.surveyPipelineConfig(req)
+	if err != nil {
+		s.surveys.release()
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	pipeline, err := triage.New(cfg)
+	if err != nil {
+		s.surveys.release()
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	// The job is published only fully constructed: every field a
+	// concurrent GET/DELETE can reach is set before publish.
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &surveyJob{
+		id:       id,
+		status:   surveyRunning,
+		epoch:    epoch,
+		queried:  len(req.FQDNs),
+		detected: len(inputs),
+		pipeline: pipeline,
+		cancel:   cancel,
+	}
+	s.surveys.publish(job)
+	s.met.surveys.Add(1)
+	s.met.surveysActive.Add(1)
+	s.logf("survey %s: %d candidates, %d to triage (epoch %d)", job.id, job.queried, job.detected, epoch)
+	go s.runSurvey(ctx, job, inputs)
+
+	writeJSON(w, http.StatusAccepted, surveyAccepted{
+		ID: job.id, Status: surveyRunning, Epoch: epoch,
+		Queried: job.queried, Detected: job.detected,
+	})
+}
+
+func (s *Server) runSurvey(ctx context.Context, job *surveyJob, inputs []triage.Input) {
+	defer s.surveys.release()
+	defer s.met.surveysActive.Add(-1)
+	defer job.cancel()
+	records, err := job.pipeline.Run(ctx, inputs)
+	s.met.surveyDomains.Add(uint64(len(records)))
+	tally := triage.NewTally()
+	for _, rec := range records {
+		tally.Add(rec)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.records = records
+	job.tally = tally
+	switch {
+	case errors.Is(err, context.Canceled):
+		job.status = surveyCancelled
+		job.err = "cancelled"
+	case err != nil:
+		job.status = surveyFailed
+		job.err = err.Error()
+	default:
+		job.status = surveyDone
+	}
+	s.logf("survey %s: %s (%d records)", job.id, job.status, len(records))
+}
+
+// surveyPipelineConfig maps request knobs onto the triage config,
+// bounded to keep one HTTP client from monopolizing the process.
+func (s *Server) surveyPipelineConfig(req surveyRequest) (triage.Config, error) {
+	clamp := func(v, def, max int) int {
+		if v <= 0 {
+			return def
+		}
+		if v > max {
+			return max
+		}
+		return v
+	}
+	ms := func(v, def int) time.Duration {
+		if v <= 0 {
+			return time.Duration(def) * time.Millisecond
+		}
+		return time.Duration(v) * time.Millisecond
+	}
+	// Rate and stage timeout are clamped like the worker counts: a
+	// survey of MaxDomains at 0.001 qps, or with a multi-day stage
+	// timeout, would pin a running-jobs slot effectively forever.
+	rate := req.Rate
+	if rate > 0 && rate < 1 {
+		rate = 1
+	}
+	cfg := triage.Config{
+		DNSWorkers:    clamp(req.DNSWorkers, 16, 128),
+		WebWorkers:    clamp(req.WebWorkers, 16, 128),
+		RateLimit:     rate,
+		StageTimeout:  time.Duration(clamp(req.StageTimeoutMS, 15000, 120000)) * time.Millisecond,
+		SkipDNS:       req.SkipDNS,
+		SkipWeb:       req.SkipWeb,
+		SkipBlacklist: req.SkipBlacklist || s.surveyCfg.Blacklists == nil,
+		Blacklists:    s.surveyCfg.Blacklists,
+		ParkingNS:     s.surveyCfg.ParkingNS,
+	}
+	if req.Retries != nil {
+		// The pointer distinguishes explicit zero from unset: a client
+		// asking for "retries":0 means none, which the triage config
+		// spells as a negative value (its own zero means "default").
+		cfg.Retries = *req.Retries
+		if cfg.Retries == 0 {
+			cfg.Retries = -1
+		}
+	}
+	if !req.SkipDNS {
+		if _, _, err := net.SplitHostPort(req.Resolver); err != nil {
+			return cfg, fmt.Errorf("bad resolver %q: %v", req.Resolver, err)
+		}
+		client := dnsclient.New(req.Resolver)
+		client.Timeout = ms(req.DNSTimeoutMS, 2000)
+		client.Retries = 0 // the pipeline's "retries" knob owns retry policy
+		cfg.DNS = client
+	}
+	if !req.SkipWeb {
+		resolve := s.surveyCfg.Resolve
+		if resolve == nil {
+			resolve = func(domain string, port int) string {
+				return net.JoinHostPort(domain, strconv.Itoa(port))
+			}
+		}
+		classifier := &webclassify.Classifier{
+			Resolve:   resolve,
+			Timeout:   ms(req.WebTimeoutMS, 3000),
+			UserAgent: "ShamFinder-Survey/1.0",
+		}
+		if s.surveyCfg.Blacklists != nil {
+			classifier.IsMalicious = s.surveyCfg.Blacklists.AnyContains
+		}
+		cfg.Classifier = classifier
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleSurveyStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.surveys.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such survey")
+		return
+	}
+	includeRecords := r.URL.Query().Get("records") != "0"
+	writeJSON(w, http.StatusOK, job.snapshot(includeRecords))
+}
+
+// handleSurveyCancel cancels a running job; on an already-finished
+// job it evicts the entry instead, freeing its retained records.
+func (s *Server) handleSurveyCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.surveys.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such survey")
+		return
+	}
+	job.mu.Lock()
+	running := job.status == surveyRunning
+	job.mu.Unlock()
+	if running {
+		job.cancel()
+	} else {
+		s.surveys.remove(job.id)
+	}
+	writeJSON(w, http.StatusOK, job.snapshot(false))
+}

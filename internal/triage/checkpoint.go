@@ -1,0 +1,108 @@
+package triage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteRecords streams records as JSONL (one record per line) — the
+// survey output format and the checkpoint format; they are the same
+// file.
+func WriteRecords(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("triage: encoding record for %s: %w", rec.FQDN, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// A RecordWriter appends records to a JSONL stream one at a time,
+// flushing each — the incremental checkpoint a long survey writes so
+// an interrupted run loses at most the in-flight window.
+type RecordWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewRecordWriter wraps w.
+func NewRecordWriter(w io.Writer) *RecordWriter {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	return &RecordWriter{bw: bw, enc: enc}
+}
+
+// Write appends one record and flushes, so the line is durable the
+// moment Write returns.
+func (rw *RecordWriter) Write(rec Record) error {
+	if err := rw.enc.Encode(rec); err != nil {
+		return fmt.Errorf("triage: encoding record for %s: %w", rec.FQDN, err)
+	}
+	return rw.bw.Flush()
+}
+
+// ReadRecords parses a JSONL record stream. A trailing partial line —
+// the shape an interrupted writer leaves — is ignored rather than
+// fatal, because the resume path must accept exactly the files crashes
+// produce; a malformed line followed by further complete lines is
+// reported as corruption.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var records []Record
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// Tolerate only as the final line.
+			pendingErr = fmt.Errorf("triage: checkpoint line %d: %w", line, err)
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("triage: reading checkpoint: %w", err)
+	}
+	return records, nil
+}
+
+// LoadCheckpoint reads a previous run's JSONL output into a resume
+// map, keyed by FQDN. A missing file is an empty (not failed) resume —
+// the caller can pass the output path unconditionally. Later duplicate
+// lines win, matching "the newest probe of a domain is the one to
+// trust".
+func LoadCheckpoint(path string) (map[string]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Record{}, nil
+		}
+		return nil, fmt.Errorf("triage: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	records, err := ReadRecords(f)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]Record, len(records))
+	for _, rec := range records {
+		m[rec.FQDN] = rec
+	}
+	return m, nil
+}

@@ -1,0 +1,69 @@
+package triage
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/homoglyph"
+	"repro/internal/punycode"
+)
+
+// NormalizeFQDN reduces a caller-supplied domain to the pipeline's
+// canonical input form: the lowercased ACE FQDN, trailing root dot
+// dropped — the same shape detection emits and the blacklist feeds
+// normalize to, so a Unicode-form candidate ("gооgle.com") probes as
+// its xn-- form, never as a raw non-ASCII DNS name. Inputs that fail
+// IDNA conversion fall back to the unified case fold.
+func NormalizeFQDN(domain string) string {
+	d := strings.TrimSuffix(strings.TrimSpace(domain), ".")
+	if d == "" {
+		return ""
+	}
+	if ace, err := punycode.ToASCII(d); err == nil {
+		return ace
+	}
+	return punycode.FoldString(d)
+}
+
+// SourceOf derives a match's detecting-database attribution for the
+// Table 14 split: the homograph is detectable by a database only if
+// every substituted character is vouched for by that database, so the
+// attribution is the intersection of the per-diff source masks.
+func SourceOf(m core.Match) string {
+	mask := homoglyph.SourceUC | homoglyph.SourceSimChar
+	for _, d := range m.Diffs {
+		mask &= d.Source
+	}
+	if mask == homoglyph.SourceNone {
+		// Mixed provenance (one diff only UC, another only SimChar):
+		// only the union database detects it.
+		return (homoglyph.SourceUC | homoglyph.SourceSimChar).String()
+	}
+	return mask.String()
+}
+
+// InputsFromMatches reduces detection output to pipeline inputs: one
+// Input per distinct FQDN, in first-seen order, carrying the imitated
+// domain and the database attribution. A domain matching several
+// references keeps the first match's attribution — the probe outcome
+// is per-domain either way.
+func InputsFromMatches(matches []core.Match) []Input {
+	inputs := make([]Input, 0, len(matches))
+	seen := make(map[string]bool, len(matches))
+	for _, m := range matches {
+		fqdn := m.FQDN
+		if fqdn == "" {
+			fqdn = m.IDN
+		}
+		if seen[fqdn] {
+			continue
+		}
+		seen[fqdn] = true
+		inputs = append(inputs, Input{
+			FQDN:      fqdn,
+			Reference: m.Imitated(),
+			Source:    SourceOf(m),
+		})
+	}
+	return inputs
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package triage
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package triage
+
+// raceEnabled scales the fault-injection harness down under the race
+// detector (whose instrumentation slows the network stages ~10×) while
+// keeping every fault mode covered — the same pattern the root
+// package's race_enabled_test.go uses for allocation-count tests.
+const raceEnabled = true

@@ -1,0 +1,158 @@
+package triage
+
+import (
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/webclassify"
+)
+
+// Tally aggregates records into the paper's summary shapes: the §6.1
+// resolution funnel, the Table 12 category and Table 13 redirect
+// breakdowns, and the Table 14 per-feed × per-database blacklist
+// counts. Add is not safe for concurrent use; feed it from the single
+// ordered record stream.
+type Tally struct {
+	Total     int `json:"total"`
+	Resumed   int `json:"resumed"`
+	WithNS    int `json:"with_ns"`
+	WithA     int `json:"with_a"`
+	WithMX    int `json:"with_mx"`
+	DNSErrors int `json:"dns_errors"`
+
+	ByCategory map[string]int `json:"by_category,omitempty"`
+	ByRedirect map[string]int `json:"by_redirect,omitempty"`
+
+	// ByFeed counts listed homographs per feed; ByFeedSource splits
+	// each feed's count by the detecting database (the Table 14
+	// columns), using Record.Source.
+	ByFeed       map[string]int            `json:"by_feed,omitempty"`
+	ByFeedSource map[string]map[string]int `json:"by_feed_source,omitempty"`
+	Blacklisted  int                       `json:"blacklisted"`
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{
+		ByCategory:   make(map[string]int),
+		ByRedirect:   make(map[string]int),
+		ByFeed:       make(map[string]int),
+		ByFeedSource: make(map[string]map[string]int),
+	}
+}
+
+// Add folds one record in.
+func (t *Tally) Add(rec Record) {
+	t.Total++
+	if rec.Resumed {
+		t.Resumed++
+	}
+	if rec.DNSError != "" {
+		t.DNSErrors++
+	}
+	if rec.HasNS {
+		t.WithNS++
+	}
+	if rec.HasA {
+		t.WithA++
+	}
+	if rec.HasMX {
+		t.WithMX++
+	}
+	if rec.Category != "" {
+		t.ByCategory[rec.Category]++
+	}
+	if rec.Category == string(webclassify.CatRedirect) && rec.RedirectClass != "" {
+		t.ByRedirect[rec.RedirectClass]++
+	}
+	if len(rec.Blacklists) > 0 {
+		t.Blacklisted++
+	}
+	for _, feed := range rec.Blacklists {
+		t.ByFeed[feed]++
+		src := rec.Source
+		if src == "" {
+			src = "unknown"
+		}
+		m := t.ByFeedSource[feed]
+		if m == nil {
+			m = make(map[string]int)
+			t.ByFeedSource[feed] = m
+		}
+		m[src]++
+	}
+}
+
+// sortedKeys returns m's keys sorted, for deterministic table output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Tables renders the tally as aligned report tables: the resolution
+// funnel, the Table 12 categories, the Table 13 redirect classes and
+// the Table 14 feed coverage. Row order is deterministic.
+func (t *Tally) Tables() []*report.Table {
+	funnel := report.NewTable("Resolution funnel (§6.1)", "stage", "domains")
+	funnel.AddRow("triaged", t.Total)
+	funnel.AddRow("with NS", t.WithNS)
+	funnel.AddRow("with A", t.WithA)
+	funnel.AddRow("with MX", t.WithMX)
+	funnel.AddRow("DNS errors", t.DNSErrors)
+
+	tables := []*report.Table{funnel}
+	if len(t.ByCategory) > 0 {
+		cat := report.NewTable("Web categories (Table 12)", "category", "domains")
+		for _, k := range sortedKeys(t.ByCategory) {
+			cat.AddRow(k, t.ByCategory[k])
+		}
+		tables = append(tables, cat)
+	}
+	if len(t.ByRedirect) > 0 {
+		red := report.NewTable("Redirect classes (Table 13)", "class", "domains")
+		for _, k := range sortedKeys(t.ByRedirect) {
+			red.AddRow(k, t.ByRedirect[k])
+		}
+		tables = append(tables, red)
+	}
+	if len(t.ByFeed) > 0 {
+		bl := report.NewTable("Blacklist coverage (Table 14)", "feed", "listed")
+		for _, k := range sortedKeys(t.ByFeed) {
+			bl.AddRow(k, t.ByFeed[k])
+		}
+		tables = append(tables, bl)
+	}
+	return tables
+}
+
+// TableFourteen renders the feed × detecting-database split in the
+// paper's Table 14 shape. Sources beyond the three canonical columns
+// (UC, SimChar, the union) are folded into the union column, which by
+// definition contains every detected homograph.
+func (t *Tally) TableFourteen() *report.Table {
+	tbl := report.NewTable("Table 14 — blacklisted homographs by database", "feed", "UC", "SimChar", "UC∪SimChar")
+	for _, feed := range sortedKeys(t.ByFeedSource) {
+		bySrc := t.ByFeedSource[feed]
+		uc, sim, union := 0, 0, 0
+		for src, n := range bySrc {
+			union += n
+			switch src {
+			case "UC":
+				uc += n
+			case "SimChar":
+				sim += n
+			case "UC∪SimChar":
+				// Detectable by both: counts in each single-database column
+				// too, as the paper's per-database rows do.
+				uc += n
+				sim += n
+			}
+		}
+		tbl.AddRow(feed, uc, sim, union)
+	}
+	return tbl
+}

@@ -1,0 +1,483 @@
+package triage
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blacklist"
+	"repro/internal/core"
+	"repro/internal/dnsclient"
+	"repro/internal/homoglyph"
+)
+
+// --- ordered stage ---
+
+func TestOrderedStagePreservesOrderAcrossWorkerCounts(t *testing.T) {
+	const n = 300
+	for _, workers := range []int{1, 4, 32} {
+		in := make(chan Record)
+		go func() {
+			defer close(in)
+			for i := 0; i < n; i++ {
+				in <- Record{FQDN: fmt.Sprintf("d%03d.com", i)}
+			}
+		}()
+		// Adversarial timing: early items are the slowest, so an
+		// order-agnostic pool would emit late items first.
+		fn := func(_ context.Context, rec Record) Record {
+			var i int
+			fmt.Sscanf(rec.FQDN, "d%03d.com", &i)
+			time.Sleep(time.Duration((n-i)%17) * 100 * time.Microsecond)
+			rec.Category = "seen"
+			return rec
+		}
+		out := orderedStage(context.Background(), in, workers, fn)
+		i := 0
+		for rec := range out {
+			if want := fmt.Sprintf("d%03d.com", i); rec.FQDN != want {
+				t.Fatalf("workers=%d: position %d = %s, want %s", workers, i, rec.FQDN, want)
+			}
+			if rec.Category != "seen" {
+				t.Fatalf("workers=%d: %s skipped the stage fn", workers, rec.FQDN)
+			}
+			i++
+		}
+		if i != n {
+			t.Fatalf("workers=%d: got %d records, want %d", workers, i, n)
+		}
+	}
+}
+
+func TestOrderedStageBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int64
+	fn := func(_ context.Context, rec Record) Record {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return rec
+	}
+	in := make(chan Record)
+	go func() {
+		defer close(in)
+		for i := 0; i < 64; i++ {
+			in <- Record{FQDN: fmt.Sprint(i)}
+		}
+	}()
+	for range orderedStage(context.Background(), in, workers, fn) {
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+// --- pipeline plumbing (no live backends) ---
+
+// blackholeUDP binds a UDP socket that reads queries and never
+// answers — the dropped-datagram resolver the timeout tests probe.
+func blackholeUDP(t *testing.T) string {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			if _, _, err := conn.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+	return conn.LocalAddr().String()
+}
+
+func TestPipelineBlacklistStageOrdered(t *testing.T) {
+	feeds := &blacklist.Set{
+		HpHosts:  blacklist.NewFeed("hpHosts"),
+		GSB:      blacklist.NewFeed("GSB"),
+		Symantec: blacklist.NewFeed("Symantec"),
+	}
+	feeds.HpHosts.Add("xn--bad-1.com")
+	feeds.GSB.Add("xn--bad-1.com")
+	feeds.Symantec.Add("xn--bad-3.com")
+	p, err := New(Config{SkipDNS: true, SkipWeb: true, Blacklists: feeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Input{
+		{FQDN: "xn--bad-1.com", Source: "UC"},
+		{FQDN: "xn--ok-1.com"},
+		{FQDN: "xn--bad-3.com", Source: "SimChar"},
+	}
+	records, err := p.Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records", len(records))
+	}
+	if !reflect.DeepEqual(records[0].Blacklists, []string{"hpHosts", "GSB"}) {
+		t.Errorf("record 0 blacklists = %v", records[0].Blacklists)
+	}
+	if records[1].Blacklists != nil {
+		t.Errorf("record 1 blacklists = %v", records[1].Blacklists)
+	}
+	if !reflect.DeepEqual(records[2].Blacklists, []string{"Symantec"}) {
+		t.Errorf("record 2 blacklists = %v", records[2].Blacklists)
+	}
+	if got := p.Progress(); got.Done != 3 || got.Submitted != 3 {
+		t.Errorf("progress = %+v", got)
+	}
+}
+
+func TestResumeSkipsProbingEntirely(t *testing.T) {
+	// The DNS client points at a black hole with a visible timeout; a
+	// fully resumed run must never touch it, so the pipeline finishes
+	// in microseconds, preserving the checkpointed outcomes.
+	dead := dnsclient.New(blackholeUDP(t))
+	dead.Timeout = 500 * time.Millisecond
+	resume := map[string]Record{
+		"xn--a.com": {FQDN: "xn--a.com", HasNS: true, HasA: true, Category: "Normal", Blacklists: []string{"GSB"}},
+		"xn--b.com": {FQDN: "xn--b.com", HasNS: false},
+	}
+	p, err := New(Config{DNS: dead, SkipWeb: true, Resume: resume, StageTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	records, err := p.Run(context.Background(), []Input{
+		{FQDN: "xn--a.com", Reference: "aaa.com"},
+		{FQDN: "xn--b.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("resumed run took %v — it probed", elapsed)
+	}
+	if !records[0].Resumed || !records[0].HasA || records[0].Category != "Normal" {
+		t.Errorf("record 0 = %+v", records[0])
+	}
+	if records[0].Reference != "aaa.com" {
+		t.Errorf("identity fields must follow the input: %+v", records[0])
+	}
+	if !reflect.DeepEqual(records[0].Blacklists, []string{"GSB"}) {
+		t.Errorf("resumed blacklists must be preserved: %v", records[0].Blacklists)
+	}
+	if got := p.Progress(); got.Resumed != 2 || got.Probed != 0 {
+		t.Errorf("progress = %+v", got)
+	}
+}
+
+func TestStageTimeoutUnsticksThePipeline(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// Client-level timeout far beyond the stage timeout: the stage
+	// must cut the probe loose and record the overrun.
+	dead := dnsclient.New(blackholeUDP(t))
+	dead.Timeout = 600 * time.Millisecond
+	dead.Retries = 0
+	p, err := New(Config{DNS: dead, SkipWeb: true, Retries: -1, StageTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := p.Run(context.Background(), []Input{{FQDN: "xn--hang.com"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(records[0].DNSError, "stage timeout") {
+		t.Fatalf("DNSError = %q, want stage-timeout marker", records[0].DNSError)
+	}
+	waitForGoroutineSettle(t, baseline)
+}
+
+func TestCancellationDrainsWithoutLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	dead := dnsclient.New(blackholeUDP(t))
+	dead.Timeout = 100 * time.Millisecond
+	dead.Retries = 0
+	p, err := New(Config{DNS: dead, SkipWeb: true, Retries: -1, DNSWorkers: 8, StageTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan Input)
+	go func() {
+		defer close(in)
+		for i := 0; ; i++ {
+			select {
+			case in <- Input{FQDN: fmt.Sprintf("xn--x%d.com", i)}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := p.Stream(ctx, in)
+	got := 0
+	for rec := range out {
+		// Every emitted record must be a completed probe (here: a real
+		// client timeout). Cancellation-cut records are dropped, never
+		// surfaced looking like clean NXDOMAINs — a checkpoint written
+		// from this stream stays trustworthy for -resume.
+		if rec.DNSError == "" || strings.Contains(rec.DNSError, "context canceled") {
+			t.Fatalf("contaminated record emitted after cancel: %+v", rec)
+		}
+		got++
+		if got == 5 {
+			cancel()
+		}
+	}
+	if got < 5 {
+		t.Fatalf("only %d records before close", got)
+	}
+	cancel()
+	waitForGoroutineSettle(t, baseline)
+}
+
+// waitForGoroutineSettle polls until the goroutine count returns to
+// (near) the given pre-test baseline, failing if stragglers persist —
+// the drained-pool assertion the concurrency tests share. Two of
+// slack absorbs runtime/testing housekeeping goroutines.
+func waitForGoroutineSettle(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func TestRateLimiterSpacesProbes(t *testing.T) {
+	l := newLimiter(200) // 5ms apart
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		if err := l.wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 7*5*time.Millisecond-time.Millisecond {
+		t.Fatalf("8 waits at 200/s took %v, want ≥ ~35ms", elapsed)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.wait(ctx); err == nil {
+		t.Fatal("cancelled wait must return the context error")
+	}
+}
+
+// --- checkpoint codec ---
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	records := []Record{
+		{FQDN: "xn--a.com", Reference: "a.com", Source: "UC", HasNS: true, HasA: true,
+			NSHosts: []string{"ns1.xn--a.com"}, Category: "Normal", StatusHTTP: 200},
+		{FQDN: "xn--b.com", DNSError: "timeout"},
+		{FQDN: "xn--c.com", HasNS: true, Blacklists: []string{"hpHosts"}},
+	}
+	var sb strings.Builder
+	if err := WriteRecords(&sb, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, records)
+	}
+}
+
+func TestReadRecordsToleratesTruncatedTail(t *testing.T) {
+	full := `{"fqdn":"xn--a.com","has_ns":true,"has_a":false,"has_mx":false}` + "\n" +
+		`{"fqdn":"xn--b.com","has_ns":false,"has_a":false,"has_mx":false}` + "\n"
+	got, err := ReadRecords(strings.NewReader(full + `{"fqdn":"xn--c`))
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated: %v", err)
+	}
+	if len(got) != 2 || got[1].FQDN != "xn--b.com" {
+		t.Fatalf("records = %+v", got)
+	}
+	// Corruption in the middle is NOT tolerated.
+	if _, err := ReadRecords(strings.NewReader(`{"fqdn":"xn--c` + "\n" + full)); err == nil {
+		t.Fatal("mid-stream corruption must fail")
+	}
+}
+
+func TestLoadCheckpointMissingFileAndDuplicates(t *testing.T) {
+	m, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || len(m) != 0 {
+		t.Fatalf("missing file: m=%v err=%v", m, err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	data := `{"fqdn":"xn--a.com","has_ns":false,"has_a":false,"has_mx":false}` + "\n" +
+		`{"fqdn":"xn--a.com","has_ns":true,"has_a":true,"has_mx":false}` + "\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := m["xn--a.com"]; !rec.HasNS || !rec.HasA {
+		t.Fatalf("later duplicate must win: %+v", rec)
+	}
+}
+
+func TestRecordWriterFlushesPerRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := NewRecordWriter(f)
+	if err := rw.Write(Record{FQDN: "xn--a.com"}); err != nil {
+		t.Fatal(err)
+	}
+	// Durable before Close: a crashed survey keeps the line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !strings.Contains(string(data), `"fqdn":"xn--a.com"`) {
+		t.Fatalf("record not flushed: %q", data)
+	}
+}
+
+// --- tally ---
+
+func TestTallyAggregates(t *testing.T) {
+	tl := NewTally()
+	tl.Add(Record{FQDN: "a", HasNS: true, HasA: true, HasMX: true, Category: "Normal", Source: "UC"})
+	tl.Add(Record{FQDN: "b", HasNS: true, Category: "Redirect", RedirectClass: "Brand protection",
+		Blacklists: []string{"hpHosts"}, Source: "UC"})
+	tl.Add(Record{FQDN: "c", DNSError: "timeout"})
+	tl.Add(Record{FQDN: "d", HasNS: true, HasA: true, Blacklists: []string{"hpHosts", "GSB"}, Source: "UC∪SimChar", Resumed: true})
+	if tl.Total != 4 || tl.WithNS != 3 || tl.WithA != 2 || tl.WithMX != 1 || tl.DNSErrors != 1 || tl.Resumed != 1 {
+		t.Fatalf("tally = %+v", tl)
+	}
+	if tl.ByCategory["Redirect"] != 1 || tl.ByRedirect["Brand protection"] != 1 {
+		t.Fatalf("category maps = %+v", tl)
+	}
+	if tl.Blacklisted != 2 || tl.ByFeed["hpHosts"] != 2 || tl.ByFeed["GSB"] != 1 {
+		t.Fatalf("feed counts = %+v", tl.ByFeed)
+	}
+	tbl := tl.TableFourteen()
+	// hpHosts: one UC-only + one union homograph → UC 2, SimChar 1, union 2.
+	var hp []string
+	for _, row := range tbl.Rows {
+		if row[0] == "hpHosts" {
+			hp = row
+		}
+	}
+	if hp == nil || hp[1] != "2" || hp[2] != "1" || hp[3] != "2" {
+		t.Fatalf("Table 14 hpHosts row = %v", hp)
+	}
+	if got := len(tl.Tables()); got != 4 {
+		t.Fatalf("Tables() = %d tables, want 4", got)
+	}
+}
+
+// --- match conversion ---
+
+func TestSourceOfIntersectsDiffMasks(t *testing.T) {
+	mk := func(sources ...homoglyph.Source) core.Match {
+		m := core.Match{IDN: "xn--x.com", FQDN: "xn--x.com"}
+		for i, s := range sources {
+			m.Diffs = append(m.Diffs, core.CharDiff{Pos: i, Source: s})
+		}
+		return m
+	}
+	both := homoglyph.SourceUC | homoglyph.SourceSimChar
+	cases := []struct {
+		m    core.Match
+		want string
+	}{
+		{mk(homoglyph.SourceUC), "UC"},
+		{mk(homoglyph.SourceSimChar, homoglyph.SourceSimChar), "SimChar"},
+		{mk(both, homoglyph.SourceUC), "UC"},
+		{mk(both, both), both.String()},
+		{mk(homoglyph.SourceUC, homoglyph.SourceSimChar), both.String()}, // mixed: only the union detects it
+	}
+	for i, c := range cases {
+		if got := SourceOf(c.m); got != c.want {
+			t.Errorf("case %d: SourceOf = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestInputsFromMatchesDedupes(t *testing.T) {
+	matches := []core.Match{
+		{FQDN: "xn--a.com", Reference: "aaa", TLD: "com", Diffs: []core.CharDiff{{Source: homoglyph.SourceUC}}},
+		{FQDN: "xn--b.net", Reference: "bbb", TLD: "net", Diffs: []core.CharDiff{{Source: homoglyph.SourceSimChar}}},
+		{FQDN: "xn--a.com", Reference: "zzz", TLD: "com", Diffs: []core.CharDiff{{Source: homoglyph.SourceSimChar}}},
+	}
+	inputs := InputsFromMatches(matches)
+	if len(inputs) != 2 {
+		t.Fatalf("inputs = %+v", inputs)
+	}
+	if inputs[0].FQDN != "xn--a.com" || inputs[0].Reference != "aaa.com" || inputs[0].Source != "UC" {
+		t.Errorf("input 0 = %+v", inputs[0])
+	}
+	if inputs[1].FQDN != "xn--b.net" || inputs[1].Reference != "bbb.net" || inputs[1].Source != "SimChar" {
+		t.Errorf("input 1 = %+v", inputs[1])
+	}
+}
+
+func TestNormalizeFQDN(t *testing.T) {
+	cases := map[string]string{
+		"gооgle.com":         "xn--ggle-55da.com", // Cyrillic о ×2
+		"XN--GGLE-55DA.COM.": "xn--ggle-55da.com",
+		"  Plain.COM. ":      "plain.com",
+		"":                   "",
+		".":                  "",
+		"PАYPAL.com":         "xn--pypal-4ve.com", // Cyrillic А folds into the encoding
+	}
+	for in, want := range cases {
+		if got := NormalizeFQDN(in); got != want {
+			t.Errorf("NormalizeFQDN(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStageTimeoutDoesNotRetry(t *testing.T) {
+	// Retries=2 configured, but a stage-timeout overrun must consume
+	// the domain immediately: one stage timeout, not three.
+	dead := dnsclient.New(blackholeUDP(t))
+	dead.Timeout = 5 * time.Second
+	dead.Retries = 0
+	p, err := New(Config{DNS: dead, SkipWeb: true, Retries: 2, StageTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	records, err := p.Run(context.Background(), []Input{{FQDN: "xn--hang.com"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("stage timeout was retried: run took %v", elapsed)
+	}
+	if !strings.Contains(records[0].DNSError, "stage timeout") {
+		t.Fatalf("DNSError = %q", records[0].DNSError)
+	}
+}

@@ -96,9 +96,18 @@ func (c *Classifier) parkedByNS(domain string) bool {
 	if err != nil {
 		return false
 	}
-	for _, h := range hosts {
+	return ParkedOn(hosts, c.ParkingNS)
+}
+
+// ParkedOn reports whether any of nsHosts sits on (or under) one of the
+// parking-provider suffixes — the Vissers-style first-pass parking test
+// by delegation target. Exported so pipelines that already hold a
+// domain's NS answer (the triage pipeline's DNS stage captures it) can
+// classify without a second lookup.
+func ParkedOn(nsHosts, providers []string) bool {
+	for _, h := range nsHosts {
 		h = strings.TrimSuffix(strings.ToLower(h), ".")
-		for _, provider := range c.ParkingNS {
+		for _, provider := range providers {
 			if h == provider || strings.HasSuffix(h, "."+provider) {
 				return true
 			}

@@ -2,6 +2,9 @@ package webclassify
 
 import (
 	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -211,4 +214,72 @@ func TestNSBasedParkingSignal(t *testing.T) {
 	if got := c.Classify("generic.com"); got.Category != CatNormal {
 		t.Errorf("NS failure broke classification: %s", got.Category)
 	}
+}
+
+// --- ClassifyBatch concurrency ---
+
+func TestClassifyBatchOrderAcrossWorkerCounts(t *testing.T) {
+	srv, m, c := env(t)
+	kinds := []string{"normal", "forsale", "parked", "empty", "redirect"}
+	domains := make([]string, 40)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("c%02d.example", i)
+		site := websim.Site{Kind: kinds[i%len(kinds)]}
+		if site.Kind == "redirect" {
+			site.RedirectTarget = "target.example"
+		}
+		deploy(srv, m, domains[i], site, 80)
+	}
+	var baseline []Result
+	for _, workers := range []int{1, 4, 32} {
+		c.Workers = workers
+		results := c.ClassifyBatch(domains)
+		if len(results) != len(domains) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, res := range results {
+			if res.Domain != domains[i] {
+				t.Fatalf("workers=%d: position %d = %s, want %s", workers, i, res.Domain, domains[i])
+			}
+		}
+		if baseline == nil {
+			baseline = results
+			// Spot-check the categories really differ across positions,
+			// so order bugs cannot cancel out.
+			if baseline[0].Category != CatNormal || baseline[1].Category != CatForSale ||
+				baseline[2].Category != CatParked || baseline[4].Category != CatRedirect {
+				t.Fatalf("unexpected category layout: %+v", baseline[:5])
+			}
+		} else if !reflect.DeepEqual(results, baseline) {
+			t.Fatalf("workers=%d results differ from workers=1 baseline", workers)
+		}
+	}
+}
+
+func TestClassifyBatchTimeoutDrainsWorkers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv, m, c := env(t)
+	c.Timeout = 150 * time.Millisecond
+	c.Workers = 32
+	domains := make([]string, 24)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("hang%02d.example", i)
+		// Every site hangs far past the client timeout; the pool must
+		// drain on the timeout alone.
+		deploy(srv, m, domains[i], websim.Site{Kind: "slow"}, 80)
+	}
+	results := c.ClassifyBatch(domains)
+	for i, res := range results {
+		if res.Category != CatError {
+			t.Fatalf("result %d = %+v, want Error from timeout", i, res)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("worker goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
 }

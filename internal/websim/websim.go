@@ -29,8 +29,14 @@ import (
 type Site struct {
 	// Kind selects the page template. Valid kinds: "parked",
 	// "forsale", "redirect", "normal", "empty", "error", "phishing",
-	// "portal".
+	// "portal", "slow" (hang without responding) and "http500"
+	// (a backend answering 500 on every request).
 	Kind string
+	// Delay holds the response back before any bytes are written —
+	// a slow-but-alive host, as opposed to the "slow" kind's hang.
+	// The fault-injection harness uses it to prove per-stage timeouts
+	// keep the pipeline moving.
+	Delay time.Duration
 	// RedirectTarget is the registrable domain a "redirect" site
 	// points at.
 	RedirectTarget string
@@ -151,6 +157,13 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if site.Cloaking && kind == "phishing" && isCrawler(r.UserAgent()) {
 		kind = "empty"
 	}
+	if site.Delay > 0 {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(site.Delay):
+		}
+	}
 	switch kind {
 	case "parked":
 		fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1><p>%s.</p><div class=\"ads\">Related searches: insurance, credit, loans</div></body></html>",
@@ -176,6 +189,11 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 			MarkerLogin)
 	case "empty":
 		// 200 with empty body.
+	case "http500":
+		// A live listener fronting a dead backend: every request is
+		// answered, but with a 5xx — the paper's "Error" class includes
+		// these alongside timeouts and resets.
+		http.Error(w, "internal server error", http.StatusInternalServerError)
 	case "slow":
 		// A hung host: hold the connection open without responding,
 		// long past any sane client timeout. The paper's "Error"

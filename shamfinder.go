@@ -262,6 +262,26 @@ func (f *Framework) Homoglyphs(r rune) []rune { return f.db.Homoglyphs(r) }
 // Section 6.4's tracing of targeted originals.
 func (f *Framework) Revert(label string) string { return f.db.Revert(label) }
 
+// RevertDomain maps a homograph FQDN (ACE or Unicode form) to the
+// domain it plausibly imitates: the registrable label is decoded,
+// reverted through Revert, and the public suffix reattached —
+// "www.xn--ggle-55da.co.uk" → "google.co.uk". Reports false when the
+// registrable label does not decode. This is the reverter the triage
+// pipeline's brand-redirect classification and `shamfinder revert`
+// share.
+func (f *Framework) RevertDomain(fqdn string) (string, bool) {
+	label, tld := domain.Registrable(fqdn)
+	uni, err := punycode.ToUnicodeLabel(label)
+	if err != nil {
+		return "", false
+	}
+	reverted := f.Revert(uni)
+	if tld != "" {
+		reverted += "." + tld
+	}
+	return reverted, true
+}
+
 // Warn builds the Figure 12 warning context for a detected match.
 func (f *Framework) Warn(m Match) Warning { return core.BuildWarning(m) }
 
