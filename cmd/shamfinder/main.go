@@ -69,6 +69,8 @@ func main() {
 		err = cmdDetect(args)
 	case "survey":
 		err = cmdSurvey(args)
+	case "watch-zone":
+		err = cmdWatchZone(args)
 	case "explain":
 		err = cmdExplain(args)
 	case "revert":
@@ -94,6 +96,10 @@ func usage() {
                      [-dns-workers N] [-web-workers N] [-rate QPS] [-retries N] [-stage-timeout DUR] [-dns-timeout DUR]
                      [-skip-dns] [-skip-web] [-blacklist NAME=FILE ...] [-parking-ns LIST]
                      [-http-addr HOST:PORT] [-https-addr HOST:PORT] [-o FILE.jsonl] [-resume FILE.jsonl] [-table]
+  shamfinder watch-zone -zone FILE -state DIR {-refs FILE | -snapshot FILE} [-deltas FILE] [-interval DUR] [-once]
+                     [-resolver HOST:PORT] [-addr HOST:PORT] [-throttle LPS] [-checkpoint-every N]
+                     [-min-zone-fraction F] [-db uc|simchar|both] [-fastfont]
+  shamfinder watch-zone -status -addr HOST:PORT
   shamfinder explain {-refs FILE | -snapshot FILE} [-fastfont] DOMAIN
   shamfinder revert  [-snapshot FILE] [-fastfont] DOMAIN
   shamfinder glyphs  [-snapshot FILE] [-fastfont] CHAR
@@ -114,7 +120,14 @@ domain. Input is either a match file (-matches: one FQDN per line,
 optionally TAB-separated reference and source columns) or a domain
 list (-domains/stdin) detected on the fly. -resume loads a previous
 run's JSONL output and skips already-probed domains; the rewritten
-output is byte-identical to an uninterrupted run.`)
+output is byte-identical to an uninterrupted run.
+
+watch-zone polls a zone file and streams each new generation against a
+durable seen-set, appending only the added FQDNs to the deltas journal
+(detections carry the imitated reference); a SIGKILL at any point
+resumes from the checkpoint with no duplicated and no dropped deltas.
+-resolver probes additions for NS/A/MX; -addr serves /metrics with the
+watcher's health; -once runs a single scan for cron.`)
 }
 
 func buildConfig(fast bool, db string) (shamfinder.Config, error) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/resilience"
 )
 
 // Client errors.
@@ -36,15 +37,27 @@ type Client struct {
 	// Retries is the number of additional UDP attempts after the
 	// first times out. Zero means 2.
 	Retries int
+	// Backoff spaces the UDP retransmits. A retry fires because the
+	// server (or path) dropped the first datagram — resending in the
+	// same microsecond just lands in the same congested queue, so
+	// attempts back off exponentially with equal jitter: randomized to
+	// decorrelate a prober fleet, but never below half the deterministic
+	// delay, so attempts are provably spaced. The zero value means
+	// 100ms base, 2s cap.
+	Backoff resilience.Backoff
 
 	nextID atomic.Uint32
 }
 
 // New returns a client for the given server address.
 func New(server string) *Client {
-	c := &Client{Server: server, Timeout: 2 * time.Second, Retries: 2}
+	c := &Client{Server: server, Timeout: 2 * time.Second, Retries: 2, Backoff: defaultBackoff()}
 	c.nextID.Store(1)
 	return c
+}
+
+func defaultBackoff() resilience.Backoff {
+	return resilience.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: resilience.JitterEqual}
 }
 
 func (c *Client) timeout() time.Duration {
@@ -65,9 +78,16 @@ func (c *Client) Query(name string, typ dnswire.Type) (*dnswire.Message, error) 
 		return nil, fmt.Errorf("dnsclient: packing query for %q: %w", name, err)
 	}
 
+	backoff := c.Backoff
+	if backoff.Base == 0 {
+		backoff = defaultBackoff()
+	}
 	attempts := c.Retries + 1
 	var lastErr error = ErrTimeout
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff.Delay(i - 1))
+		}
 		resp, err := c.queryUDP(wire, id)
 		if err != nil {
 			lastErr = err

@@ -6,12 +6,14 @@ import (
 	"net/netip"
 	"reflect"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/dnsserver"
 	"repro/internal/dnswire"
+	"repro/internal/resilience"
 )
 
 // flakyServer is a UDP-only DNS responder with programmable faults.
@@ -27,6 +29,16 @@ type flakyServer struct {
 	// truncate sets the TC bit on every answer.
 	truncate atomic.Bool
 	requests atomic.Int32
+
+	mu     sync.Mutex
+	stamps []time.Time
+}
+
+// requestTimes returns the arrival time of every request seen so far.
+func (s *flakyServer) requestTimes() []time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Time(nil), s.stamps...)
 }
 
 func newFlakyServer(t *testing.T) *flakyServer {
@@ -55,6 +67,9 @@ func (s *flakyServer) serve() {
 			return
 		}
 		s.requests.Add(1)
+		s.mu.Lock()
+		s.stamps = append(s.stamps, time.Now())
+		s.mu.Unlock()
 		var query dnswire.Message
 		if err := query.Unpack(buf[:n]); err != nil {
 			continue
@@ -106,6 +121,35 @@ func TestRetryAfterDrops(t *testing.T) {
 	}
 	if got := s.requests.Load(); got != 3 {
 		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestRetryBackoffSpacing is the regression test for the back-to-back
+// retransmit bug: retries used to fire with zero delay, hammering a
+// server that had just dropped the previous datagram. Equal jitter
+// guarantees at least half the deterministic delay between attempts,
+// so the inter-arrival floor is provable, not probabilistic.
+func TestRetryBackoffSpacing(t *testing.T) {
+	s := newFlakyServer(t)
+	s.dropFirst.Store(2)
+	c := New(s.addr())
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 2
+	c.Backoff = resilience.Backoff{Base: 200 * time.Millisecond, Max: time.Second, Jitter: resilience.JitterEqual}
+	if _, err := c.Query("example.com.", dnswire.TypeA); err != nil {
+		t.Fatalf("query failed despite retries: %v", err)
+	}
+	stamps := s.requestTimes()
+	if len(stamps) != 3 {
+		t.Fatalf("server saw %d requests, want 3", len(stamps))
+	}
+	// Attempt k retransmits after Base·2^k jittered in [d/2, d]; the
+	// attempt timeout only adds to the gap.
+	if g := stamps[1].Sub(stamps[0]); g < 100*time.Millisecond {
+		t.Errorf("retry 1 fired %v after attempt 0, want ≥ 100ms", g)
+	}
+	if g := stamps[2].Sub(stamps[1]); g < 200*time.Millisecond {
+		t.Errorf("retry 2 fired %v after retry 1, want ≥ 200ms", g)
 	}
 }
 

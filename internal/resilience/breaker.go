@@ -1,0 +1,196 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a dependency's health as the breaker sees it.
+//
+//	ok       — recent operations succeed; run at full cadence.
+//	degraded — failures are accumulating; keep trying, expect errors,
+//	           and tell the operator.
+//	open     — the dependency is down; stop hammering it and admit
+//	           only an occasional probe until one succeeds.
+type State int32
+
+const (
+	StateOK State = iota
+	StateDegraded
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a small circuit breaker / health state machine. Callers
+// ask Allow before an operation and report Success/Failure after it;
+// the breaker moves ok → degraded on the first failure of a streak,
+// degraded → open once the streak reaches OpenAfter, and open →
+// degraded → ok as probes start succeeding again. While open, Allow
+// admits one probe per Cooldown, so a dead dependency costs one
+// request per cooldown instead of a request per item.
+//
+// The zero value is usable (OpenAfter 5, Cooldown 15s, RecoverAfter 2).
+type Breaker struct {
+	// OpenAfter is the consecutive-failure count that trips the breaker
+	// open. 0 means 5.
+	OpenAfter int
+	// Cooldown is how long an open breaker waits between admitted
+	// probes. 0 means 15s.
+	Cooldown time.Duration
+	// RecoverAfter is the consecutive-success count that closes a
+	// degraded breaker back to ok. 0 means 2.
+	RecoverAfter int
+
+	// now is injectable for tests; nil means time.Now.
+	now func() time.Time
+
+	mu            sync.Mutex
+	state         State
+	consecFails   int
+	consecOKs     int
+	failures      uint64
+	successes     uint64
+	opens         uint64
+	probeDeadline time.Time // open state: next admitted probe
+	lastChange    time.Time
+}
+
+// BreakerStats is a point-in-time snapshot for /metrics and status
+// views.
+type BreakerStats struct {
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Failures         uint64 `json:"failures"`
+	Successes        uint64 `json:"successes"`
+	Opens            uint64 `json:"opens"`
+	// SinceChangeSec is seconds since the last state transition.
+	SinceChangeSec float64 `json:"since_change_sec"`
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) openAfter() int {
+	if b.OpenAfter <= 0 {
+		return 5
+	}
+	return b.OpenAfter
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 15 * time.Second
+	}
+	return b.Cooldown
+}
+
+func (b *Breaker) recoverAfter() int {
+	if b.RecoverAfter <= 0 {
+		return 2
+	}
+	return b.RecoverAfter
+}
+
+// Allow reports whether an operation should run now. Closed and
+// degraded states always admit; an open breaker admits one probe per
+// cooldown (the half-open probe) and refuses the rest.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return true
+	}
+	now := b.clock()
+	if now.Before(b.probeDeadline) {
+		return false
+	}
+	// Admit one probe and push the next admission a cooldown out; if
+	// the probe fails the breaker stays open and the deadline holds.
+	b.probeDeadline = now.Add(b.cooldown())
+	return true
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Success records a successful operation.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.consecFails = 0
+	switch b.state {
+	case StateOpen:
+		// The half-open probe came back: the dependency breathes, but
+		// one success is not health — drop to degraded and let the
+		// recovery streak prove it.
+		b.transition(StateDegraded)
+		b.consecOKs = 1
+	case StateDegraded:
+		b.consecOKs++
+		if b.consecOKs >= b.recoverAfter() {
+			b.transition(StateOK)
+		}
+	}
+}
+
+// Failure records a failed operation.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.consecOKs = 0
+	b.consecFails++
+	if b.state == StateOK {
+		b.transition(StateDegraded)
+	}
+	if b.state == StateDegraded && b.consecFails >= b.openAfter() {
+		b.transition(StateOpen)
+		b.opens++
+		b.probeDeadline = b.clock().Add(b.cooldown())
+	}
+	// An open breaker holds: the probe deadline Allow set stands.
+}
+
+// transition must be called with mu held.
+func (b *Breaker) transition(s State) {
+	b.state = s
+	b.lastChange = b.clock()
+}
+
+// Stats snapshots the breaker for scrapes.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:            b.state.String(),
+		ConsecutiveFails: b.consecFails,
+		Failures:         b.failures,
+		Successes:        b.successes,
+		Opens:            b.opens,
+	}
+	if !b.lastChange.IsZero() {
+		st.SinceChangeSec = b.clock().Sub(b.lastChange).Seconds()
+	}
+	return st
+}

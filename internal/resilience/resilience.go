@@ -1,0 +1,171 @@
+// Package resilience is the shared fault-tolerance layer for the
+// framework's long-running paths: exponential backoff with jitter,
+// bounded retry budgets, and a small circuit-breaker/health state
+// machine (ok → degraded → open). The continuous-monitoring model only
+// works if every loop that talks to the outside world — the zone
+// watcher polling a registry drop, the DNS prober hitting a resolver,
+// the snapshot watcher statting an artifact path — degrades and
+// recovers the same way: failures widen the retry cadence instead of
+// hammering the dependency, sustained failure trips a breaker that the
+// operator can see, and recovery is observed, not assumed.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// Jitter selects how a computed delay is randomized. Full jitter
+// (uniform in [0, d]) decorrelates a fleet of retriers best and is the
+// default; equal jitter (uniform in [d/2, d]) keeps a guaranteed floor
+// of half the deterministic delay, which callers that must provably
+// space attempts (the DNS client's retransmits) want; none is for
+// tests and deterministic schedules.
+type Jitter int
+
+const (
+	JitterFull Jitter = iota
+	JitterEqual
+	JitterNone
+)
+
+// Backoff computes per-attempt delays: Base·Factor^attempt, capped at
+// Max, then jittered. The zero value is usable — 100ms base, ×2
+// growth, 30s cap, full jitter.
+type Backoff struct {
+	// Base is the pre-jitter delay for attempt 0. 0 means 100ms.
+	Base time.Duration
+	// Max caps the pre-jitter delay. 0 means 30s.
+	Max time.Duration
+	// Factor is the exponential growth per attempt. 0 means 2.
+	Factor float64
+	// Jitter randomizes the computed delay (default JitterFull).
+	Jitter Jitter
+	// Rand supplies uniform [0,1) randomness; nil uses math/rand/v2.
+	// Injectable so tests can pin the jitter.
+	Rand func() float64
+}
+
+// Delay returns the jittered delay for the given attempt (0-based:
+// attempt 0 is the delay before the first retry).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	rnd := b.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	switch b.Jitter {
+	case JitterEqual:
+		d = d/2 + rnd()*d/2
+	case JitterNone:
+		// keep d
+	default: // JitterFull
+		d = rnd() * d
+	}
+	return time.Duration(d)
+}
+
+// Sleep blocks for the attempt's jittered delay or until ctx is done,
+// returning ctx's error in that case. A zero computed delay returns
+// immediately (but still observes an already-cancelled ctx).
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of burning
+// the remaining budget — the answer is wrong, not late (NXDOMAIN, a
+// checksum mismatch, a malformed request).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// RetryPolicy is a per-operation retry budget: how many total attempts
+// an operation gets, and how the attempts are spaced.
+type RetryPolicy struct {
+	// Attempts is the total attempt budget (first try included).
+	// 0 means 3.
+	Attempts int
+	// Backoff spaces the attempts.
+	Backoff Backoff
+}
+
+// Retry runs op under the policy: attempts are spaced by the backoff,
+// a Permanent error (or ctx cancellation) stops immediately, and the
+// last error is returned once the budget is spent. The error is
+// unwrapped of its Permanent marker before returning.
+func Retry(ctx context.Context, p RetryPolicy, op func(ctx context.Context) error) error {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := p.Backoff.Sleep(ctx, attempt-1); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		lastErr = err
+	}
+	return lastErr
+}

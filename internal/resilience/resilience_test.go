@@ -1,0 +1,245 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond, Factor: 2, Jitter: JitterNone}
+	want := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	b.Jitter = JitterNone
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("zero-value Delay(0) = %v, want 100ms", got)
+	}
+	// The default cap is 30s: attempt 20 would be 100ms·2^20 ≈ 29h.
+	if got := b.Delay(20); got != 30*time.Second {
+		t.Errorf("zero-value Delay(20) = %v, want 30s", got)
+	}
+}
+
+func TestBackoffFullJitterRange(t *testing.T) {
+	// Full jitter draws uniformly from [0, d]: with a pinned Rand the
+	// bounds are exact.
+	b := Backoff{Base: time.Second, Factor: 2, Jitter: JitterFull, Rand: func() float64 { return 0 }}
+	if got := b.Delay(0); got != 0 {
+		t.Errorf("full jitter with rand=0: Delay(0) = %v, want 0", got)
+	}
+	b.Rand = func() float64 { return 0.5 }
+	if got := b.Delay(1); got != time.Second {
+		t.Errorf("full jitter with rand=0.5: Delay(1) = %v, want 1s", got)
+	}
+}
+
+func TestBackoffEqualJitterFloor(t *testing.T) {
+	// Equal jitter guarantees at least half the deterministic delay —
+	// the floor the DNS client's spacing contract relies on.
+	b := Backoff{Base: 200 * time.Millisecond, Factor: 2, Max: time.Minute, Jitter: JitterEqual, Rand: func() float64 { return 0 }}
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("equal jitter floor: Delay(0) = %v, want 100ms", got)
+	}
+	b.Rand = func() float64 { return 0.999999 }
+	if got := b.Delay(0); got >= 200*time.Millisecond || got < 199*time.Millisecond {
+		t.Errorf("equal jitter ceiling: Delay(0) = %v, want just under 200ms", got)
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	b := Backoff{Base: time.Minute, Jitter: JitterNone}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	calls := 0
+	errBoom := errors.New("boom")
+	err := Retry(context.Background(), RetryPolicy{
+		Attempts: 4,
+		Backoff:  Backoff{Base: time.Microsecond, Jitter: JitterNone},
+	}, func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Errorf("Retry error = %v, want %v", err, errBoom)
+	}
+	if calls != 4 {
+		t.Errorf("op ran %d times, want 4", calls)
+	}
+}
+
+func TestRetrySucceedsMidBudget(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{
+		Attempts: 5,
+		Backoff:  Backoff{Base: time.Microsecond, Jitter: JitterNone},
+	}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Errorf("Retry = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	errNX := errors.New("nxdomain")
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5}, func(context.Context) error {
+		calls++
+		return Permanent(errNX)
+	})
+	if !errors.Is(err, errNX) {
+		t.Errorf("Retry error = %v, want %v", err, errNX)
+	}
+	if IsPermanent(err) {
+		t.Error("returned error still carries the Permanent marker")
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (permanent stops the budget)", calls)
+	}
+}
+
+func TestRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryPolicy{
+		Attempts: 10,
+		Backoff:  Backoff{Base: time.Hour, Jitter: JitterNone},
+	}, func(context.Context) error {
+		calls++
+		cancel() // fail once, then the backoff sleep must abort
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Retry error = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1", calls)
+	}
+}
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(b *Breaker) (*Breaker, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1700000000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, clock := newTestBreaker(&Breaker{OpenAfter: 3, Cooldown: 10 * time.Second, RecoverAfter: 2})
+
+	if b.State() != StateOK {
+		t.Fatalf("initial state = %v, want ok", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("ok breaker refused an operation")
+	}
+
+	// First failure: ok → degraded. Still admitting.
+	b.Failure()
+	if b.State() != StateDegraded {
+		t.Fatalf("after 1 failure: %v, want degraded", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("degraded breaker refused an operation")
+	}
+
+	// Streak reaches OpenAfter: degraded → open.
+	b.Failure()
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatalf("after 3 failures: %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clock.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("open breaker refused the half-open probe")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a second probe inside one cooldown")
+	}
+
+	// Failed probe holds the open state.
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatalf("after failed probe: %v, want open", b.State())
+	}
+
+	// A successful probe drops to degraded; RecoverAfter successes
+	// close it.
+	clock.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("open breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != StateDegraded {
+		t.Fatalf("after successful probe: %v, want degraded", b.State())
+	}
+	b.Success()
+	if b.State() != StateOK {
+		t.Fatalf("after recovery streak: %v, want ok", b.State())
+	}
+
+	st := b.Stats()
+	if st.State != "ok" || st.Opens != 1 || st.Failures != 4 || st.Successes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	b, _ := newTestBreaker(&Breaker{})
+	for i := 0; i < 5; i++ {
+		b.Failure()
+	}
+	if b.State() != StateOpen {
+		t.Errorf("zero-value breaker after 5 failures = %v, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(&Breaker{OpenAfter: 3})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() == StateOpen {
+		t.Error("interleaved success did not reset the failure streak")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/zonewatch"
 )
 
 // latencyHist is a lock-free power-of-two latency histogram: bucket i
@@ -76,6 +78,8 @@ type metrics struct {
 	surveys       atomic.Uint64 // survey jobs accepted
 	surveysActive atomic.Int64  // survey jobs currently running
 	surveyDomains atomic.Uint64 // domains triaged across all survey jobs
+
+	watchErrors atomic.Uint64 // snapshot-watch poll failures (stat errors)
 }
 
 // Stats is the JSON shape /metrics serves. QPS is cumulative
@@ -102,6 +106,16 @@ type Stats struct {
 	Surveys       uint64 `json:"surveys"`
 	SurveysActive int64  `json:"surveys_active"`
 	SurveyDomains uint64 `json:"survey_domains"`
+
+	// WatchErrors counts snapshot-watch polls that failed to stat the
+	// watched artifact. A monitor alerting on its growth catches the
+	// "snapshot path broke, server quietly serves stale state" failure
+	// that a bare reload counter cannot see.
+	WatchErrors uint64 `json:"watch_errors"`
+
+	// ZoneWatch carries the continuous zone watcher's health when the
+	// server runs alongside one (`watch-zone -addr`); absent otherwise.
+	ZoneWatch *zonewatch.Health `json:"zonewatch,omitempty"`
 }
 
 func (m *metrics) snapshot(epoch uint64, references int) Stats {
@@ -125,6 +139,8 @@ func (m *metrics) snapshot(epoch uint64, references int) Stats {
 		Surveys:       m.surveys.Load(),
 		SurveysActive: m.surveysActive.Load(),
 		SurveyDomains: m.surveyDomains.Load(),
+
+		WatchErrors: m.watchErrors.Load(),
 	}
 	if uptime > 0 {
 		s.QPS = float64(req) / uptime

@@ -47,6 +47,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/reflist"
 	"repro/internal/snapshot"
+	"repro/internal/zonewatch"
 )
 
 // Config parameterizes a Server.
@@ -62,6 +63,11 @@ type Config struct {
 	// Survey wires the async triage job API (POST /v1/survey). The
 	// zero value works; see SurveyConfig.
 	Survey SurveyConfig
+	// ZoneWatch, when non-nil, is a continuous zone watcher running
+	// alongside this server; its health (breaker states, delta counters,
+	// queue depth) is folded into /metrics so one scrape covers both the
+	// serving path and the ingestion path.
+	ZoneWatch *zonewatch.Watcher
 	// Logf receives operational log lines; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -79,6 +85,7 @@ type Server struct {
 	bufs      sync.Pool  // *[]byte normalization buffers
 	surveyCfg SurveyConfig
 	surveys   surveyRegistry
+	zoneWatch *zonewatch.Watcher
 }
 
 // New builds a Server over cfg.Engine.
@@ -105,6 +112,7 @@ func New(cfg Config) *Server {
 		logf:      logf,
 		mux:       http.NewServeMux(),
 		surveyCfg: cfg.Survey,
+		zoneWatch: cfg.ZoneWatch,
 	}
 	s.met.start = time.Now()
 	s.bufs.New = func() any { b := make([]byte, 0, 256); return &b }
@@ -130,7 +138,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Stats snapshots the serving counters — what /metrics serves.
 func (s *Server) Stats() Stats {
 	det, epoch := s.engine.Current()
-	return s.met.snapshot(epoch, det.NumReferences())
+	st := s.met.snapshot(epoch, det.NumReferences())
+	if s.zoneWatch != nil {
+		h := s.zoneWatch.Health()
+		st.ZoneWatch = &h
+	}
+	return st
 }
 
 // bounded wraps a detection handler in the concurrency gate and the

@@ -628,6 +628,89 @@ func TestWatchSnapshotSurvivesCorruptFile(t *testing.T) {
 	}
 }
 
+// TestWatchSnapshotStatErrorStreak: a path that stops stat-ing is an
+// outage, not background noise — the watcher counts every failed poll
+// in watch_errors, logs once per streak (not once per tick), and
+// recovers in place when the artifact reappears.
+func TestWatchSnapshotStatErrorStreak(t *testing.T) {
+	var lc logCapture
+	s, _ := newTestServer(t, []string{"google"}, Config{Logf: lc.logf})
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "live.snap")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 1ms interval: the 16× backoff cap keeps even a long failure
+		// streak polling every ≤16ms, so the test stays fast.
+		s.WatchSnapshot(ctx, WatchConfig{Path: path, Interval: time.Millisecond})
+	}()
+	lc.wait(t, "watch: stat")
+
+	// Let the streak run: errors accumulate, the log line does not.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().WatchErrors < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watch_errors stuck at %d", s.Stats().WatchErrors)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	lc.mu.Lock()
+	statLines := strings.Count(lc.buf.String(), "watch: stat")
+	lc.mu.Unlock()
+	if statLines != 1 {
+		t.Fatalf("streak of ≥5 failures logged %d stat lines, want 1", statLines)
+	}
+
+	// The artifact appears; the watcher must announce recovery and then
+	// complete a real swap off the newly visible file.
+	if err := snapshot.WriteFile(path, db, core.NewDetector(db, []string{"paypal"})); err != nil {
+		t.Fatal(err)
+	}
+	lc.wait(t, "visible again after")
+	deadline = time.Now().Add(10 * time.Second)
+	for s.engine.Epoch() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never swapped after recovery")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	errs := s.Stats().WatchErrors
+	time.Sleep(20 * time.Millisecond)
+	if got := s.Stats().WatchErrors; got != errs {
+		t.Fatalf("watch_errors still growing after recovery: %d -> %d", errs, got)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop on ctx cancel")
+	}
+}
+
+// TestWatchSnapshotStopsDuringBackoff: ctx cancellation must interrupt
+// a widened (backoff) sleep promptly, not wait the delay out.
+func TestWatchSnapshotStopsDuringBackoff(t *testing.T) {
+	s, _ := newTestServer(t, []string{"google"}, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.WatchSnapshot(ctx, WatchConfig{
+			Path:     filepath.Join(t.TempDir(), "never-exists.snap"),
+			Interval: time.Hour, // backoff delays would be hours
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchSnapshot did not exit promptly during backoff sleep")
+	}
+}
+
 func TestServeGracefulShutdown(t *testing.T) {
 	s, _ := newTestServer(t, []string{"google"}, Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resilience"
 	"repro/internal/snapshot"
 )
 
@@ -91,18 +92,41 @@ func (s *Server) WatchSnapshot(ctx context.Context, cfg WatchConfig) {
 			last = st.ModTime()
 		}
 	}
+	// Stat failures widen the poll with jittered backoff instead of
+	// silently ticking forever: a poll loop that swallows every error is
+	// indistinguishable from one that works, right up until the nightly
+	// snapshot quietly stops arriving. Equal jitter keeps a floor under
+	// the cadence so a broken path cannot turn into a stat busy-loop.
+	backoff := resilience.Backoff{Base: interval, Max: 16 * interval, Jitter: resilience.JitterEqual}
 	s.logf("watch: polling %s every %v", cfg.Path, interval)
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	failStreak := 0
 	for {
+		delay := interval
+		if failStreak > 0 {
+			delay = backoff.Delay(failStreak - 1)
+		}
+		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
 		}
 		st, err := os.Stat(cfg.Path)
 		if err != nil {
-			continue // transient: the writer may be mid-rename
+			// One transient miss is normal (the writer may be mid-rename);
+			// a streak is an outage. Log the first failure of each streak
+			// and count every one in /metrics.
+			s.met.watchErrors.Add(1)
+			if failStreak == 0 {
+				s.logf("watch: stat %s: %v (keeping epoch %d, retrying with backoff)", cfg.Path, err, s.engine.Epoch())
+			}
+			failStreak++
+			continue
+		}
+		if failStreak > 0 {
+			s.logf("watch: %s visible again after %d failed polls", cfg.Path, failStreak)
+			failStreak = 0
 		}
 		if mt := st.ModTime(); !mt.Equal(last) {
 			last = mt

@@ -173,15 +173,30 @@ func Read(r io.Reader) (*homoglyph.DB, *core.Detector, error) {
 // crash mid-write never destroys an existing artifact and a worker
 // fleet cold-starting from the path never observes a truncated file.
 func WriteFile(path string, db *homoglyph.DB, det *core.Detector) error {
+	return WriteFileAtomic(path, Marshal(db, det))
+}
+
+// WriteFileAtomic writes data to path through a same-directory temp
+// file, fsync, and rename — the durability discipline every artifact
+// in the SHAMSNAP family (snapshots, seen-sets, watch checkpoints)
+// shares: a reader never observes a half-written file, and a crash
+// mid-write leaves the previous artifact intact.
+func WriteFileAtomic(path string, data []byte) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(Marshal(db, det)); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())

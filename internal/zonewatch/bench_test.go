@@ -1,0 +1,71 @@
+package zonewatch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// BenchmarkDeltaScan measures the full delta-ingestion path — read,
+// normalize, fingerprint, dedup, detect, emit, checkpoint — over a
+// fresh 100k-line zone, reporting throughput as lines/s.
+func BenchmarkDeltaScan(b *testing.B) {
+	const lines = 100_000
+	dir := b.TempDir()
+	zonePath := filepath.Join(dir, "zone.txt")
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "xn--host%06d.example\n", i)
+	}
+	if err := os.WriteFile(zonePath, []byte(sb.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	engine := testEngine(b)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := New(Config{
+			ZonePath: zonePath,
+			StateDir: filepath.Join(dir, fmt.Sprintf("state%d", i)),
+			Engine:   engine,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := w.ScanOnce(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkSeenSetLoad measures the durable seen-set's cold-load cost —
+// the startup tax of every watch process — over a 1M-fingerprint set,
+// reporting it in milliseconds per load.
+func BenchmarkSeenSetLoad(b *testing.B) {
+	const n = 1_000_000
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = uint64(i)*2654435761 + 1 // strictly increasing
+	}
+	path := filepath.Join(b.TempDir(), "seen.set")
+	if err := snapshot.WriteSeenSetFile(path, hashes); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := snapshot.ReadSeenSetFile(path)
+		if err != nil || len(got) != n {
+			b.Fatalf("load = (%d, %v)", len(got), err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1000/float64(b.N), "ms/load")
+}

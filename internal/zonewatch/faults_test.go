@@ -1,0 +1,253 @@
+package zonewatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/triage"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// fastConfig tightens every cadence so the fault schedule runs in
+// test time: 5ms polling, millisecond backoff, a breaker that opens
+// after 2 failures and reconsiders every 30ms.
+func fastConfig(c *Config) {
+	c.Interval = 5 * time.Millisecond
+	c.Backoff = resilience.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Jitter: resilience.JitterNone}
+	c.ZoneBreaker = &resilience.Breaker{OpenAfter: 2, Cooldown: 30 * time.Millisecond, RecoverAfter: 1}
+	c.ProbeBreaker = &resilience.Breaker{OpenAfter: 2, Cooldown: 30 * time.Millisecond, RecoverAfter: 1}
+	c.ProbeRetry = resilience.RetryPolicy{
+		Attempts: 2,
+		Backoff:  resilience.Backoff{Base: time.Millisecond, Jitter: resilience.JitterNone},
+	}
+}
+
+// TestWatchFaultSchedule drives one continuous deployment through the
+// full pathology schedule — zone growth, downstream DNS outage,
+// truncated drop, rollback, process restart, seen-set corruption — and
+// asserts the two invariants that define the watcher: every added
+// candidate is emitted exactly once, and health returns to ok after
+// each fault clears.
+func TestWatchFaultSchedule(t *testing.T) {
+	dir := t.TempDir()
+	zonePath := dir + "/zone.txt"
+
+	var dnsDown atomic.Bool
+	var probed atomic.Uint64
+	probe := func(ctx context.Context, in triage.Input) error {
+		if dnsDown.Load() {
+			return errors.New("resolver unreachable")
+		}
+		probed.Add(1)
+		return nil
+	}
+	mkWatcher := func() *Watcher {
+		cfg := Config{
+			ZonePath: zonePath,
+			StateDir: dir + "/state",
+			Engine:   testEngine(t),
+			Probe:    probe,
+			QueueCap: 64,
+			Logf:     t.Logf,
+		}
+		fastConfig(&cfg)
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	start := func(w *Watcher) (cancel func()) {
+		ctx, stop := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Run(ctx)
+		}()
+		return func() {
+			stop()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Run did not exit after cancel")
+			}
+		}
+	}
+
+	homographs := []string{ace(t, "gооgle") + ".com", ace(t, "facébook") + ".com"}
+
+	// Phase 1: first generation, healthy end to end.
+	v1 := append(bigZoneLines(40), homographs[0])
+	writeZone(t, zonePath, v1...)
+	w := mkWatcher()
+	cancel := start(w)
+	waitFor(t, "first generation scanned", func() bool { return w.Health().Added == 41 })
+	waitFor(t, "detection probed", func() bool { return probed.Load() == 1 })
+	waitFor(t, "healthy state", func() bool { return w.Health().State == "ok" })
+
+	// Phase 2: DNS outage. Detection must keep flowing while probes
+	// queue; the probe breaker degrades and opens, the zone side stays
+	// healthy.
+	dnsDown.Store(true)
+	v2 := append(append([]string{}, v1...), bigZoneLines(60)[40:]...)
+	v2 = append(v2, homographs[1])
+	writeZone(t, zonePath, v2...)
+	waitFor(t, "outage generation scanned", func() bool { return w.Health().Added == 62 })
+	waitFor(t, "probe breaker degraded", func() bool {
+		h := w.Health()
+		return h.Probe != nil && h.Probe.State != "ok" && h.ProbeFailures > 0
+	})
+	if h := w.Health(); h.Zone.State != "ok" {
+		t.Fatalf("zone health %q during a DNS-only outage", h.Zone.State)
+	}
+	if probed.Load() != 1 {
+		t.Fatalf("probe went through during outage: %d", probed.Load())
+	}
+
+	// Outage clears: the queued detection drains and the breaker leaves
+	// the open state (one success is probation — degraded — not health).
+	dnsDown.Store(false)
+	waitFor(t, "queued probe drained", func() bool { return probed.Load() == 2 })
+	waitFor(t, "probe breaker off open", func() bool {
+		h := w.Health()
+		return h.Probe != nil && h.Probe.State != "open"
+	})
+
+	// Phase 3: truncated drop. The loop refuses it, goes degraded, and
+	// counts watch errors; the full drop heals it. The healing zone
+	// carries a fresh homograph whose successful probe completes the
+	// probe breaker's recovery streak.
+	writeZone(t, zonePath, bigZoneLines(3)...)
+	waitFor(t, "truncation noticed", func() bool {
+		h := w.Health()
+		return h.WatchErrors > 0 && h.Zone.State != "ok"
+	})
+	added := w.Health().Added
+	v3 := append(append([]string{}, v2...), "xn--after-truncation.example", ace(t, "gօօgle")+".com")
+	writeZone(t, zonePath, v3...)
+	waitFor(t, "post-truncation scan", func() bool { return w.Health().Added == added+2 })
+	waitFor(t, "third probe delivered", func() bool { return probed.Load() == 3 })
+	waitFor(t, "health fully recovered", func() bool { return w.Health().State == "ok" })
+
+	// Phase 4: rollback to yesterday's zone — scans clean, zero
+	// emissions.
+	scans := w.Health().Scans
+	writeZone(t, zonePath, v2...)
+	waitFor(t, "rollback scanned", func() bool { return w.Health().Scans > scans })
+	if got := w.Health().Added; got != added+2 {
+		t.Fatalf("rollback emitted %d new deltas", got-(added+2))
+	}
+
+	// Phase 5: restart (the crash-consistency tests cover mid-scan
+	// kills; here the full service restarts over live state).
+	cancel()
+	w = mkWatcher()
+	cancel = start(w)
+	writeZone(t, zonePath, append(append([]string{}, v3...), "xn--post-restart.example")...)
+	waitFor(t, "post-restart delta", func() bool { return w.Health().Added == 1 })
+
+	// Phase 6: seen-set corruption detected at the next restart. The
+	// watcher refuses to scan — degraded, loudly — until the file is
+	// restored, then recovers in place.
+	cancel()
+	healthy, err := os.ReadFile(dir + "/state/seen.set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), healthy...)
+	bad[len(bad)/3] ^= 0x80
+	os.WriteFile(dir+"/state/seen.set", bad, 0o644)
+	writeZone(t, zonePath, append(append([]string{}, v3...), "xn--post-restart.example", "xn--final.example")...)
+	w = mkWatcher()
+	cancel = start(w)
+	defer cancel()
+	waitFor(t, "corrupt seen-set refused", func() bool {
+		h := w.Health()
+		return h.WatchErrors > 0 && h.Zone.State != "ok" && h.Added == 0
+	})
+	os.WriteFile(dir+"/state/seen.set", healthy, 0o644)
+	waitFor(t, "post-restore delta", func() bool { return w.Health().Added == 1 })
+	waitFor(t, "final health ok", func() bool { return w.Health().State == "ok" })
+
+	// The global invariant: across six pathologies and three processes,
+	// every candidate was emitted exactly once.
+	names := deltaNames(t, dir+"/state/deltas.out")
+	assertNoDuplicates(t, names)
+	want := map[string]bool{}
+	for _, l := range v3 {
+		want[strings.ToLower(l)] = true
+	}
+	want["xn--post-restart.example"] = true
+	want["xn--final.example"] = true
+	if len(names) != len(want) {
+		t.Fatalf("deltas hold %d names, want %d", len(names), len(want))
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected delta %q", n)
+		}
+	}
+}
+
+// TestRunStopsCleanly asserts the lifecycle contract: cancelling Run's
+// context stops the poll loop and the submitter goroutine without
+// leaking either, even while a probe target is down.
+func TestRunStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	writeZone(t, dir+"/zone.txt", append(bigZoneLines(5), ace(t, "gооgle")+".com")...)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		cfg := Config{
+			ZonePath: dir + "/zone.txt",
+			StateDir: fmt.Sprintf("%s/state%d", dir, i),
+			Engine:   testEngine(t),
+			Probe: func(context.Context, triage.Input) error {
+				return errors.New("always down")
+			},
+		}
+		fastConfig(&cfg)
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- w.Run(ctx) }()
+		waitFor(t, "scan ran", func() bool { return w.Health().Scans > 0 })
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Run returned %v, want context.Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Run did not exit after cancel")
+		}
+	}
+
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

@@ -1,0 +1,448 @@
+package zonewatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+	"repro/internal/triage"
+)
+
+// Config parameterizes a Watcher.
+type Config struct {
+	// ZonePath is the zone file to watch (required).
+	ZonePath string
+	// StateDir holds the durable state: seen.set, seen.set.bak and
+	// watch.ckpt (required; created if missing).
+	StateDir string
+	// DeltasPath is the append-only output of added FQDNs. Defaults to
+	// StateDir/deltas.out.
+	DeltasPath string
+	// Engine supplies detection; hot-swappable underneath the watch
+	// (required).
+	Engine *core.Engine
+
+	// Interval is the zone polling cadence (default 10s).
+	Interval time.Duration
+	// CheckpointEvery is the number of zone lines between durable
+	// checkpoints (default 65536).
+	CheckpointEvery int64
+	// ThrottleLPS caps scanning at this many zone lines per second;
+	// 0 means unthrottled. Exists so crash-drills can kill a scan at a
+	// predictable point.
+	ThrottleLPS int
+	// MinZoneFraction is the shrink guard: a zone smaller than this
+	// fraction of the last completed generation is refused as truncated
+	// (default 0.5).
+	MinZoneFraction float64
+
+	// Probe, when set, receives every detected addition (after dedup)
+	// from a background submitter goroutine. Unhealthy probing never
+	// blocks detection: submissions queue up to QueueCap and the oldest
+	// are dropped, counted, once full.
+	Probe func(ctx context.Context, in triage.Input) error
+	// QueueCap bounds the submission queue (default 1024).
+	QueueCap int
+	// ProbeRetry spaces the attempts of each individual submission.
+	ProbeRetry resilience.RetryPolicy
+
+	// Backoff widens the poll cadence while the zone path is failing.
+	// The zero value is the resilience default (100ms base, 30s cap,
+	// full jitter).
+	Backoff resilience.Backoff
+	// ZoneBreaker and ProbeBreaker, when non-nil, replace the default
+	// health state machines (zero-value resilience.Breaker semantics).
+	ZoneBreaker  *resilience.Breaker
+	ProbeBreaker *resilience.Breaker
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Watcher is the continuous zone watch: a poll loop that detects new
+// zone generations, streams their added FQDNs through detection into a
+// deltas journal, and keeps running — degraded, visibly — through
+// missing zones, truncated drops, corrupt state and downstream outages.
+// One Watcher owns its state directory; methods other than Health are
+// not safe for concurrent use.
+type Watcher struct {
+	cfg          Config
+	zoneBreaker  *resilience.Breaker
+	probeBreaker *resilience.Breaker
+	queue        *submitQueue
+
+	// Scan-goroutine state.
+	seen         *seenSet
+	lastZoneSize int64
+	genSize      int64
+	genMod       time.Time
+	haveGen      bool
+
+	// Counters, readable from any goroutine via Health.
+	scans          atomic.Uint64
+	scanErrors     atomic.Uint64
+	watchErrors    atomic.Uint64
+	linesTotal     atomic.Uint64
+	namesTotal     atomic.Uint64
+	addedTotal     atomic.Uint64
+	detectedTotal  atomic.Uint64
+	submitted      atomic.Uint64
+	submitFailures atomic.Uint64
+	lastScanUnix   atomic.Int64
+	seenSize       atomic.Int64
+	seenLoadMicros atomic.Int64
+}
+
+// New validates the config and prepares the state directory.
+func New(cfg Config) (*Watcher, error) {
+	if cfg.ZonePath == "" {
+		return nil, errors.New("zonewatch: ZonePath required")
+	}
+	if cfg.StateDir == "" {
+		return nil, errors.New("zonewatch: StateDir required")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("zonewatch: Engine required")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("zonewatch: state dir: %w", err)
+	}
+	w := &Watcher{cfg: cfg, zoneBreaker: cfg.ZoneBreaker, probeBreaker: cfg.ProbeBreaker}
+	if w.zoneBreaker == nil {
+		w.zoneBreaker = &resilience.Breaker{}
+	}
+	if w.probeBreaker == nil {
+		w.probeBreaker = &resilience.Breaker{}
+	}
+	if cfg.Probe != nil {
+		cap := cfg.QueueCap
+		if cap <= 0 {
+			cap = 1024
+		}
+		w.queue = newSubmitQueue(cap)
+	}
+	return w, nil
+}
+
+func (w *Watcher) seenPath() string { return filepath.Join(w.cfg.StateDir, "seen.set") }
+func (w *Watcher) ckptPath() string { return filepath.Join(w.cfg.StateDir, "watch.ckpt") }
+func (w *Watcher) deltasPath() string {
+	if w.cfg.DeltasPath != "" {
+		return w.cfg.DeltasPath
+	}
+	return filepath.Join(w.cfg.StateDir, "deltas.out")
+}
+
+func (w *Watcher) interval() time.Duration {
+	if w.cfg.Interval <= 0 {
+		return 10 * time.Second
+	}
+	return w.cfg.Interval
+}
+
+func (w *Watcher) checkpointEvery() int64 {
+	if w.cfg.CheckpointEvery <= 0 {
+		return 65536
+	}
+	return w.cfg.CheckpointEvery
+}
+
+func (w *Watcher) minZoneFraction() float64 {
+	if w.cfg.MinZoneFraction <= 0 || w.cfg.MinZoneFraction >= 1 {
+		return 0.5
+	}
+	return w.cfg.MinZoneFraction
+}
+
+func (w *Watcher) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run polls the zone until ctx is cancelled, scanning each new
+// generation as it appears. Failures — missing zone, truncated drop,
+// corrupt seen-set — log once per streak, feed the health breaker, and
+// widen the poll cadence with jittered backoff; the loop itself never
+// exits on them. If a Probe is configured, Run also owns the submitter
+// goroutine and waits for it on the way out.
+func (w *Watcher) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	if w.cfg.Probe != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.submitLoop(ctx)
+		}()
+	}
+	defer wg.Wait()
+
+	failStreak := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !w.zoneBreaker.Allow() {
+			// Open breaker: hold the poll until the next admitted probe.
+			if err := sleepCtx(ctx, w.interval()); err != nil {
+				return err
+			}
+			continue
+		}
+		err := w.tick(ctx)
+		switch {
+		case err == nil:
+			if failStreak > 0 {
+				w.logf("zonewatch: recovered after %d consecutive failures", failStreak)
+				failStreak = 0
+			}
+			w.zoneBreaker.Success()
+			if err := sleepCtx(ctx, w.interval()); err != nil {
+				return err
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return err
+		default:
+			w.watchErrors.Add(1)
+			w.zoneBreaker.Failure()
+			if failStreak == 0 {
+				w.logf("zonewatch: %v (health %s; retrying with backoff)", err, w.zoneBreaker.State())
+			}
+			failStreak++
+			if err := w.cfg.Backoff.Sleep(ctx, failStreak-1); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// tick is one poll: stat the zone path, and scan if the (size, mtime)
+// generation differs from the last one scanned to completion.
+func (w *Watcher) tick(ctx context.Context) error {
+	fi, err := os.Stat(w.cfg.ZonePath)
+	if err != nil {
+		return fmt.Errorf("zone poll: %w", err)
+	}
+	if w.haveGen && fi.Size() == w.genSize && fi.ModTime().Equal(w.genMod) {
+		return nil
+	}
+	if _, err := w.ScanOnce(ctx); err != nil {
+		return err
+	}
+	// Record the pre-scan stat: if the file was replaced mid-scan the
+	// next poll sees a newer (size, mtime) and rescans.
+	w.genSize, w.genMod, w.haveGen = fi.Size(), fi.ModTime(), true
+	return nil
+}
+
+// DrainProbes synchronously submits every queued detection, for one-shot
+// scans that run without the background submitter. Retries each item
+// under the probe policy; gives up on an item (counting it) once the
+// breaker opens, so a dead resolver cannot wedge a one-shot run.
+func (w *Watcher) DrainProbes(ctx context.Context) {
+	if w.queue == nil || w.cfg.Probe == nil {
+		return
+	}
+	for {
+		in, ok := w.queue.pop()
+		if !ok {
+			return
+		}
+		if !w.probeBreaker.Allow() {
+			w.submitFailures.Add(1)
+			continue
+		}
+		err := resilience.Retry(ctx, w.cfg.ProbeRetry, func(c context.Context) error {
+			return w.cfg.Probe(c, in)
+		})
+		if err != nil {
+			w.probeBreaker.Failure()
+			w.submitFailures.Add(1)
+			if ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		w.probeBreaker.Success()
+		w.submitted.Add(1)
+	}
+}
+
+// submitLoop drains the submission queue in the background. A failing
+// probe target degrades and eventually opens the probe breaker, at
+// which point the loop idles — admitting one probe per cooldown — while
+// detection keeps queueing; the queue bounds memory by dropping its
+// oldest entries.
+func (w *Watcher) submitLoop(ctx context.Context) {
+	for {
+		in, ok := w.queue.pop()
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-w.queue.notify:
+				continue
+			}
+		}
+		for !w.probeBreaker.Allow() {
+			if sleepCtx(ctx, 250*time.Millisecond) != nil {
+				w.queue.pushFront(in)
+				return
+			}
+		}
+		err := resilience.Retry(ctx, w.cfg.ProbeRetry, func(c context.Context) error {
+			return w.cfg.Probe(c, in)
+		})
+		if err != nil {
+			w.queue.pushFront(in)
+			if ctx.Err() != nil {
+				return
+			}
+			w.probeBreaker.Failure()
+			w.submitFailures.Add(1)
+			if sleepCtx(ctx, 250*time.Millisecond) != nil {
+				return
+			}
+			continue
+		}
+		w.probeBreaker.Success()
+		w.submitted.Add(1)
+	}
+}
+
+// Health is the watcher's point-in-time operational snapshot, shaped
+// for /metrics and the -status view.
+type Health struct {
+	// State is the worst of the zone and probe breaker states.
+	State string                   `json:"state"`
+	Zone  resilience.BreakerStats  `json:"zone_breaker"`
+	Probe *resilience.BreakerStats `json:"probe_breaker,omitempty"`
+
+	Scans       uint64 `json:"scans"`
+	ScanErrors  uint64 `json:"scan_errors"`
+	WatchErrors uint64 `json:"watch_errors"`
+	// LastScanUnix is the completion time of the last successful scan.
+	LastScanUnix int64 `json:"last_scan_unix,omitempty"`
+
+	Lines    uint64 `json:"zone_lines"`
+	Names    uint64 `json:"zone_names"`
+	Added    uint64 `json:"deltas_emitted"`
+	Detected uint64 `json:"deltas_detected"`
+
+	ProbesSubmitted uint64 `json:"probes_submitted"`
+	ProbeFailures   uint64 `json:"probe_failures"`
+	QueueLen        int    `json:"queue_len"`
+	QueueDropped    uint64 `json:"queue_dropped"`
+
+	SeenSize       int64   `json:"seen_size"`
+	SeenLoadMillis float64 `json:"seen_load_ms"`
+}
+
+// Health snapshots the watcher. Safe from any goroutine.
+func (w *Watcher) Health() Health {
+	h := Health{
+		State:          w.zoneBreaker.State().String(),
+		Zone:           w.zoneBreaker.Stats(),
+		Scans:          w.scans.Load(),
+		ScanErrors:     w.scanErrors.Load(),
+		WatchErrors:    w.watchErrors.Load(),
+		LastScanUnix:   w.lastScanUnix.Load(),
+		Lines:          w.linesTotal.Load(),
+		Names:          w.namesTotal.Load(),
+		Added:          w.addedTotal.Load(),
+		Detected:       w.detectedTotal.Load(),
+		SeenSize:       w.seenSize.Load(),
+		SeenLoadMillis: float64(w.seenLoadMicros.Load()) / 1000,
+	}
+	worst := w.zoneBreaker.State()
+	if w.cfg.Probe != nil {
+		ps := w.probeBreaker.Stats()
+		h.Probe = &ps
+		h.ProbesSubmitted = w.submitted.Load()
+		h.ProbeFailures = w.submitFailures.Load()
+		h.QueueLen = w.queue.len()
+		h.QueueDropped = w.queue.dropped.Load()
+		if s := w.probeBreaker.State(); s > worst {
+			worst = s
+		}
+	}
+	h.State = worst.String()
+	return h
+}
+
+// submitQueue is the bounded detection→probe handoff. Push never
+// blocks: at capacity the oldest entry is dropped and counted, so a
+// long downstream outage costs visibility into the oldest detections,
+// never memory or detection throughput.
+type submitQueue struct {
+	mu      sync.Mutex
+	items   []triage.Input
+	cap     int
+	dropped atomic.Uint64
+	notify  chan struct{}
+}
+
+func newSubmitQueue(cap int) *submitQueue {
+	return &submitQueue{cap: cap, notify: make(chan struct{}, 1)}
+}
+
+func (q *submitQueue) push(in triage.Input) {
+	q.mu.Lock()
+	if len(q.items) >= q.cap {
+		q.items = q.items[1:]
+		q.dropped.Add(1)
+	}
+	q.items = append(q.items, in)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pushFront re-queues an item at the head (the retry path). It may
+// briefly exceed cap — the head item is the oldest and must not drop
+// itself.
+func (q *submitQueue) pushFront(in triage.Input) {
+	q.mu.Lock()
+	q.items = append([]triage.Input{in}, q.items...)
+	q.mu.Unlock()
+}
+
+func (q *submitQueue) pop() (triage.Input, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return triage.Input{}, false
+	}
+	in := q.items[0]
+	q.items = q.items[1:]
+	return in, true
+}
+
+func (q *submitQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,167 @@
+package shamfinder
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/service"
+	"repro/internal/triage"
+	"repro/internal/zonewatch"
+)
+
+// WatchZoneOptions configures WatchZone.
+type WatchZoneOptions struct {
+	// ZonePath is the zone file to watch (required).
+	ZonePath string
+	// StateDir holds the durable watch state — seen-set, checkpoint —
+	// and, by default, the deltas journal (required; created if
+	// missing).
+	StateDir string
+	// DeltasPath overrides the append-only output of added FQDNs.
+	// Empty means StateDir/deltas.out.
+	DeltasPath string
+
+	// SnapshotPath, RefsPath, References and Build resolve the
+	// detection engine exactly as Serve does: snapshot cold-start with
+	// an optional explicit reference list overriding the embedded
+	// detector, or a full build.
+	SnapshotPath string
+	RefsPath     string
+	References   []string
+	Build        Config
+
+	// Interval is the zone polling cadence (0 = the watcher default,
+	// 10s).
+	Interval time.Duration
+	// CheckpointEvery is the number of zone lines between durable
+	// checkpoints (0 = default).
+	CheckpointEvery int64
+	// ThrottleLPS caps scanning at this many zone lines per second;
+	// 0 means unthrottled.
+	ThrottleLPS int
+	// MinZoneFraction is the truncation guard (0 = default, 0.5).
+	MinZoneFraction float64
+
+	// Resolver, when non-empty, probes each detected addition for
+	// NS/A/MX against this "host:port" DNS server — the paper's §6.1
+	// liveness sweep running continuously on the delta stream.
+	Resolver string
+
+	// Addr, when non-empty, also serves the HTTP API on this address;
+	// /metrics then carries the watcher's health block alongside the
+	// serving counters, and /v1/detect answers off the same engine.
+	Addr string
+	// OnListen, when non-nil, receives the bound address (port-0
+	// callers and tests learn the actual port through it).
+	OnListen func(addr net.Addr)
+
+	// Once runs a single delta scan (draining any queued probes) and
+	// returns, instead of polling forever — the cron-shaped mode.
+	Once bool
+
+	// Logf receives operational log lines; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// WatchZone runs the crash-safe continuous zone watch: it streams each
+// new zone generation against the durable seen-set, appends only the
+// added FQDNs to the deltas journal (detections annotated with the
+// imitated reference), and keeps running — degraded, visibly — through
+// missing zones, truncated drops, corrupt state and resolver outages.
+// A SIGKILL at any point resumes from the last checkpoint with no
+// duplicated and no dropped deltas.
+//
+// With Once set it performs one scan and returns; otherwise it polls
+// until ctx is cancelled (which returns nil — shutdown is not an
+// error). With Addr set the HTTP API serves concurrently and its
+// /metrics exposes the watcher's health.
+func WatchZone(ctx context.Context, opt WatchZoneOptions) error {
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	engine, _, err := buildEngine(ServeOptions{
+		SnapshotPath: opt.SnapshotPath,
+		RefsPath:     opt.RefsPath,
+		References:   opt.References,
+		Build:        opt.Build,
+	}, logf)
+	if err != nil {
+		return err
+	}
+
+	var probe func(context.Context, triage.Input) error
+	if opt.Resolver != "" {
+		client := dnsclient.New(opt.Resolver)
+		probe = func(_ context.Context, in triage.Input) error {
+			return client.Probe(in.FQDN).Err
+		}
+	}
+	w, err := zonewatch.New(zonewatch.Config{
+		ZonePath:        opt.ZonePath,
+		StateDir:        opt.StateDir,
+		DeltasPath:      opt.DeltasPath,
+		Engine:          engine.inner,
+		Interval:        opt.Interval,
+		CheckpointEvery: opt.CheckpointEvery,
+		ThrottleLPS:     opt.ThrottleLPS,
+		MinZoneFraction: opt.MinZoneFraction,
+		Probe:           probe,
+		Logf:            logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	if opt.Once {
+		stats, err := w.ScanOnce(ctx)
+		if err != nil {
+			return err
+		}
+		w.DrainProbes(ctx)
+		h := w.Health()
+		logf("scan: %d lines, %d candidates, %d added (%d detected); probes %d ok / %d failed",
+			stats.Lines, stats.Names, stats.Added, stats.Detected, h.ProbesSubmitted, h.ProbeFailures)
+		if stats.UpToDate {
+			logf("zone already fully scanned; nothing to do")
+		}
+		return nil
+	}
+
+	// Service mode: the API serves while the watcher polls; either one
+	// ending (or ctx) stops the other.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var srvErr chan error
+	if opt.Addr != "" {
+		srv := service.New(service.Config{Engine: engine.inner, ZoneWatch: w, Logf: logf})
+		ln, err := net.Listen("tcp", opt.Addr)
+		if err != nil {
+			return fmt.Errorf("shamfinder: listening on %s: %w", opt.Addr, err)
+		}
+		if opt.OnListen != nil {
+			opt.OnListen(ln.Addr())
+		}
+		logf("serving metrics and detection on %s", ln.Addr())
+		srvErr = make(chan error, 1)
+		go func() {
+			srvErr <- srv.Serve(ctx, ln)
+			cancel() // a dead listener must not leave the watcher headless
+		}()
+	}
+	runErr := w.Run(ctx)
+	if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+		runErr = nil
+	}
+	if srvErr != nil {
+		cancel()
+		if err := <-srvErr; err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}

@@ -1,0 +1,160 @@
+package shamfinder
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeWatchFixtures(t *testing.T, dir string, zoneLines ...string) (zonePath, refsPath string) {
+	t.Helper()
+	zonePath = filepath.Join(dir, "zone.txt")
+	refsPath = filepath.Join(dir, "refs.txt")
+	if err := os.WriteFile(zonePath, []byte(strings.Join(zoneLines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(refsPath, []byte("google.com\nfacebook.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return zonePath, refsPath
+}
+
+// TestWatchZoneOnce drives the public one-shot mode end to end: first
+// scan emits the zone's candidates, a grown zone emits only the
+// additions, and an unchanged zone emits nothing.
+func TestWatchZoneOnce(t *testing.T) {
+	dir := t.TempDir()
+	zonePath, refsPath := writeWatchFixtures(t, dir,
+		"google.com", "xn--ggle-55da.com", "plain.example")
+	opt := WatchZoneOptions{
+		ZonePath: zonePath,
+		StateDir: filepath.Join(dir, "state"),
+		RefsPath: refsPath,
+		Build:    Config{FontScope: FontFast},
+		Once:     true,
+	}
+	readDeltas := func() string {
+		data, err := os.ReadFile(filepath.Join(dir, "state", "deltas.out"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	if err := WatchZone(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	got := readDeltas()
+	if !strings.Contains(got, "xn--ggle-55da.com\tgoogle.com") {
+		t.Fatalf("first scan deltas missing annotated detection:\n%s", got)
+	}
+	if strings.Contains(got, "plain.example") || strings.Contains(got, "google.com\n") {
+		t.Fatalf("non-candidate lines leaked into deltas:\n%s", got)
+	}
+
+	// Grow the zone: only the addition is appended.
+	zone, _ := os.ReadFile(zonePath)
+	os.WriteFile(zonePath, append(zone, "xn--new-addition.example\n"...), 0o644)
+	if err := WatchZone(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	grown := readDeltas()
+	if !strings.HasPrefix(grown, got) || !strings.HasSuffix(grown, "xn--new-addition.example\n") {
+		t.Fatalf("second scan did not append exactly the addition:\n%s", grown)
+	}
+
+	// Unchanged zone: byte-identical deltas.
+	if err := WatchZone(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if readDeltas() != grown {
+		t.Fatal("up-to-date scan modified the deltas journal")
+	}
+}
+
+// TestWatchZoneServiceMode runs the continuous mode with the HTTP API
+// attached and asserts /metrics carries the watcher's health block,
+// detection answers off the same engine, and cancellation is a clean
+// (nil) shutdown.
+func TestWatchZoneServiceMode(t *testing.T) {
+	dir := t.TempDir()
+	zonePath, refsPath := writeWatchFixtures(t, dir, "xn--ggle-55da.com")
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- WatchZone(ctx, WatchZoneOptions{
+			ZonePath: zonePath,
+			StateDir: filepath.Join(dir, "state"),
+			RefsPath: refsPath,
+			Build:    Config{FontScope: FontFast},
+			Interval: 10 * time.Millisecond,
+			Addr:     "127.0.0.1:0",
+			OnListen: func(a net.Addr) { addrc <- a },
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("WatchZone exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("never listened")
+	}
+
+	type stats struct {
+		ZoneWatch *struct {
+			State string `json:"state"`
+			Added uint64 `json:"deltas_emitted"`
+		} `json:"zonewatch"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr.String() + "/metrics")
+		var st stats
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if err == nil && st.ZoneWatch != nil && st.ZoneWatch.Added == 1 && st.ZoneWatch.State == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never showed a healthy watcher: %+v (err %v)", st.ZoneWatch, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The same engine answers detection queries.
+	resp, err := http.Post("http://"+addr.String()+"/v1/detect", "application/json",
+		strings.NewReader(`{"fqdn":"xn--ggle-55da.com"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det struct {
+		Matches []json.RawMessage `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(det.Matches) != 1 {
+		t.Fatalf("detect over watch-zone service returned %d matches", len(det.Matches))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WatchZone shutdown returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("WatchZone did not stop on cancel")
+	}
+}
