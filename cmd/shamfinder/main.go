@@ -90,7 +90,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   shamfinder compile -o FILE [-refs FILE] [-db uc|simchar|both] [-fastfont]
-  shamfinder serve   {-refs FILE | -snapshot FILE} [-addr HOST:PORT] [-watch DUR] [-max-inflight N] [-db uc|simchar|both] [-fastfont]
+  shamfinder serve   {-refs FILE | -snapshot FILE} [-addr HOST:PORT] [-watch DUR] [-max-inflight N] [-job-dir DIR]
+                     [-survey-ttl DUR] [-survey-keep N] [-survey-stall DUR] [-db uc|simchar|both] [-fastfont]
   shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N] [-json]
   shamfinder survey  {-matches FILE | {-refs FILE | -snapshot FILE} [-domains FILE]} -resolver HOST:PORT
                      [-dns-workers N] [-web-workers N] [-rate QPS] [-retries N] [-stage-timeout DUR] [-dns-timeout DUR]
@@ -98,7 +99,8 @@ func usage() {
                      [-http-addr HOST:PORT] [-https-addr HOST:PORT] [-o FILE.jsonl] [-resume FILE.jsonl] [-table]
   shamfinder watch-zone -zone FILE -state DIR {-refs FILE | -snapshot FILE} [-deltas FILE] [-interval DUR] [-once]
                      [-resolver HOST:PORT] [-addr HOST:PORT] [-throttle LPS] [-checkpoint-every N]
-                     [-min-zone-fraction F] [-db uc|simchar|both] [-fastfont]
+                     [-min-zone-fraction F] [-survey-jobs DIR] [-survey-batch N] [-survey-age DUR]
+                     [-survey-stall DUR] [-survey-skip-web] [-db uc|simchar|both] [-fastfont]
   shamfinder watch-zone -status -addr HOST:PORT
   shamfinder explain {-refs FILE | -snapshot FILE} [-fastfont] DOMAIN
   shamfinder revert  [-snapshot FILE] [-fastfont] DOMAIN
@@ -111,7 +113,10 @@ label (amazon.co.uk protects "amazon").
 serve exposes the hot-swappable engine as an HTTP JSON API (POST
 /v1/detect, GET /v1/explain, POST /v1/reload, POST /v1/survey, GET
 /healthz, GET /metrics); -watch polls the snapshot file and swaps new
-state in with zero downtime.
+state in with zero downtime. -job-dir makes survey jobs durable: every
+job persists a manifest and record log, a killed process resumes its
+interrupted jobs byte-identically on restart, and corrupt state is
+quarantined, never silently served.
 
 survey runs the measurement pipeline (paper §5–6) over detected
 homographs: DNS probing against -resolver, web classification of the
@@ -127,7 +132,10 @@ durable seen-set, appending only the added FQDNs to the deltas journal
 (detections carry the imitated reference); a SIGKILL at any point
 resumes from the checkpoint with no duplicated and no dropped deltas.
 -resolver probes additions for NS/A/MX; -addr serves /metrics with the
-watcher's health; -once runs a single scan for cron.`)
+watcher's health; -once runs a single scan for cron. -survey-jobs
+closes the monitoring loop: journal deltas batch into durable survey
+jobs (each recording the journal span it covers, so restarts re-submit
+nothing) and /metrics carries the continuously merged survey tally.`)
 }
 
 func buildConfig(fast bool, db string) (shamfinder.Config, error) {
@@ -253,6 +261,10 @@ func cmdServe(args []string) error {
 	db := fs.String("db", "both", "homoglyph database when building fresh: uc, simchar or both")
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation when building fresh")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrent detection requests before shedding; 0 = default")
+	jobDir := fs.String("job-dir", "", "persist /v1/survey jobs here; interrupted jobs resume byte-identically on restart")
+	surveyTTL := fs.Duration("survey-ttl", 0, "evict finished survey jobs this long after they finish; 0 = no TTL")
+	surveyKeep := fs.Int("survey-keep", 0, "max retained finished survey jobs; 0 = 32")
+	surveyStall := fs.Duration("survey-stall", 0, "fail a survey job whose pipeline freezes this long; 0 = no watchdog")
 	fs.Parse(args)
 	if *watch > 0 && *snapPath == "" {
 		return fmt.Errorf("serve: -watch needs -snapshot (it polls the snapshot file)")
@@ -271,6 +283,10 @@ func cmdServe(args []string) error {
 		Watch:        *watch,
 		Build:        cfg,
 		MaxInFlight:  *maxInFlight,
+		JobDir:       *jobDir,
+		SurveyTTL:    *surveyTTL,
+		SurveyKeep:   *surveyKeep,
+		SurveyStall:  *surveyStall,
 		Logf:         logger.Printf,
 	})
 }

@@ -38,6 +38,11 @@ func cmdWatchZone(args []string) error {
 	throttle := fs.Int("throttle", 0, "cap scanning at this many zone lines per second; 0 = unthrottled")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "zone lines between durable checkpoints; 0 = 65536")
 	minFrac := fs.Float64("min-zone-fraction", 0, "refuse a zone smaller than this fraction of the last generation; 0 = 0.5")
+	surveyJobs := fs.String("survey-jobs", "", "batch journal deltas into durable survey jobs under this directory (needs -addr, excludes -once)")
+	surveyBatch := fs.Int("survey-batch", 0, "cut a survey batch at this many pending deltas; 0 = 256")
+	surveyAge := fs.Duration("survey-age", 0, "cut a smaller pending batch after this long; 0 = 30s")
+	surveyStall := fs.Duration("survey-stall", 0, "fail a survey job whose pipeline freezes this long; 0 = no watchdog")
+	surveySkipWeb := fs.Bool("survey-skip-web", false, "drop the web stage from batched surveys (DNS-only monitoring)")
 	status := fs.Bool("status", false, "print a running watcher's health from http://ADDR/metrics and exit")
 	fs.Parse(args)
 
@@ -70,6 +75,11 @@ func cmdWatchZone(args []string) error {
 		MinZoneFraction: *minFrac,
 		Resolver:        *resolver,
 		Addr:            *addr,
+		SurveyJobDir:    *surveyJobs,
+		SurveyBatch:     *surveyBatch,
+		SurveyAge:       *surveyAge,
+		SurveyStall:     *surveyStall,
+		SurveySkipWeb:   *surveySkipWeb,
 		Once:            *once,
 		Logf:            logger.Printf,
 	})

@@ -1,0 +1,120 @@
+package jobstore
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/triage"
+)
+
+// benchManifest builds a manifest with n inputs — the size knob for the
+// write path.
+func benchManifest(id string, n int) Manifest {
+	m := testManifest(id)
+	m.Inputs = make([]triage.Input, n)
+	for i := range m.Inputs {
+		m.Inputs[i] = triage.Input{
+			FQDN:      "xn--bench-" + strconv.Itoa(i) + ".example",
+			Reference: "example.com",
+			Source:    "UC",
+		}
+	}
+	return m
+}
+
+// BenchmarkJobManifestWrite measures one durable state transition: seal
+// the envelope, write the temp file, fsync, rename.
+func BenchmarkJobManifestWrite(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("inputs=%d", n), func(b *testing.B) {
+			s, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := benchManifest(s.NewID(), n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Queried = i
+				if err := s.Put(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJobRecover measures the restart path over a store of mixed
+// terminal and interrupted jobs: read, checksum and decode every
+// manifest.
+func BenchmarkJobRecover(b *testing.B) {
+	for _, jobs := range []int{8, 64} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < jobs; i++ {
+				m := benchManifest(s.NewID(), 32)
+				if i%2 == 0 {
+					m.State = StateDone
+					m.Tally = triage.NewTally()
+				} else {
+					m.State = StateRunning
+				}
+				if err := s.Put(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s2.Recover(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrepareResume measures the torn-tail trim + checkpoint load
+// over a record log left by a crash.
+func BenchmarkPrepareResume(b *testing.B) {
+	for _, recs := range []int{100, 2000} {
+		b.Run(fmt.Sprintf("records=%d", recs), func(b *testing.B) {
+			s, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			id := s.NewID()
+			f, err := s.OpenRecordsAppend(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := triage.NewRecordWriter(f)
+			for i := 0; i < recs; i++ {
+				if err := w.Write(triage.Record{FQDN: "d" + strconv.Itoa(i) + ".example", HasNS: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := f.WriteString(`{"fqdn":"torn`); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := s.PrepareResume(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(m) != recs {
+					b.Fatalf("resume set %d, want %d", len(m), recs)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// StallWatch is a progress watchdog for staged work: it samples a
+// monotonic progress counter and reports when the counter stops moving
+// for a full timeout window. The counter is the only contract — the
+// watched work exposes "how much have I finished" as an int64 (a
+// pipeline's done+probed counters, a scanner's byte offset) and the
+// watchdog stays ignorant of what the stages are. A stalled stage is a
+// liveness failure the breaker/backoff machinery cannot see: the
+// operation is neither failing nor finishing, it is stuck holding its
+// resources, and something must cut it loose.
+type StallWatch struct {
+	// Timeout is how long the counter may stand still before the watch
+	// declares a stall. Required (> 0).
+	Timeout time.Duration
+	// Interval is the sampling cadence; 0 means Timeout/4 (clamped to
+	// [10ms, Timeout]).
+	Interval time.Duration
+	// Progress returns the current progress counter. Any change — in
+	// either direction — counts as progress. Required.
+	Progress func() int64
+	// OnStall runs (once) when the counter has not changed for Timeout,
+	// with the observed stall duration. Required.
+	OnStall func(stalled time.Duration)
+}
+
+// Run samples until ctx is done or a stall fires; it returns true when
+// OnStall ran. Callers typically run it on its own goroutine with the
+// watched operation's context, so a finished operation tears its
+// watchdog down with it.
+func (w StallWatch) Run(ctx context.Context) bool {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = w.Timeout / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > w.Timeout {
+		interval = w.Timeout
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	last := w.Progress()
+	lastMove := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+		if cur := w.Progress(); cur != last {
+			last = cur
+			lastMove = time.Now()
+			continue
+		}
+		if stalled := time.Since(lastMove); stalled >= w.Timeout {
+			w.OnStall(stalled)
+			return true
+		}
+	}
+}

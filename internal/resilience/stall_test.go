@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStallWatchFiresOnFrozenCounter(t *testing.T) {
+	var fired atomic.Int64
+	w := StallWatch{
+		Timeout:  50 * time.Millisecond,
+		Progress: func() int64 { return 42 },
+		OnStall:  func(time.Duration) { fired.Add(1) },
+	}
+	start := time.Now()
+	if !w.Run(context.Background()) {
+		t.Fatal("Run returned false without firing")
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("OnStall ran %d times", fired.Load())
+	}
+	if since := time.Since(start); since < 50*time.Millisecond {
+		t.Fatalf("fired after %v, before the timeout", since)
+	}
+}
+
+func TestStallWatchToleratesProgress(t *testing.T) {
+	// A counter that keeps moving for 6 windows must not trip the watch;
+	// once it freezes, the watch fires.
+	var ctr atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 6; i++ {
+			time.Sleep(20 * time.Millisecond)
+			ctr.Add(1)
+		}
+	}()
+	start := time.Now()
+	w := StallWatch{
+		Timeout:  60 * time.Millisecond,
+		Interval: 10 * time.Millisecond,
+		Progress: ctr.Load,
+		OnStall:  func(time.Duration) {},
+	}
+	if !w.Run(context.Background()) {
+		t.Fatal("watch never fired after the counter froze")
+	}
+	<-done
+	// 6 × 20ms of progress + a 60ms stall window: firing before the
+	// progress phase ended would mean progress was ignored.
+	if since := time.Since(start); since < 120*time.Millisecond {
+		t.Fatalf("fired after %v, during active progress", since)
+	}
+}
+
+func TestStallWatchStopsWithContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := false
+	doneCh := make(chan bool, 1)
+	go func() {
+		doneCh <- StallWatch{
+			Timeout:  time.Hour,
+			Interval: 10 * time.Millisecond,
+			Progress: func() int64 { return 0 },
+			OnStall:  func(time.Duration) { fired = true },
+		}.Run(ctx)
+	}()
+	cancel()
+	select {
+	case got := <-doneCh:
+		if got || fired {
+			t.Fatal("cancelled watch still fired")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch did not exit on context cancellation")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/triage"
 	"repro/internal/zonewatch"
 )
 
@@ -79,6 +80,11 @@ type metrics struct {
 	surveysActive atomic.Int64  // survey jobs currently running
 	surveyDomains atomic.Uint64 // domains triaged across all survey jobs
 
+	surveysEvicted     atomic.Uint64 // finished jobs dropped by TTL/cap retention
+	surveysResumed     atomic.Uint64 // interrupted jobs resumed after a restart
+	surveysRecovered   atomic.Uint64 // finished jobs republished from the store
+	surveysQuarantined atomic.Uint64 // corrupt manifests refused and quarantined
+
 	watchErrors atomic.Uint64 // snapshot-watch poll failures (stat errors)
 }
 
@@ -106,6 +112,25 @@ type Stats struct {
 	Surveys       uint64 `json:"surveys"`
 	SurveysActive int64  `json:"surveys_active"`
 	SurveyDomains uint64 `json:"survey_domains"`
+
+	// Job-store health: retention evictions, restart recovery outcomes,
+	// and the per-state census of live jobs. A monitor alerting on
+	// surveys_quarantined > 0 catches on-disk corruption the moment a
+	// restart meets it.
+	SurveysEvicted     uint64         `json:"surveys_evicted"`
+	SurveysResumed     uint64         `json:"surveys_resumed"`
+	SurveysRecovered   uint64         `json:"surveys_recovered"`
+	SurveysQuarantined uint64         `json:"surveys_quarantined"`
+	SurveyJobs         map[string]int `json:"survey_jobs,omitempty"`
+
+	// SurveyTally is the continuously-merged §6 aggregation across every
+	// finished survey job — the paper's funnel and tables, updated as the
+	// zone-watch batcher lands each batch.
+	SurveyTally *triage.Tally `json:"survey_tally,omitempty"`
+
+	// SurveyJournalLag is how many bytes of the zone-watch deltas
+	// journal no survey job covers yet (batcher wiring only).
+	SurveyJournalLag int64 `json:"survey_journal_lag,omitempty"`
 
 	// WatchErrors counts snapshot-watch polls that failed to stat the
 	// watched artifact. A monitor alerting on its growth catches the
@@ -139,6 +164,11 @@ func (m *metrics) snapshot(epoch uint64, references int) Stats {
 		Surveys:       m.surveys.Load(),
 		SurveysActive: m.surveysActive.Load(),
 		SurveyDomains: m.surveyDomains.Load(),
+
+		SurveysEvicted:     m.surveysEvicted.Load(),
+		SurveysResumed:     m.surveysResumed.Load(),
+		SurveysRecovered:   m.surveysRecovered.Load(),
+		SurveysQuarantined: m.surveysQuarantined.Load(),
 
 		WatchErrors: m.watchErrors.Load(),
 	}

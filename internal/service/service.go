@@ -47,6 +47,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/reflist"
 	"repro/internal/snapshot"
+	"repro/internal/triage"
 	"repro/internal/zonewatch"
 )
 
@@ -86,7 +87,20 @@ type Server struct {
 	surveyCfg SurveyConfig
 	surveys   surveyRegistry
 	zoneWatch *zonewatch.Watcher
+
+	// tallyMu guards surveyTally, the server-wide §6 aggregation merged
+	// from every finished survey job (including recovered ones).
+	tallyMu     sync.Mutex
+	surveyTally *triage.Tally
+	// journalLag, when set (SetJournalLag), reports how many bytes of
+	// the zone-watch deltas journal no survey job covers yet.
+	journalLag func() int64
 }
+
+// SetJournalLag wires the /metrics journal-lag probe — how far the
+// survey batcher is behind the zone-watch deltas journal, in bytes.
+// Call during wiring, before traffic.
+func (s *Server) SetJournalLag(fn func() int64) { s.journalLag = fn }
 
 // New builds a Server over cfg.Engine.
 func New(cfg Config) *Server {
@@ -135,13 +149,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Stats snapshots the serving counters — what /metrics serves.
+// Stats snapshots the serving counters — what /metrics serves. A
+// scrape also runs the survey retention sweep, so TTL evictions fire
+// on an otherwise idle server.
 func (s *Server) Stats() Stats {
+	s.sweepSurveys()
 	det, epoch := s.engine.Current()
 	st := s.met.snapshot(epoch, det.NumReferences())
 	if s.zoneWatch != nil {
 		h := s.zoneWatch.Health()
 		st.ZoneWatch = &h
+	}
+	st.SurveyJobs = s.surveys.countByState()
+	st.SurveyTally = s.surveyTallySnapshot()
+	if s.journalLag != nil {
+		st.SurveyJournalLag = s.journalLag()
 	}
 	return st
 }

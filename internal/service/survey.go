@@ -1,8 +1,6 @@
 package service
 
 import (
-	"context"
-	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -13,6 +11,7 @@ import (
 	"repro/internal/blacklist"
 	"repro/internal/core"
 	"repro/internal/dnsclient"
+	"repro/internal/jobstore"
 	"repro/internal/triage"
 	"repro/internal/webclassify"
 )
@@ -21,15 +20,18 @@ import (
 // the server detects homographs against the current engine epoch and
 // pushes the matches through the triage pipeline (DNS → web →
 // blacklist) in the background; GET /v1/survey/{id} reports progress
-// and, once done, the records and tally; DELETE cancels. Jobs are
-// in-memory: they live as long as the process, which matches the
-// serving model (a survey is operational tooling, not durable state —
-// the CLI's JSONL checkpoints cover durability).
+// and, once done, the records and tally; DELETE cancels. With a
+// jobstore wired (SurveyConfig.Store / `serve -job-dir`) every job is
+// durable: its spec and state machine live in a CRC'd manifest, its
+// completed records stream into an append-only JSONL log, and a
+// process killed at any point resumes each interrupted job on restart
+// with byte-identical output. Without a store, jobs are in-memory and
+// live as long as the process — the original serving model.
 
 // SurveyConfig wires the serving layer's triage backends. The zero
 // value works: DNS probing uses the resolver named per request, web
-// fetches dial the surveyed domain directly, and the blacklist stage
-// is skipped.
+// fetches dial the surveyed domain directly, the blacklist stage is
+// skipped, and jobs are in-memory only.
 type SurveyConfig struct {
 	// Resolve overrides how web fetches dial (domain, port) — the
 	// simulated-infrastructure hook. Nil dials domain:port.
@@ -40,10 +42,27 @@ type SurveyConfig struct {
 	// parked-by-delegation first pass.
 	ParkingNS []string
 	// MaxJobs bounds concurrently running surveys; more are rejected
-	// with 429. 0 means 2.
+	// with 429 (HTTP) or queued (batcher submissions and restart
+	// recovery). 0 means 2.
 	MaxJobs int
 	// MaxDomains bounds one survey's candidate list. 0 means 100000.
 	MaxDomains int
+
+	// Store, when non-nil, makes every job durable: manifests and
+	// record logs live under its directory and interrupted jobs resume
+	// on restart (call Server.RecoverSurveys once after New).
+	Store *jobstore.Store
+	// JobTTL evicts finished jobs (registry and store) this long after
+	// they finish. 0 disables the TTL; the KeepFinished cap still
+	// applies.
+	JobTTL time.Duration
+	// KeepFinished bounds how many finished jobs are retained before
+	// oldest-first eviction. 0 means 32.
+	KeepFinished int
+	// StallTimeout is the per-job watchdog: a running job whose
+	// pipeline counters stop moving for this long is cancelled and
+	// marked failed with a retryable cause. 0 disables the watchdog.
+	StallTimeout time.Duration
 }
 
 type surveyRequest struct {
@@ -68,7 +87,26 @@ type surveyRequest struct {
 	SkipBlacklist  bool    `json:"skip_blacklist,omitempty"`
 }
 
-type surveyAccepted struct {
+// spec maps the request's pipeline knobs onto the durable job spec —
+// the two shapes are field-for-field identical so a manifest replays
+// exactly what the client asked for.
+func (req surveyRequest) spec() jobstore.Spec {
+	return jobstore.Spec{
+		Resolver:       req.Resolver,
+		DNSWorkers:     req.DNSWorkers,
+		WebWorkers:     req.WebWorkers,
+		Rate:           req.Rate,
+		Retries:        req.Retries,
+		StageTimeoutMS: req.StageTimeoutMS,
+		DNSTimeoutMS:   req.DNSTimeoutMS,
+		WebTimeoutMS:   req.WebTimeoutMS,
+		SkipDNS:        req.SkipDNS,
+		SkipWeb:        req.SkipWeb,
+		SkipBlacklist:  req.SkipBlacklist,
+	}
+}
+
+type surveyAcceptedResp struct {
 	ID       string `json:"id"`
 	Status   string `json:"status"`
 	Epoch    uint64 `json:"epoch"`
@@ -84,16 +122,24 @@ type surveyStatus struct {
 	Detected int             `json:"detected"`
 	Progress triage.Progress `json:"progress"`
 	Error    string          `json:"error,omitempty"`
-	Records  []triage.Record `json:"records,omitempty"`
-	Tally    *triage.Tally   `json:"tally,omitempty"`
+	// Retryable marks a failed job whose cause a re-submission could
+	// clear (a stalled stage, a dead resolver) as opposed to bad input.
+	Retryable bool `json:"retryable,omitempty"`
+	// Resumes counts process restarts that resumed this job.
+	Resumes int             `json:"resumes,omitempty"`
+	Records []triage.Record `json:"records,omitempty"`
+	Tally   *triage.Tally   `json:"tally,omitempty"`
 }
 
-// Job states.
+// Job states — the jobstore state machine; the in-memory registry and
+// the durable manifests speak the same vocabulary.
 const (
-	surveyRunning   = "running"
-	surveyDone      = "done"
-	surveyFailed    = "failed"
-	surveyCancelled = "cancelled"
+	surveyAccepted  = jobstore.StateAccepted
+	surveyRunning   = jobstore.StateRunning
+	surveyDraining  = jobstore.StateDraining
+	surveyDone      = jobstore.StateDone
+	surveyFailed    = jobstore.StateFailed
+	surveyCancelled = jobstore.StateCancelled
 )
 
 type surveyJob struct {
@@ -101,27 +147,51 @@ type surveyJob struct {
 	epoch    uint64
 	queried  int
 	detected int
-	pipeline *triage.Pipeline
-	cancel   context.CancelFunc
+	spec     jobstore.Spec
+	inputs   []triage.Input
+	durable  bool
+	// resume marks a job recovered mid-flight: launch prepares its
+	// record log (torn-tail trim) and seeds the pipeline's resume set
+	// from it.
+	resume bool
+	// journal* record the zone-watch deltas span this job covers
+	// (batcher submissions); zero for direct API jobs.
+	journalPath            string
+	journalFrom, journalTo int64
+	createdUnix            int64
 
-	mu      sync.Mutex
-	status  string
-	err     string
-	records []triage.Record
-	tally   *triage.Tally
+	mu         sync.Mutex
+	status     string
+	err        string
+	retryable  bool
+	resumes    int
+	records    []triage.Record
+	tally      *triage.Tally
+	pipeline   *triage.Pipeline // set at launch; nil while queued
+	cancel     func()           // set at launch; nil while queued
+	finishedAt time.Time        // set when the job turns terminal
+	stalledFor time.Duration    // set by the watchdog before it cancels
+	// lazyRecords marks a terminal job recovered from disk whose
+	// records were not loaded into memory; GETs read them from the
+	// store on demand.
+	lazyRecords bool
 }
 
 func (j *surveyJob) snapshot(includeRecords bool) surveyStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := surveyStatus{
-		ID:       j.id,
-		Status:   j.status,
-		Epoch:    j.epoch,
-		Queried:  j.queried,
-		Detected: j.detected,
-		Progress: j.pipeline.Progress(),
-		Error:    j.err,
+		ID:        j.id,
+		Status:    j.status,
+		Epoch:     j.epoch,
+		Queried:   j.queried,
+		Detected:  j.detected,
+		Error:     j.err,
+		Retryable: j.retryable,
+		Resumes:   j.resumes,
+	}
+	if j.pipeline != nil {
+		st.Progress = j.pipeline.Progress()
 	}
 	if j.status == surveyDone {
 		st.Tally = j.tally
@@ -132,10 +202,32 @@ func (j *surveyJob) snapshot(includeRecords bool) surveyStatus {
 	return st
 }
 
-// keepFinished bounds how many finished jobs the registry retains:
-// old results (and their record sets) are evicted oldest-first when a
-// new job is published, so a long-lived server's memory stays flat no
-// matter how many surveys it has run.
+// manifest assembles the job's durable descriptor for its current
+// state. Caller holds j.mu or owns the job exclusively.
+func (j *surveyJob) manifestLocked() jobstore.Manifest {
+	return jobstore.Manifest{
+		ID:          j.id,
+		State:       j.status,
+		Epoch:       j.epoch,
+		Queried:     j.queried,
+		Detected:    j.detected,
+		Spec:        j.spec,
+		Inputs:      j.inputs,
+		JournalPath: j.journalPath,
+		JournalFrom: j.journalFrom,
+		JournalTo:   j.journalTo,
+		Error:       j.err,
+		Retryable:   j.retryable,
+		Tally:       j.tally,
+		Resumes:     j.resumes,
+		CreatedUnix: j.createdUnix,
+	}
+}
+
+// keepFinished is the default retention bound on finished jobs: old
+// results (and their record sets) are evicted oldest-first so a
+// long-lived server's memory — and with a store, its disk — stays flat
+// no matter how many surveys it has run.
 const keepFinished = 32
 
 type surveyRegistry struct {
@@ -144,35 +236,81 @@ type surveyRegistry struct {
 	running int
 	jobs    map[string]*surveyJob
 	order   []string // publication order, for oldest-first eviction
+	// pending queues fully-constructed jobs awaiting a running slot:
+	// recovered jobs beyond the cap at restart, and batcher submissions
+	// arriving while the cap is full. FIFO.
+	pending []*surveyJob
+	// now is injectable for TTL tests.
+	now func() time.Time
 }
 
-// reserve claims a running-job slot and an id BEFORE any submit-time
-// work happens, so a request destined for 429 is rejected without
-// paying for detection. The job itself is published only once fully
-// constructed; until then the id 404s (the client has not seen it
-// yet).
-func (r *surveyRegistry) reserve(maxJobs int) (string, error) {
+func (r *surveyRegistry) clock() time.Time {
+	if r.now != nil {
+		return r.now()
+	}
+	return time.Now()
+}
+
+// tryReserve claims a running-job slot BEFORE any submit-time work
+// happens, so a request destined for rejection is shed without paying
+// for detection.
+func (r *surveyRegistry) tryReserve(maxJobs int) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.running >= maxJobs {
-		return "", fmt.Errorf("survey: %d jobs already running", r.running)
+		return false
 	}
 	r.running++
-	r.seq++
-	return "s" + strconv.Itoa(r.seq), nil
+	return true
 }
 
-// release returns a reserved slot (job finished, or submit failed
-// after reserve).
-func (r *surveyRegistry) release() {
+// release returns a reserved slot; when a queued job is waiting it is
+// handed the slot instead (the slot count never dips) and returned for
+// the caller to launch.
+func (r *surveyRegistry) release() *surveyJob {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.pending) > 0 {
+		next := r.pending[0]
+		r.pending = r.pending[1:]
+		return next
+	}
 	r.running--
+	return nil
 }
 
-// publish makes a fully-constructed job visible and evicts the oldest
-// finished jobs beyond the retention bound.
-func (r *surveyRegistry) publish(job *surveyJob) {
+// enqueue parks a published job until a slot frees up.
+func (r *surveyRegistry) enqueue(job *surveyJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending = append(r.pending, job)
+}
+
+// dequeue removes a queued job (DELETE on an accepted job), reporting
+// whether it was still queued.
+func (r *surveyRegistry) dequeue(job *surveyJob) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, p := range r.pending {
+		if p == job {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *surveyRegistry) nextID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	return "s" + strconv.Itoa(r.seq)
+}
+
+// publish makes a fully-constructed job visible and applies retention.
+// It returns the evicted jobs so the caller can drop their durable
+// state and count them.
+func (r *surveyRegistry) publish(job *surveyJob, keep int, ttl time.Duration) []*surveyJob {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.jobs == nil {
@@ -180,6 +318,21 @@ func (r *surveyRegistry) publish(job *surveyJob) {
 	}
 	r.jobs[job.id] = job
 	r.order = append(r.order, job.id)
+	return r.sweepLocked(keep, ttl)
+}
+
+// sweep applies the retention policy: finished jobs past the TTL, then
+// finished jobs beyond the keep cap, oldest-first. Running, draining
+// and queued jobs are never evicted.
+func (r *surveyRegistry) sweep(keep int, ttl time.Duration) []*surveyJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sweepLocked(keep, ttl)
+}
+
+func (r *surveyRegistry) sweepLocked(keep int, ttl time.Duration) []*surveyJob {
+	now := r.clock()
+	var evicted []*surveyJob
 	kept := make([]string, 0, len(r.order))
 	finished := 0
 	for i := len(r.order) - 1; i >= 0; i-- {
@@ -188,12 +341,14 @@ func (r *surveyRegistry) publish(job *surveyJob) {
 			continue
 		}
 		j.mu.Lock()
-		done := j.status != surveyRunning
+		terminal := jobstore.Terminal(j.status)
+		expired := terminal && ttl > 0 && !j.finishedAt.IsZero() && now.Sub(j.finishedAt) > ttl
 		j.mu.Unlock()
-		if done {
+		if terminal {
 			finished++
-			if finished > keepFinished {
+			if expired || finished > keep {
 				delete(r.jobs, r.order[i])
+				evicted = append(evicted, j)
 				continue
 			}
 		}
@@ -204,6 +359,7 @@ func (r *surveyRegistry) publish(job *surveyJob) {
 		kept[i], kept[j] = kept[j], kept[i]
 	}
 	r.order = kept
+	return evicted
 }
 
 // remove evicts a job (DELETE on a finished job frees its records).
@@ -218,6 +374,36 @@ func (r *surveyRegistry) get(id string) (*surveyJob, bool) {
 	defer r.mu.Unlock()
 	job, ok := r.jobs[id]
 	return job, ok
+}
+
+// countByState tallies live jobs per state — the /metrics breakdown.
+func (r *surveyRegistry) countByState() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.jobs) == 0 {
+		return nil
+	}
+	out := make(map[string]int, 4)
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		out[j.status]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+func (s *Server) maxSurveyJobs() int {
+	if s.surveyCfg.MaxJobs > 0 {
+		return s.surveyCfg.MaxJobs
+	}
+	return 2
+}
+
+func (s *Server) keepFinishedSurveys() int {
+	if s.surveyCfg.KeepFinished > 0 {
+		return s.surveyCfg.KeepFinished
+	}
+	return keepFinished
 }
 
 func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
@@ -251,14 +437,10 @@ func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
 	// Claim the running-job slot FIRST: a request the cap will reject
 	// must be shed before it pays for detection, the way /v1/detect's
 	// admission gate sheds before scanning.
-	maxJobs := s.surveyCfg.MaxJobs
-	if maxJobs <= 0 {
-		maxJobs = 2
-	}
-	id, err := s.surveys.reserve(maxJobs)
-	if err != nil {
+	if !s.surveys.tryReserve(s.maxSurveyJobs()) {
 		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("survey: %d jobs already running", s.maxSurveyJobs()))
 		return
 	}
 
@@ -293,74 +475,56 @@ func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	cfg, err := s.surveyPipelineConfig(req)
+	job, err := s.startSurvey(surveyStart{
+		spec:    req.spec(),
+		inputs:  inputs,
+		queried: len(req.FQDNs),
+		epoch:   epoch,
+		slot:    true,
+	})
 	if err != nil {
-		s.surveys.release()
+		s.releaseSurveySlot()
 		s.met.badInput.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	pipeline, err := triage.New(cfg)
-	if err != nil {
-		s.surveys.release()
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-
-	// The job is published only fully constructed: every field a
-	// concurrent GET/DELETE can reach is set before publish.
-	ctx, cancel := context.WithCancel(context.Background())
-	job := &surveyJob{
-		id:       id,
-		status:   surveyRunning,
-		epoch:    epoch,
-		queried:  len(req.FQDNs),
-		detected: len(inputs),
-		pipeline: pipeline,
-		cancel:   cancel,
-	}
-	s.surveys.publish(job)
-	s.met.surveys.Add(1)
-	s.met.surveysActive.Add(1)
-	s.logf("survey %s: %d candidates, %d to triage (epoch %d)", job.id, job.queried, job.detected, epoch)
-	go s.runSurvey(ctx, job, inputs)
-
-	writeJSON(w, http.StatusAccepted, surveyAccepted{
+	writeJSON(w, http.StatusAccepted, surveyAcceptedResp{
 		ID: job.id, Status: surveyRunning, Epoch: epoch,
 		Queried: job.queried, Detected: job.detected,
 	})
 }
 
-func (s *Server) runSurvey(ctx context.Context, job *surveyJob, inputs []triage.Input) {
-	defer s.surveys.release()
-	defer s.met.surveysActive.Add(-1)
-	defer job.cancel()
-	records, err := job.pipeline.Run(ctx, inputs)
-	s.met.surveyDomains.Add(uint64(len(records)))
-	tally := triage.NewTally()
-	for _, rec := range records {
-		tally.Add(rec)
+// SubmitSurvey is the programmatic submit path — the zone-watch
+// batcher's entry point. Unlike the HTTP handler it never sheds: a
+// submission arriving while the running-jobs cap is full is accepted
+// (durably, when a store is wired) and queued for the next free slot,
+// so a burst of zone deltas never orphans its batch. The journal span
+// [journalFrom, journalTo) is recorded in the job's manifest; on
+// watcher restart the batch cursor resumes after the furthest covered
+// offset.
+func (s *Server) SubmitSurvey(spec jobstore.Spec, inputs []triage.Input, queried int,
+	journalPath string, journalFrom, journalTo int64) (string, error) {
+	_, epoch := s.engine.Current()
+	job, err := s.startSurvey(surveyStart{
+		spec:        spec,
+		inputs:      inputs,
+		queried:     queried,
+		epoch:       epoch,
+		journalPath: journalPath,
+		journalFrom: journalFrom,
+		journalTo:   journalTo,
+		slot:        s.surveys.tryReserve(s.maxSurveyJobs()),
+		queue:       true,
+	})
+	if err != nil {
+		return "", err
 	}
-	job.mu.Lock()
-	defer job.mu.Unlock()
-	job.records = records
-	job.tally = tally
-	switch {
-	case errors.Is(err, context.Canceled):
-		job.status = surveyCancelled
-		job.err = "cancelled"
-	case err != nil:
-		job.status = surveyFailed
-		job.err = err.Error()
-	default:
-		job.status = surveyDone
-	}
-	s.logf("survey %s: %s (%d records)", job.id, job.status, len(records))
+	return job.id, nil
 }
 
-// surveyPipelineConfig maps request knobs onto the triage config,
-// bounded to keep one HTTP client from monopolizing the process.
-func (s *Server) surveyPipelineConfig(req surveyRequest) (triage.Config, error) {
+// surveyPipelineConfig maps a job spec onto the triage config, bounded
+// to keep one client from monopolizing the process.
+func (s *Server) surveyPipelineConfig(spec jobstore.Spec) (triage.Config, error) {
 	clamp := func(v, def, max int) int {
 		if v <= 0 {
 			return def
@@ -379,40 +543,40 @@ func (s *Server) surveyPipelineConfig(req surveyRequest) (triage.Config, error) 
 	// Rate and stage timeout are clamped like the worker counts: a
 	// survey of MaxDomains at 0.001 qps, or with a multi-day stage
 	// timeout, would pin a running-jobs slot effectively forever.
-	rate := req.Rate
+	rate := spec.Rate
 	if rate > 0 && rate < 1 {
 		rate = 1
 	}
 	cfg := triage.Config{
-		DNSWorkers:    clamp(req.DNSWorkers, 16, 128),
-		WebWorkers:    clamp(req.WebWorkers, 16, 128),
+		DNSWorkers:    clamp(spec.DNSWorkers, 16, 128),
+		WebWorkers:    clamp(spec.WebWorkers, 16, 128),
 		RateLimit:     rate,
-		StageTimeout:  time.Duration(clamp(req.StageTimeoutMS, 15000, 120000)) * time.Millisecond,
-		SkipDNS:       req.SkipDNS,
-		SkipWeb:       req.SkipWeb,
-		SkipBlacklist: req.SkipBlacklist || s.surveyCfg.Blacklists == nil,
+		StageTimeout:  time.Duration(clamp(spec.StageTimeoutMS, 15000, 120000)) * time.Millisecond,
+		SkipDNS:       spec.SkipDNS,
+		SkipWeb:       spec.SkipWeb,
+		SkipBlacklist: spec.SkipBlacklist || s.surveyCfg.Blacklists == nil,
 		Blacklists:    s.surveyCfg.Blacklists,
 		ParkingNS:     s.surveyCfg.ParkingNS,
 	}
-	if req.Retries != nil {
+	if spec.Retries != nil {
 		// The pointer distinguishes explicit zero from unset: a client
 		// asking for "retries":0 means none, which the triage config
 		// spells as a negative value (its own zero means "default").
-		cfg.Retries = *req.Retries
+		cfg.Retries = *spec.Retries
 		if cfg.Retries == 0 {
 			cfg.Retries = -1
 		}
 	}
-	if !req.SkipDNS {
-		if _, _, err := net.SplitHostPort(req.Resolver); err != nil {
-			return cfg, fmt.Errorf("bad resolver %q: %v", req.Resolver, err)
+	if !spec.SkipDNS {
+		if _, _, err := net.SplitHostPort(spec.Resolver); err != nil {
+			return cfg, fmt.Errorf("bad resolver %q: %v", spec.Resolver, err)
 		}
-		client := dnsclient.New(req.Resolver)
-		client.Timeout = ms(req.DNSTimeoutMS, 2000)
+		client := dnsclient.New(spec.Resolver)
+		client.Timeout = ms(spec.DNSTimeoutMS, 2000)
 		client.Retries = 0 // the pipeline's "retries" knob owns retry policy
 		cfg.DNS = client
 	}
-	if !req.SkipWeb {
+	if !spec.SkipWeb {
 		resolve := s.surveyCfg.Resolve
 		if resolve == nil {
 			resolve = func(domain string, port int) string {
@@ -421,7 +585,7 @@ func (s *Server) surveyPipelineConfig(req surveyRequest) (triage.Config, error) 
 		}
 		classifier := &webclassify.Classifier{
 			Resolve:   resolve,
-			Timeout:   ms(req.WebTimeoutMS, 3000),
+			Timeout:   ms(spec.WebTimeoutMS, 3000),
 			UserAgent: "ShamFinder-Survey/1.0",
 		}
 		if s.surveyCfg.Blacklists != nil {
@@ -439,11 +603,27 @@ func (s *Server) handleSurveyStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	includeRecords := r.URL.Query().Get("records") != "0"
-	writeJSON(w, http.StatusOK, job.snapshot(includeRecords))
+	st := job.snapshot(includeRecords)
+	if includeRecords && st.Status == surveyDone && st.Records == nil {
+		// A job recovered already-finished keeps its records on disk
+		// only; load them for the client that asks.
+		job.mu.Lock()
+		lazy := job.lazyRecords
+		job.mu.Unlock()
+		if lazy && s.store() != nil {
+			if recs, err := s.store().LoadRecords(job.id); err == nil {
+				st.Records = recs
+			} else {
+				s.logf("survey %s: loading recovered records: %v", job.id, err)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
-// handleSurveyCancel cancels a running job; on an already-finished
-// job it evicts the entry instead, freeing its retained records.
+// handleSurveyCancel cancels a running or queued job; on an
+// already-finished job it evicts the entry (and its durable state)
+// instead, freeing the records.
 func (s *Server) handleSurveyCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.surveys.get(r.PathValue("id"))
 	if !ok {
@@ -451,12 +631,37 @@ func (s *Server) handleSurveyCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.mu.Lock()
-	running := job.status == surveyRunning
+	status := job.status
+	cancel := job.cancel
 	job.mu.Unlock()
-	if running {
-		job.cancel()
-	} else {
+	switch {
+	case status == surveyAccepted:
+		// Still queued for a slot: pull it off the queue and finalize
+		// directly — there is no pipeline to cancel. If the queue race
+		// was lost (a slot just launched it), fall through to a plain
+		// cancel.
+		if s.surveys.dequeue(job) {
+			s.finalizeSurvey(job, nil, nil, surveyCancelled, "cancelled", false)
+		} else if cancel = job.cancelFn(); cancel != nil {
+			cancel()
+		}
+	case status == surveyRunning || status == surveyDraining:
+		if cancel != nil {
+			cancel()
+		}
+	default:
 		s.surveys.remove(job.id)
+		if st := s.store(); st != nil {
+			if err := st.Remove(job.id); err != nil {
+				s.logf("survey %s: removing durable state: %v", job.id, err)
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, job.snapshot(false))
+}
+
+func (j *surveyJob) cancelFn() func() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancel
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnsserver"
 	"repro/internal/dnswire"
+	"repro/internal/jobstore"
 	"repro/internal/triage"
 	"repro/internal/websim"
 )
@@ -81,7 +82,7 @@ func pollSurvey(t *testing.T, ts *httptest.Server, id string) surveyStatus {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status poll = %d", resp.StatusCode)
 		}
-		if st.Status != surveyRunning {
+		if jobstore.Terminal(st.Status) {
 			return st
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -104,7 +105,7 @@ func TestSurveyJobEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
 	}
-	var acc surveyAccepted
+	var acc surveyAcceptedResp
 	if err := json.Unmarshal(data, &acc); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestSurveyDetectFalseSurveysEverything(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
 	}
-	var acc surveyAccepted
+	var acc surveyAcceptedResp
 	if err := json.Unmarshal(data, &acc); err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestSurveyCancel(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
 	}
-	var acc surveyAccepted
+	var acc surveyAcceptedResp
 	if err := json.Unmarshal(data, &acc); err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestSurveyDetectFalseNormalizesUnicode(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
 	}
-	var acc surveyAccepted
+	var acc surveyAcceptedResp
 	if err := json.Unmarshal(data, &acc); err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestSurveyDeleteEvictsFinishedJob(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
 	}
-	var acc surveyAccepted
+	var acc surveyAcceptedResp
 	if err := json.Unmarshal(data, &acc); err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestSurveyShedsBeforeDetection(t *testing.T) {
 	}
 	// A rejected submit must release nothing it did not hold: after the
 	// first job finishes, a third submit succeeds.
-	var acc surveyAccepted
+	var acc surveyAcceptedResp
 	if err := json.Unmarshal(data, &acc); err != nil {
 		t.Fatal(err)
 	}

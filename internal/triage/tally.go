@@ -83,6 +83,42 @@ func (t *Tally) Add(rec Record) {
 	}
 }
 
+// Merge folds another tally in — the continuous-monitoring aggregation:
+// each batch survey job tallies its own records, and the running §6
+// tables are the merge of every completed job's tally. Counters add;
+// map entries add per key.
+func (t *Tally) Merge(o *Tally) {
+	if o == nil {
+		return
+	}
+	t.Total += o.Total
+	t.Resumed += o.Resumed
+	t.WithNS += o.WithNS
+	t.WithA += o.WithA
+	t.WithMX += o.WithMX
+	t.DNSErrors += o.DNSErrors
+	t.Blacklisted += o.Blacklisted
+	for k, v := range o.ByCategory {
+		t.ByCategory[k] += v
+	}
+	for k, v := range o.ByRedirect {
+		t.ByRedirect[k] += v
+	}
+	for k, v := range o.ByFeed {
+		t.ByFeed[k] += v
+	}
+	for feed, bySrc := range o.ByFeedSource {
+		m := t.ByFeedSource[feed]
+		if m == nil {
+			m = make(map[string]int)
+			t.ByFeedSource[feed] = m
+		}
+		for src, v := range bySrc {
+			m[src] += v
+		}
+	}
+}
+
 // sortedKeys returns m's keys sorted, for deterministic table output.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

@@ -1,0 +1,377 @@
+package zonewatch
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/triage"
+)
+
+// capturedBatch is one Submit call the tests record.
+type capturedBatch struct {
+	inputs   []triage.Input
+	queried  int
+	from, to int64
+}
+
+// batchCapture is a Submit hook that records every cut, with an
+// optional one-shot failure injection.
+type batchCapture struct {
+	batches []capturedBatch
+	fail    error
+}
+
+func (c *batchCapture) submit(inputs []triage.Input, queried int, from, to int64) (string, error) {
+	if c.fail != nil {
+		err := c.fail
+		c.fail = nil
+		return "", err
+	}
+	c.batches = append(c.batches, capturedBatch{inputs: inputs, queried: queried, from: from, to: to})
+	return "j1", nil
+}
+
+func appendJournal(t testing.TB, path string, lines ...string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(strings.Join(lines, "\n") + "\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fqdnsOf(inputs []triage.Input) []string {
+	out := make([]string, len(inputs))
+	for i, in := range inputs {
+		out[i] = in.FQDN
+	}
+	return out
+}
+
+// TestBatcherCoversSpansExactlyOnce drives the batcher through two cuts
+// and a restart: every submitted span must start where the previous one
+// ended, only detected lines become inputs, and a restart seeded with
+// the furthest covered offset re-submits nothing.
+func TestBatcherCoversSpansExactlyOnce(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "deltas.out")
+	cap1 := &batchCapture{}
+	b, err := NewSurveyBatcher(SurveyBatcherConfig{
+		JournalPath: journal,
+		Submit:      cap1.submit,
+		MaxBatch:    2,
+		MaxAge:      time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// No journal yet: a tick is a quiet no-op.
+	b.Tick(ctx)
+	if len(cap1.batches) != 0 {
+		t.Fatalf("tick before journal cut %d batches", len(cap1.batches))
+	}
+
+	// Three detected homographs among two plain additions: the size
+	// threshold (2) cuts, carrying everything pending.
+	appendJournal(t, journal,
+		"a.com\tgoogle.com\tconfusable",
+		"plain1.com",
+		"b.com\tfacebook.com\tsimchar",
+		"c.com\tgoogle.com\tconfusable",
+		"plain2.com",
+	)
+	b.Tick(ctx)
+	if len(cap1.batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(cap1.batches))
+	}
+	first := cap1.batches[0]
+	if got := fqdnsOf(first.inputs); len(got) != 3 || got[0] != "a.com" || got[1] != "b.com" || got[2] != "c.com" {
+		t.Errorf("first batch inputs = %v", got)
+	}
+	if first.inputs[0].Reference != "google.com" || first.inputs[0].Source != "confusable" {
+		t.Errorf("first input = %+v", first.inputs[0])
+	}
+	if first.queried != 5 {
+		t.Errorf("queried = %d, want all 5 delta lines", first.queried)
+	}
+	if first.from != 0 {
+		t.Errorf("first span starts at %d", first.from)
+	}
+	size1, _ := os.Stat(journal)
+	if first.to != size1.Size() {
+		t.Errorf("first span ends at %d, journal is %d", first.to, size1.Size())
+	}
+	if b.Lag() != 0 {
+		t.Errorf("lag after cut = %d", b.Lag())
+	}
+
+	// One more delta: under the size threshold and the age threshold, so
+	// it waits — Flush cuts it.
+	appendJournal(t, journal, "d.com\tgoogle.com\tconfusable")
+	b.Tick(ctx)
+	if len(cap1.batches) != 1 {
+		t.Fatalf("under-threshold tick cut a batch")
+	}
+	if b.Lag() == 0 {
+		t.Errorf("uncovered journal bytes must show as lag")
+	}
+	b.Flush()
+	if len(cap1.batches) != 2 {
+		t.Fatalf("flush did not cut")
+	}
+	second := cap1.batches[1]
+	if got := fqdnsOf(second.inputs); len(got) != 1 || got[0] != "d.com" {
+		t.Errorf("second batch inputs = %v", got)
+	}
+	if second.from != first.to {
+		t.Errorf("spans not consecutive: [%d,%d) then [%d,%d)", first.from, first.to, second.from, second.to)
+	}
+
+	// Restart: a new batcher seeded with the furthest covered offset
+	// (what jobstore.MaxJournalTo answers) sees only new lines.
+	cap2 := &batchCapture{}
+	b2, err := NewSurveyBatcher(SurveyBatcherConfig{
+		JournalPath: journal,
+		Submit:      cap2.submit,
+		MaxBatch:    1,
+		Cursor:      second.to,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Tick(ctx)
+	if len(cap2.batches) != 0 {
+		t.Fatalf("restart re-submitted covered deltas: %+v", cap2.batches)
+	}
+	appendJournal(t, journal, "e.com\tgoogle.com\tconfusable")
+	b2.Tick(ctx)
+	if len(cap2.batches) != 1 {
+		t.Fatalf("restart batches = %d, want 1", len(cap2.batches))
+	}
+	if got := fqdnsOf(cap2.batches[0].inputs); len(got) != 1 || got[0] != "e.com" {
+		t.Errorf("restart batch inputs = %v (must be only the new delta)", got)
+	}
+	if cap2.batches[0].from != second.to {
+		t.Errorf("restart span starts at %d, want %d", cap2.batches[0].from, second.to)
+	}
+}
+
+func TestBatcherAgeCut(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "deltas.out")
+	cap := &batchCapture{}
+	b, err := NewSurveyBatcher(SurveyBatcherConfig{
+		JournalPath: journal,
+		Submit:      cap.submit,
+		MaxBatch:    100,
+		MaxAge:      30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	appendJournal(t, journal, "a.com\tgoogle.com\tconfusable")
+	b.Tick(ctx)
+	if len(cap.batches) != 0 {
+		t.Fatal("fresh batch cut before its age threshold")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(cap.batches) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		b.Tick(ctx)
+	}
+	if len(cap.batches) != 1 {
+		t.Fatal("age threshold never cut the straggler batch")
+	}
+}
+
+// TestBatcherToleratesJournalTruncation covers the watcher's
+// checkpoint-resume behavior: the journal momentarily truncates below
+// the cursor, then grows back byte-identically. The batcher must wait,
+// not error, and must not double-submit when the bytes return.
+func TestBatcherToleratesJournalTruncation(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "deltas.out")
+	cap := &batchCapture{}
+	b, err := NewSurveyBatcher(SurveyBatcherConfig{
+		JournalPath: journal,
+		Submit:      cap.submit,
+		MaxBatch:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	appendJournal(t, journal, "a.com\tgoogle.com\tconfusable", "b.com\tgoogle.com\tconfusable")
+	b.Tick(ctx)
+	if len(cap.batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(cap.batches))
+	}
+	full, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid checkpoint-resume: the journal is shorter than the cursor.
+	if err := os.Truncate(journal, int64(len(full))-5); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(ctx)
+	if len(cap.batches) != 1 {
+		t.Fatalf("tick over a truncated journal cut a batch")
+	}
+	if b.pollErrors.Load() != 0 {
+		t.Errorf("truncation counted as a poll error")
+	}
+	if b.Lag() != 0 {
+		t.Errorf("truncated journal reported lag %d", b.Lag())
+	}
+
+	// The watcher rewrote the dropped bytes identically and added one
+	// new line: only the new line may submit.
+	if err := os.WriteFile(journal, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appendJournal(t, journal, "c.com\tgoogle.com\tconfusable")
+	b.Tick(ctx)
+	if len(cap.batches) != 2 {
+		t.Fatalf("batches after recovery = %d, want 2", len(cap.batches))
+	}
+	if got := fqdnsOf(cap.batches[1].inputs); len(got) != 1 || got[0] != "c.com" {
+		t.Errorf("recovery batch = %v, want only the new delta", got)
+	}
+	if cap.batches[1].from != int64(len(full)) {
+		t.Errorf("recovery span starts at %d, want %d", cap.batches[1].from, len(full))
+	}
+}
+
+// TestBatcherDeadLetterReplay: abandoned probe items ride the next
+// batch (deduped against fresh deltas), survive a failed submission,
+// and the file is truncated only once a batch carrying them lands.
+func TestBatcherDeadLetterReplay(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "deltas.out")
+	dl := filepath.Join(dir, "probe.deadletter")
+	if err := os.WriteFile(dl, []byte("dead.com\na.com\tgoogle.com\tconfusable\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cap := &batchCapture{fail: errors.New("store down")}
+	b, err := NewSurveyBatcher(SurveyBatcherConfig{
+		JournalPath:    journal,
+		Submit:         cap.submit,
+		MaxBatch:       1,
+		DeadLetterPath: dl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// a.com arrives both as a fresh delta and as a dead-letter replay.
+	appendJournal(t, journal, "a.com\tgoogle.com\tconfusable")
+
+	// First cut fails: batch and dead-letter file both survive.
+	b.Tick(ctx)
+	if len(cap.batches) != 0 {
+		t.Fatalf("failed submit produced a batch")
+	}
+	if b.submitErrors.Load() != 1 {
+		t.Errorf("submit_errors = %d, want 1", b.submitErrors.Load())
+	}
+	if fi, err := os.Stat(dl); err != nil || fi.Size() == 0 {
+		t.Fatalf("dead-letter file dropped on a failed submit (%v)", err)
+	}
+
+	// Retry succeeds: replays first, deduped, file truncated.
+	b.Tick(ctx)
+	if len(cap.batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(cap.batches))
+	}
+	got := fqdnsOf(cap.batches[0].inputs)
+	if len(got) != 2 || got[0] != "dead.com" || got[1] != "a.com" {
+		t.Errorf("batch inputs = %v, want deduped [dead.com a.com]", got)
+	}
+	if cap.batches[0].queried != 3 { // 1 journal line + 2 dead-letter items
+		t.Errorf("queried = %d, want 3", cap.batches[0].queried)
+	}
+	if fi, err := os.Stat(dl); err != nil || fi.Size() != 0 {
+		t.Errorf("dead-letter file not truncated after success (size=%v err=%v)", fi, err)
+	}
+
+	// A dead-letter arriving with no fresh deltas still cuts a
+	// (journal-empty-span) retry batch.
+	if err := os.WriteFile(dl, []byte("late.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(ctx)
+	if len(cap.batches) != 2 {
+		t.Fatalf("dead-letter-only tick did not cut")
+	}
+	last := cap.batches[1]
+	if got := fqdnsOf(last.inputs); len(got) != 1 || got[0] != "late.com" {
+		t.Errorf("dead-letter-only batch = %v", got)
+	}
+	if last.from != last.to {
+		t.Errorf("dead-letter-only batch covered journal span [%d,%d)", last.from, last.to)
+	}
+}
+
+// TestDrainProbesDeadLettersAbandoned: a one-shot drain against a dead
+// probe target must give up on every item — retries exhausted or
+// breaker open — and park each one in the dead-letter file instead of
+// losing it.
+func TestDrainProbesDeadLettersAbandoned(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int32
+	w := newTestWatcher(t, dir, func(c *Config) {
+		c.Probe = func(ctx context.Context, in triage.Input) error {
+			calls.Add(1)
+			return errors.New("probe target down")
+		}
+		c.ProbeRetry = resilience.RetryPolicy{Attempts: 1}
+	})
+	ins := []triage.Input{
+		{FQDN: "a.com", Reference: "google.com", Source: "confusable"},
+		{FQDN: "b.com"},
+		{FQDN: "c.com"},
+	}
+	for _, in := range ins {
+		w.queue.push(in)
+	}
+	w.DrainProbes(context.Background())
+
+	h := w.Health()
+	if h.ProbesDeadLettered != uint64(len(ins)) {
+		t.Errorf("probes_dead_lettered = %d, want %d", h.ProbesDeadLettered, len(ins))
+	}
+	if h.ProbeFailures != uint64(len(ins)) {
+		t.Errorf("probe_failures = %d, want %d", h.ProbeFailures, len(ins))
+	}
+	if h.QueueLen != 0 {
+		t.Errorf("queue not drained: %d", h.QueueLen)
+	}
+	data, err := os.ReadFile(w.DeadLetterPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != len(ins) {
+		t.Fatalf("dead-letter lines = %d, want %d: %q", len(lines), len(ins), data)
+	}
+	if lines[0] != "a.com\tgoogle.com\tconfusable" {
+		t.Errorf("dead-letter line = %q (must keep reference and source)", lines[0])
+	}
+	// The file round-trips through the batcher's replay parser.
+	in, ok := parseMatchLine([]byte(lines[0]))
+	if !ok || in.FQDN != "a.com" || in.Reference != "google.com" || in.Source != "confusable" {
+		t.Errorf("replay parse = (%+v, %v)", in, ok)
+	}
+}

@@ -52,6 +52,12 @@ type Config struct {
 	QueueCap int
 	// ProbeRetry spaces the attempts of each individual submission.
 	ProbeRetry resilience.RetryPolicy
+	// DeadLetterPath is where DrainProbes records the items it gives up
+	// on (breaker open, retries exhausted, shutdown), in the match-file
+	// format; a survey batcher replays the file into its next batch, so
+	// giving up defers a probe instead of losing it. Defaults to
+	// StateDir/probe.deadletter; set "-" to disable.
+	DeadLetterPath string
 
 	// Backoff widens the poll cadence while the zone path is failing.
 	// The zero value is the resilience default (100ms base, 30s cap,
@@ -95,6 +101,7 @@ type Watcher struct {
 	detectedTotal  atomic.Uint64
 	submitted      atomic.Uint64
 	submitFailures atomic.Uint64
+	deadLettered   atomic.Uint64
 	lastScanUnix   atomic.Int64
 	seenSize       atomic.Int64
 	seenLoadMicros atomic.Int64
@@ -133,6 +140,18 @@ func New(cfg Config) (*Watcher, error) {
 
 func (w *Watcher) seenPath() string { return filepath.Join(w.cfg.StateDir, "seen.set") }
 func (w *Watcher) ckptPath() string { return filepath.Join(w.cfg.StateDir, "watch.ckpt") }
+
+// DeadLetterPath is where abandoned probe submissions are parked for a
+// batcher to retry; empty means dead-lettering is disabled.
+func (w *Watcher) DeadLetterPath() string {
+	switch w.cfg.DeadLetterPath {
+	case "":
+		return filepath.Join(w.cfg.StateDir, "probe.deadletter")
+	case "-":
+		return ""
+	}
+	return w.cfg.DeadLetterPath
+}
 func (w *Watcher) deltasPath() string {
 	if w.cfg.DeltasPath != "" {
 		return w.cfg.DeltasPath
@@ -245,7 +264,11 @@ func (w *Watcher) tick(ctx context.Context) error {
 // DrainProbes synchronously submits every queued detection, for one-shot
 // scans that run without the background submitter. Retries each item
 // under the probe policy; gives up on an item (counting it) once the
-// breaker opens, so a dead resolver cannot wedge a one-shot run.
+// breaker opens, so a dead resolver cannot wedge a one-shot run. Every
+// item given up on — breaker open, retries exhausted, or shutdown
+// mid-drain — is appended to the dead-letter file, where the next
+// survey batch submission retries it; giving up defers the probe, it
+// never silently loses it.
 func (w *Watcher) DrainProbes(ctx context.Context) {
 	if w.queue == nil || w.cfg.Probe == nil {
 		return
@@ -256,7 +279,7 @@ func (w *Watcher) DrainProbes(ctx context.Context) {
 			return
 		}
 		if !w.probeBreaker.Allow() {
-			w.submitFailures.Add(1)
+			w.abandonProbe(in)
 			continue
 		}
 		err := resilience.Retry(ctx, w.cfg.ProbeRetry, func(c context.Context) error {
@@ -264,15 +287,37 @@ func (w *Watcher) DrainProbes(ctx context.Context) {
 		})
 		if err != nil {
 			w.probeBreaker.Failure()
-			w.submitFailures.Add(1)
+			w.abandonProbe(in)
 			if ctx.Err() != nil {
-				return
+				// Shutdown: dead-letter the rest of the queue too.
+				for {
+					rest, ok := w.queue.pop()
+					if !ok {
+						return
+					}
+					w.abandonProbe(rest)
+				}
 			}
 			continue
 		}
 		w.probeBreaker.Success()
 		w.submitted.Add(1)
 	}
+}
+
+// abandonProbe counts one given-up submission and parks it in the
+// dead-letter file.
+func (w *Watcher) abandonProbe(in triage.Input) {
+	w.submitFailures.Add(1)
+	path := w.DeadLetterPath()
+	if path == "" {
+		return
+	}
+	if err := appendDeadLetter(path, in); err != nil {
+		w.logf("zonewatch: dead-letter append: %v", err)
+		return
+	}
+	w.deadLettered.Add(1)
 }
 
 // submitLoop drains the submission queue in the background. A failing
@@ -338,8 +383,11 @@ type Health struct {
 
 	ProbesSubmitted uint64 `json:"probes_submitted"`
 	ProbeFailures   uint64 `json:"probe_failures"`
-	QueueLen        int    `json:"queue_len"`
-	QueueDropped    uint64 `json:"queue_dropped"`
+	// ProbesDeadLettered counts abandoned submissions parked in the
+	// dead-letter file for a survey batch to retry.
+	ProbesDeadLettered uint64 `json:"probes_dead_lettered,omitempty"`
+	QueueLen           int    `json:"queue_len"`
+	QueueDropped       uint64 `json:"queue_dropped"`
 
 	SeenSize       int64   `json:"seen_size"`
 	SeenLoadMillis float64 `json:"seen_load_ms"`
@@ -367,6 +415,7 @@ func (w *Watcher) Health() Health {
 		h.Probe = &ps
 		h.ProbesSubmitted = w.submitted.Load()
 		h.ProbeFailures = w.submitFailures.Load()
+		h.ProbesDeadLettered = w.deadLettered.Load()
 		h.QueueLen = w.queue.len()
 		h.QueueDropped = w.queue.dropped.Load()
 		if s := w.probeBreaker.State(); s > worst {

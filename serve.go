@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobstore"
 	"repro/internal/reflist"
 	"repro/internal/service"
 )
@@ -91,6 +92,20 @@ type ServeOptions struct {
 	// MaxInFlight bounds concurrently served detection requests;
 	// overload sheds with 503. 0 means the service default.
 	MaxInFlight int
+	// JobDir, when non-empty, makes /v1/survey jobs durable: each job's
+	// manifest and record log live under this directory, and jobs a
+	// crash interrupted resume on startup with byte-identical output.
+	JobDir string
+	// SurveyTTL evicts finished survey jobs (memory and JobDir) this
+	// long after they finish; 0 disables the TTL (the finished-jobs cap
+	// still bounds retention).
+	SurveyTTL time.Duration
+	// SurveyKeep bounds retained finished survey jobs (0 = default 32).
+	SurveyKeep int
+	// SurveyStall is the per-job watchdog: a survey whose pipeline
+	// counters freeze this long is cancelled and marked failed
+	// (retryable). 0 disables the watchdog.
+	SurveyStall time.Duration
 	// Logf receives operational log lines; nil means silent.
 	Logf func(format string, args ...any)
 	// OnListen, when non-nil, is called with the bound address before
@@ -127,11 +142,30 @@ func Serve(ctx context.Context, opt ServeOptions) error {
 	if err != nil {
 		return err
 	}
+	surveyCfg := service.SurveyConfig{
+		JobTTL:       opt.SurveyTTL,
+		KeepFinished: opt.SurveyKeep,
+		StallTimeout: opt.SurveyStall,
+	}
+	if opt.JobDir != "" {
+		store, err := jobstore.Open(opt.JobDir)
+		if err != nil {
+			return fmt.Errorf("shamfinder: job dir: %w", err)
+		}
+		surveyCfg.Store = store
+	}
 	srv := service.New(service.Config{
 		Engine:      engine.inner,
 		MaxInFlight: opt.MaxInFlight,
+		Survey:      surveyCfg,
 		Logf:        logf,
 	})
+	// Resume whatever a previous process left behind BEFORE serving
+	// traffic: interrupted jobs relaunch (bounded by the running cap),
+	// finished ones republish, corrupt manifests quarantine loudly.
+	if err := srv.RecoverSurveys(); err != nil {
+		return fmt.Errorf("shamfinder: recovering survey jobs: %w", err)
+	}
 	addr := opt.Addr
 	if addr == "" {
 		addr = "127.0.0.1:8080"

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
 	"repro/internal/dnsclient"
+	"repro/internal/jobstore"
 	"repro/internal/service"
 	"repro/internal/triage"
 	"repro/internal/zonewatch"
@@ -59,6 +61,25 @@ type WatchZoneOptions struct {
 	// callers and tests learn the actual port through it).
 	OnListen func(addr net.Addr)
 
+	// SurveyJobDir, when non-empty, closes the paper's monitoring loop:
+	// batched journal deltas become durable survey jobs persisted under
+	// this directory, each batch recording the journal span it covers so
+	// a restart re-submits nothing and orphans nothing. Requires Addr
+	// (jobs are observed over the HTTP API) and excludes Once.
+	SurveyJobDir string
+	// SurveyBatch cuts a survey batch once this many deltas are pending
+	// (0 = batcher default).
+	SurveyBatch int
+	// SurveyAge cuts a smaller pending batch after this long (0 =
+	// batcher default).
+	SurveyAge time.Duration
+	// SurveyStall is the per-job stall watchdog for batched surveys;
+	// 0 disables it.
+	SurveyStall time.Duration
+	// SurveySkipWeb drops the web stage from batched surveys (DNS-only
+	// monitoring).
+	SurveySkipWeb bool
+
 	// Once runs a single delta scan (draining any queued probes) and
 	// returns, instead of polling forever — the cron-shaped mode.
 	Once bool
@@ -83,6 +104,14 @@ func WatchZone(ctx context.Context, opt WatchZoneOptions) error {
 	logf := opt.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if opt.SurveyJobDir != "" {
+		if opt.Addr == "" {
+			return fmt.Errorf("shamfinder: survey batching needs Addr — jobs are served and observed over the HTTP API")
+		}
+		if opt.Once {
+			return fmt.Errorf("shamfinder: survey batching needs the long-running mode; Once would exit with jobs mid-flight")
+		}
 	}
 	engine, _, err := buildEngine(ServeOptions{
 		SnapshotPath: opt.SnapshotPath,
@@ -138,7 +167,55 @@ func WatchZone(ctx context.Context, opt WatchZoneOptions) error {
 	defer cancel()
 	var srvErr chan error
 	if opt.Addr != "" {
-		srv := service.New(service.Config{Engine: engine.inner, ZoneWatch: w, Logf: logf})
+		surveyCfg := service.SurveyConfig{StallTimeout: opt.SurveyStall}
+		if opt.SurveyJobDir != "" {
+			store, err := jobstore.Open(opt.SurveyJobDir)
+			if err != nil {
+				return fmt.Errorf("shamfinder: survey job dir: %w", err)
+			}
+			surveyCfg.Store = store
+		}
+		srv := service.New(service.Config{Engine: engine.inner, ZoneWatch: w, Survey: surveyCfg, Logf: logf})
+		if surveyCfg.Store != nil {
+			// Resume interrupted jobs before the batcher starts tailing:
+			// recovery also tells the batcher (via MaxJournalTo) where the
+			// last submitted batch's journal span ended, so nothing is
+			// re-submitted and nothing between spans is orphaned.
+			if err := srv.RecoverSurveys(); err != nil {
+				return fmt.Errorf("shamfinder: recovering survey jobs: %w", err)
+			}
+			journal := opt.DeltasPath
+			if journal == "" {
+				journal = filepath.Join(opt.StateDir, "deltas.out")
+			}
+			// Batched jobs re-probe through the same resolver the watcher
+			// uses; without one the DNS stage is skipped rather than left
+			// to dial a default it was never given.
+			spec := jobstore.Spec{
+				Resolver: opt.Resolver,
+				SkipDNS:  opt.Resolver == "",
+				SkipWeb:  opt.SurveySkipWeb,
+			}
+			batcher, err := zonewatch.NewSurveyBatcher(zonewatch.SurveyBatcherConfig{
+				JournalPath: journal,
+				Submit: func(inputs []triage.Input, queried int, from, to int64) (string, error) {
+					return srv.SubmitSurvey(spec, inputs, queried, journal, from, to)
+				},
+				MaxBatch: opt.SurveyBatch,
+				MaxAge:   opt.SurveyAge,
+				// Batch evaluation tracks the zone polling cadence: deltas
+				// can only appear as fast as the watcher scans.
+				Interval:       opt.Interval,
+				Cursor:         surveyCfg.Store.MaxJournalTo(journal),
+				DeadLetterPath: w.DeadLetterPath(),
+				Logf:           logf,
+			})
+			if err != nil {
+				return err
+			}
+			srv.SetJournalLag(batcher.Lag)
+			go batcher.Run(ctx)
+		}
 		ln, err := net.Listen("tcp", opt.Addr)
 		if err != nil {
 			return fmt.Errorf("shamfinder: listening on %s: %w", opt.Addr, err)

@@ -158,3 +158,124 @@ func TestWatchZoneServiceMode(t *testing.T) {
 		t.Fatal("WatchZone did not stop on cancel")
 	}
 }
+
+// TestWatchZoneSurveyLoop drives the paper's full monitoring loop
+// through the public facade: the watcher detects zone additions, the
+// batcher cuts the journal deltas into a durable survey job, the job
+// runs to done and its tally lands in /metrics — and a restart over
+// the same state recovers the finished job and re-submits nothing.
+func TestWatchZoneSurveyLoop(t *testing.T) {
+	dir := t.TempDir()
+	zonePath, refsPath := writeWatchFixtures(t, dir,
+		"xn--ggle-55da.com", "xn--other-candidate.example")
+	opt := WatchZoneOptions{
+		ZonePath:     zonePath,
+		StateDir:     filepath.Join(dir, "state"),
+		RefsPath:     refsPath,
+		Build:        Config{FontScope: FontFast},
+		Interval:     10 * time.Millisecond,
+		Addr:         "127.0.0.1:0",
+		SurveyJobDir: filepath.Join(dir, "jobs"),
+		SurveyAge:    20 * time.Millisecond,
+		// No resolver and no web stage: the skip-all pipeline keeps the
+		// loop hermetic while still exercising journal → batch → job →
+		// tally end to end.
+		SurveySkipWeb: true,
+	}
+
+	type loopStats struct {
+		SurveyJobs map[string]int `json:"survey_jobs"`
+		Resumed    uint64         `json:"surveys_resumed"`
+		Recovered  uint64         `json:"surveys_recovered"`
+		Lag        int64          `json:"survey_journal_lag"`
+		Tally      *struct {
+			Total int `json:"total"`
+		} `json:"survey_tally"`
+	}
+	start := func() (string, context.CancelFunc, chan error) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		addrc := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		o := opt
+		o.OnListen = func(a net.Addr) { addrc <- a }
+		go func() { done <- WatchZone(ctx, o) }()
+		select {
+		case a := <-addrc:
+			return a.String(), cancel, done
+		case err := <-done:
+			t.Fatalf("WatchZone exited before listening: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("never listened")
+		}
+		panic("unreachable")
+	}
+	scrape := func(addr string) (loopStats, error) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			return loopStats{}, err
+		}
+		defer resp.Body.Close()
+		var st loopStats
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("WatchZone shutdown returned %v, want nil", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("WatchZone did not stop on cancel")
+		}
+	}
+
+	// First run: one batch covers both journal lines — the detected
+	// homograph becomes the survey input, the plain candidate counts
+	// into the funnel's queried denominator — the job runs to done, and
+	// the merged tally plus a drained journal show up in the metrics.
+	addr, cancel, done := start()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := scrape(addr)
+		if err == nil && st.SurveyJobs["done"] == 1 && st.Tally != nil &&
+			st.Tally.Total == 1 && st.Lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survey loop never completed: %+v (err %v)", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop(cancel, done)
+	if _, err := os.Stat(filepath.Join(dir, "jobs", "j1", "manifest.job")); err != nil {
+		t.Fatalf("finished batch job left no durable manifest: %v", err)
+	}
+
+	// Restart over the same state: the finished job republishes from
+	// its manifest and the batcher resumes past the recorded journal
+	// span — no duplicate submission, no resumed (interrupted) jobs.
+	addr, cancel, done = start()
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		st, err := scrape(addr)
+		if err == nil && st.Recovered == 1 && st.Lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restart never recovered the finished job: %+v (err %v)", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // ~20 batcher ticks: a duplicate batch would land by now
+	st, err := scrape(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SurveyJobs["done"] != 1 || st.Resumed != 0 || st.Tally == nil || st.Tally.Total != 1 {
+		t.Fatalf("restart re-submitted or resumed work: %+v", st)
+	}
+	stop(cancel, done)
+}
