@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// CloseCheckAnalyzer flags Close/Sync calls on writable *os.File
+// values whose error is discarded — as a bare expression statement or a
+// deferred call — inside the durability packages. On a written file the
+// Close/Sync error is the write error (delayed allocation, full disk):
+// dropping it silently breaks the crash-safety contract. Writability is
+// tracked per function: a file from os.Open is read-only; one from
+// os.Create/os.CreateTemp, or os.OpenFile with a writing flag, is
+// writable; anything of unknown origin is trusted (and a bare .Sync()
+// always implies durability intent, so it is always checked).
+func CloseCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "close-check",
+		Doc:  "Close/Sync errors on writable files in durability packages must be checked",
+		Run: func(pkg *Package, cfg *Config) []Diagnostic {
+			if !inScope(cfg.CloseCheckPkgs, pkg.Path) {
+				return nil
+			}
+			var diags []Diagnostic
+			eachFuncDecl(pkg, func(fd *ast.FuncDecl) {
+				writable := writableFiles(pkg, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					var call *ast.CallExpr
+					var how string
+					switch st := n.(type) {
+					case *ast.ExprStmt:
+						call, _ = st.X.(*ast.CallExpr)
+						how = "unchecked"
+					case *ast.DeferStmt:
+						call = st.Call
+						how = "deferred"
+					default:
+						return true
+					}
+					if call == nil {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+						return true
+					}
+					tv, ok := pkg.Info.Types[sel.X]
+					if !ok || !isOSFile(tv.Type) {
+						return true
+					}
+					if sel.Sel.Name == "Close" && !writable[exprKey(sel.X)] {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(call.Pos()),
+						Rule:    "close-check",
+						Message: fmt.Sprintf("%s %s.%s() on a writable file discards the write error; check it explicitly", how, exprKey(sel.X), sel.Sel.Name),
+					})
+					return true
+				})
+			})
+			return diags
+		},
+	}
+}
+
+// writableFiles maps expression keys of *os.File variables that this
+// function obtained via a writing open (os.Create, os.CreateTemp, or
+// os.OpenFile with O_WRONLY/O_RDWR/O_APPEND/O_CREATE flags).
+func writableFiles(pkg *Package, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := isPkgFunc(pkg.Info, call, "os", "Create", "CreateTemp", "OpenFile")
+		if !ok {
+			return
+		}
+		if name == "OpenFile" {
+			if len(call.Args) < 2 || !hasWriteFlag(call.Args[1]) {
+				return
+			}
+		}
+		out[exprKey(lhs)] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+				record(st.Lhs[0], st.Rhs[0])
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 1 && len(st.Names) >= 1 {
+				record(st.Names[0], st.Values[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasWriteFlag reports whether a flags expression mentions a writing
+// open flag (textually — the flags are constant expressions like
+// os.O_WRONLY|os.O_CREATE|os.O_APPEND).
+func hasWriteFlag(e ast.Expr) bool {
+	s := exprKey(e)
+	for _, f := range []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"} {
+		if strings.Contains(s, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprKey renders a simple expression (ident, selector chain) as a
+// stable string key for intra-function matching.
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[" + exprKey(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	case *ast.CompositeLit:
+		return "literal"
+	case *ast.StarExpr:
+		return "*" + exprKey(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprKey(x.X)
+	case *ast.BinaryExpr:
+		return exprKey(x.X) + x.Op.String() + exprKey(x.Y)
+	default:
+		return fmt.Sprintf("%T@%d", e, e.Pos())
+	}
+}

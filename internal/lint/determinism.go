@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer guards the byte-reproducibility contracts: the
+// SHAMSNAP codec family, the deterministic-order pipeline output, and
+// the byte-identical crash-resume journals all promise that the same
+// input produces the same bytes. Inside the determinism packages it
+// flags:
+//
+//   - time.Now (wall clock leaking into output),
+//   - any use of math/rand,
+//   - a `range` over a map that feeds an encoder/writer directly, or
+//     that accumulates into a slice never passed to a sort — map
+//     iteration order is random per run.
+//
+// The collect-keys-then-sort idiom is recognized and allowed.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "codec and ordering packages must not consult wall clock, randomness, or unsorted map iteration",
+		Run: func(pkg *Package, cfg *Config) []Diagnostic {
+			if !inScope(cfg.DeterminismPkgs, pkg.Path) {
+				return nil
+			}
+			var diags []Diagnostic
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					path := strings.Trim(imp.Path.Value, `"`)
+					if path == "math/rand" || path == "math/rand/v2" {
+						diags = append(diags, Diagnostic{
+							Pos:     pkg.Fset.Position(imp.Pos()),
+							Rule:    "determinism",
+							Message: "math/rand in a determinism package: seed-dependent output is not reproducible",
+						})
+					}
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if name, ok := isPkgFunc(pkg.Info, call, "time", "Now"); ok {
+							diags = append(diags, Diagnostic{
+								Pos:     pkg.Fset.Position(call.Pos()),
+								Rule:    "determinism",
+								Message: fmt.Sprintf("time.%s in a determinism package: wall clock must not reach encoded output", name),
+							})
+						}
+					}
+					return true
+				})
+			}
+			eachFuncDecl(pkg, func(fd *ast.FuncDecl) {
+				diags = append(diags, mapRangeFindings(pkg, fd)...)
+			})
+			return diags
+		},
+	}
+}
+
+// mapRangeFindings flags map-range loops in fd whose iteration order
+// can reach output: a body that calls a writer/encoder, or appends to
+// an outer slice that no later sort call touches.
+func mapRangeFindings(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	sorted := sortedExprs(pkg, fd)
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink, what := mapRangeSink(pkg, rng, sorted); sink {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(rng.Pos()),
+				Rule:    "determinism",
+				Message: fmt.Sprintf("range over map %s %s: map iteration order is random — collect and sort first", exprKey(rng.X), what),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// mapRangeSink decides whether the loop body leaks iteration order:
+// directly (writer/encoder call) or via an append to an outer slice
+// that is never sorted afterwards.
+func mapRangeSink(pkg *Package, rng *ast.RangeStmt, sorted map[string]bool) (bool, string) {
+	direct := false
+	var unsortedAppend string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if isOrderSink(sel.Sel.Name) {
+					direct = true
+				}
+			} else if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if isOrderSink(id.Name) {
+					direct = true
+				}
+			}
+			if f := calleeFunc(pkg.Info, x); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+				if strings.HasPrefix(f.Name(), "Fprint") || strings.HasPrefix(f.Name(), "Print") {
+					direct = true
+				}
+			}
+		case *ast.AssignStmt:
+			// s = append(s, ...) where s is declared outside the loop —
+			// appending to a variable the loop itself declares (the
+			// range value, a per-iteration local) carries no order out.
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				return true
+			}
+			if declaredWithin(pkg, x.Lhs[0], rng) {
+				return true
+			}
+			key := exprKey(x.Lhs[0])
+			if !sorted[key] {
+				unsortedAppend = key
+			}
+		}
+		return true
+	})
+	if direct {
+		return true, "feeds a writer/encoder"
+	}
+	if unsortedAppend != "" {
+		return true, fmt.Sprintf("accumulates into %q which is never sorted", unsortedAppend)
+	}
+	return false, ""
+}
+
+// isOrderSink matches method names whose call inside a map range means
+// iteration order reached an output stream.
+func isOrderSink(name string) bool {
+	for _, p := range []string{"Write", "Encode", "Marshal", "Fprint", "Print"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredWithin reports whether the root identifier of e is declared
+// inside the range statement (its key/value variables or a body local).
+func declaredWithin(pkg *Package, e ast.Expr, rng *ast.RangeStmt) bool {
+	root := ast.Unparen(e)
+	for {
+		if sel, ok := root.(*ast.SelectorExpr); ok {
+			root = ast.Unparen(sel.X)
+			continue
+		}
+		if idx, ok := root.(*ast.IndexExpr); ok {
+			root = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// sortedExprs collects expression keys passed to sort.*/slices.Sort*
+// anywhere in fd — the "collected then sorted" set map ranges may
+// safely append to.
+func sortedExprs(pkg *Package, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pkg.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		// sort.Slice(s, less) / slices.Sort(s) / sort.Sort(byX(s)):
+		// credit every identifier mentioned in the first argument.
+		ast.Inspect(call.Args[0], func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			if sel, ok := m.(*ast.SelectorExpr); ok {
+				out[exprKey(sel)] = true
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// DurableWriteAnalyzer enforces the durable-write discipline PR 2/6/7
+// established: in packages that persist crash-safe state, files reach
+// disk through snapshot.WriteFileAtomic (temp + fsync + rename) or an
+// append-fsync journal, never through a bare os.WriteFile/os.Create,
+// and renames that are part of a commit protocol live inside the
+// blessed helpers. A direct call is an error; intentional exceptions
+// carry //shamlint:allow durable-write <reason>.
+func DurableWriteAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "durable-write",
+		Doc:  "state-persisting packages must write through snapshot.WriteFileAtomic/SealEnvelope, not direct os.WriteFile/os.Create/os.Rename",
+		Run: func(pkg *Package, cfg *Config) []Diagnostic {
+			if !inScope(cfg.DurableWritePkgs, pkg.Path) {
+				return nil
+			}
+			var diags []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name, ok := isPkgFunc(pkg.Info, call, "os", "WriteFile", "Create", "Rename")
+					if !ok {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(call.Pos()),
+						Rule:    "durable-write",
+						Message: fmt.Sprintf("direct os.%s in a state-persisting package; use snapshot.WriteFileAtomic/SealEnvelope or annotate //shamlint:allow durable-write <reason>", name),
+					})
+					return true
+				})
+			}
+			return diags
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineAnalyzer enforces goroutine hygiene in the long-running
+// packages: a `go` statement must carry some way to be stopped or
+// awaited. A launched func literal passes if its body references a
+// context.Context, performs any channel operation (send, receive,
+// close, select, range-over-channel), or calls a sync.WaitGroup
+// method; a launched named function passes if any argument is a
+// context or channel. Anything else is a fire-and-forget goroutine
+// that outlives shutdown — the drain/cancel contracts of the serve and
+// watch loops forbid those.
+func GoroutineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine-ctx",
+		Doc:  "goroutines in long-running packages need a cancellation or completion signal (ctx, channel, or WaitGroup)",
+		Run: func(pkg *Package, cfg *Config) []Diagnostic {
+			if !inScope(cfg.GoroutinePkgs, pkg.Path) {
+				return nil
+			}
+			var diags []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if goStmtHasSignal(pkg, gs) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(gs.Pos()),
+						Rule:    "goroutine-ctx",
+						Message: "goroutine has no cancellation or completion signal (no ctx, channel op, or WaitGroup); it cannot be stopped or awaited",
+					})
+					return true
+				})
+			}
+			return diags
+		},
+	}
+}
+
+func goStmtHasSignal(pkg *Package, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		for _, p := range lit.Type.Params.List {
+			if tv, ok := pkg.Info.Types[p.Type]; ok && typeIsSignal(tv.Type) {
+				return true
+			}
+		}
+		return bodyHasSignal(pkg, lit.Body)
+	}
+	// Named function or method value: any ctx/channel argument counts.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok && tv.Type != nil && typeIsSignal(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeIsSignal(t types.Type) bool {
+	if isContext(t) {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+func bodyHasSignal(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if tv, ok := pkg.Info.Types[x]; ok && tv.Type != nil && isContext(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+			f := calleeFunc(pkg.Info, x)
+			if f == nil {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if path, name := namedPathAndName(sig.Recv().Type()); path == "sync" && name == "WaitGroup" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for conversions, builtins
+// and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes pkgPath.name (a package-level
+// function, matched by the defining package's import path).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// isConversion reports whether call is a type conversion, returning the
+// target type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// namedPathAndName unwraps pointers and returns the defining package
+// path and type name for a named type, or ("", "") otherwise.
+func namedPathAndName(t types.Type) (string, string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	path, name := namedPathAndName(p.Elem())
+	return path == "os" && name == "File"
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	path, name := namedPathAndName(t)
+	return path == "context" && name == "Context"
+}
+
+// eachFuncDecl visits every function declaration with a body.
+func eachFuncDecl(pkg *Package, fn func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// message saying what to do about it.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// An Analyzer inspects one package and reports findings. Findings are
+// filtered against //shamlint:allow directives by Run, not by the
+// analyzer itself.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package, *Config) []Diagnostic
+}
+
+// Analyzers is the full rule set, in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DurableWriteAnalyzer(),
+		NoallocAnalyzer(),
+		DeterminismAnalyzer(),
+		SingleEpochAnalyzer(),
+		CloseCheckAnalyzer(),
+		GoroutineAnalyzer(),
+	}
+}
+
+// Config scopes the package-targeted rules. Each list holds import
+// paths; a package is in scope when its path matches exactly.
+type Config struct {
+	// DurableWritePkgs persist crash-safe state: direct os.WriteFile /
+	// os.Create / os.Rename there must go through the blessed
+	// snapshot.WriteFileAtomic / SealEnvelope helpers.
+	DurableWritePkgs []string
+	// DeterminismPkgs produce byte-reproducible artifacts: wall-clock
+	// reads, math/rand, and unsorted map iteration feeding output are
+	// errors.
+	DeterminismPkgs []string
+	// SingleEpochPkgs answer requests from one engine epoch: a
+	// function there may consult the engine at most once.
+	SingleEpochPkgs []string
+	// CloseCheckPkgs are the durability packages where an unchecked
+	// Close/Sync error on a writable file silently loses data.
+	CloseCheckPkgs []string
+	// GoroutinePkgs host long-running loops: a `go func` there must
+	// carry a ctx/done signal or a completion channel.
+	GoroutinePkgs []string
+}
+
+// DefaultConfig scopes the rules to this repo's packages. This is the
+// machine-readable form of the contracts CHANGES.md records in prose.
+func DefaultConfig() *Config {
+	return &Config{
+		DurableWritePkgs: []string{
+			"repro/internal/jobstore",
+			"repro/internal/zonewatch",
+			"repro/internal/snapshot",
+			"repro/internal/service",
+		},
+		DeterminismPkgs: []string{
+			"repro/internal/snapshot",
+			"repro/internal/punycode",
+			"repro/internal/domain",
+			"repro/internal/zonefile",
+			"repro/internal/homoglyph",
+			"repro/internal/dnswire",
+			"repro/internal/core",
+			"repro/internal/jobstore",
+			"repro/internal/triage",
+		},
+		SingleEpochPkgs: []string{
+			"repro/internal/service",
+		},
+		CloseCheckPkgs: []string{
+			"repro/internal/jobstore",
+			"repro/internal/zonewatch",
+			"repro/internal/snapshot",
+			"repro/internal/service",
+		},
+		GoroutinePkgs: []string{
+			"repro/internal/service",
+			"repro/internal/zonewatch",
+			"repro/internal/triage",
+			"repro/internal/jobstore",
+			"repro/internal/resilience",
+			"repro/internal/dnsclient",
+		},
+	}
+}
+
+func inScope(pkgs []string, path string) bool {
+	for _, p := range pkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleNames returns every rule an //shamlint:allow directive may name.
+func RuleNames() []string {
+	as := Analyzers()
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Run executes every analyzer over every package, applies the
+// //shamlint:allow escape hatches, validates the directives themselves,
+// and returns the surviving findings sorted by position.
+func Run(pkgs []*Package, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, dirDiags := collectDirectives(pkg)
+		out = append(out, dirDiags...)
+		var raw []Diagnostic
+		for _, a := range Analyzers() {
+			raw = append(raw, a.Run(pkg, cfg)...)
+		}
+		for _, d := range raw {
+			if !dirs.allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// --- directives ---
+
+const (
+	allowPrefix   = "//shamlint:allow"
+	noallocMarker = "//shamlint:noalloc"
+)
+
+type allowDirective struct {
+	rule string
+}
+
+// directives indexes a package's //shamlint:allow comments: line-level
+// allows suppress findings on the directive's own line or the line
+// below it; an allow in a function's doc comment suppresses that rule
+// across the whole function body.
+type directives struct {
+	fset    *token.FileSet
+	byLine  map[string]map[int][]allowDirective // file -> line -> allows
+	funcs   []funcAllow
+	noalloc []*ast.FuncDecl
+}
+
+type funcAllow struct {
+	file       string
+	start, end int // body line range, inclusive
+	rule       string
+}
+
+func (ds *directives) allows(d Diagnostic) bool {
+	for _, a := range ds.byLine[d.Pos.Filename][d.Pos.Line] {
+		if a.rule == d.Rule {
+			return true
+		}
+	}
+	// A standalone comment line allows the line below it.
+	for _, a := range ds.byLine[d.Pos.Filename][d.Pos.Line-1] {
+		if a.rule == d.Rule {
+			return true
+		}
+	}
+	for _, fa := range ds.funcs {
+		if fa.file == d.Pos.Filename && fa.rule == d.Rule && d.Pos.Line >= fa.start && d.Pos.Line <= fa.end {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a package's comments for shamlint directives,
+// reporting malformed ones (unknown rule, missing reason) as findings
+// under the "directive" rule — an escape hatch without a written reason
+// is itself a violation.
+func collectDirectives(pkg *Package) (*directives, []Diagnostic) {
+	ds := &directives{fset: pkg.Fset, byLine: map[string]map[int][]allowDirective{}}
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, n := range RuleNames() {
+		known[n] = true
+	}
+
+	record := func(c *ast.Comment, inDoc *ast.FuncDecl) {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, allowPrefix) {
+			return
+		}
+		pos := pkg.Fset.Position(c.Pos())
+		rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+		rule, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+		if rule == "" || !known[rule] {
+			diags = append(diags, Diagnostic{Pos: pos, Rule: "directive",
+				Message: fmt.Sprintf("shamlint:allow names unknown rule %q (rules: %s)", rule, strings.Join(RuleNames(), ", "))})
+			return
+		}
+		if reason == "" {
+			diags = append(diags, Diagnostic{Pos: pos, Rule: "directive",
+				Message: fmt.Sprintf("shamlint:allow %s needs a written reason", rule)})
+			return
+		}
+		if inDoc != nil && inDoc.Body != nil {
+			ds.funcs = append(ds.funcs, funcAllow{
+				file:  pos.Filename,
+				start: pkg.Fset.Position(inDoc.Pos()).Line,
+				end:   pkg.Fset.Position(inDoc.Body.End()).Line,
+				rule:  rule,
+			})
+			return
+		}
+		if ds.byLine[pos.Filename] == nil {
+			ds.byLine[pos.Filename] = map[int][]allowDirective{}
+		}
+		ds.byLine[pos.Filename][pos.Line] = append(ds.byLine[pos.Filename][pos.Line], allowDirective{rule: rule})
+	}
+
+	for _, f := range pkg.Files {
+		// Doc-comment directives scope to their function.
+		docOwner := map[*ast.Comment]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				docOwner[c] = fd
+				if strings.HasPrefix(strings.TrimSpace(c.Text), noallocMarker) {
+					ds.noalloc = append(ds.noalloc, fd)
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				record(c, docOwner[c])
+			}
+		}
+	}
+	return ds, diags
+}
+
+// NoallocFuncs returns the //shamlint:noalloc-annotated declarations in
+// pkg — the contract list both the static analyzer and the dynamic
+// AllocsPerRun gate are driven from.
+func NoallocFuncs(pkg *Package) []*ast.FuncDecl {
+	ds, _ := collectDirectives(pkg)
+	return ds.noalloc
+}
+
+// FuncDisplayName renders a FuncDecl as "Name" or "(*Recv).Name", the
+// key format the dynamic alloc gate's table uses.
+func FuncDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	b.WriteString("(")
+	writeTypeExpr(&b, recv)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeTypeExpr(b *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeTypeExpr(b, t.X)
+	case *ast.IndexExpr: // generic receiver
+		writeTypeExpr(b, t.X)
+	case *ast.IndexListExpr:
+		writeTypeExpr(b, t.X)
+	default:
+		fmt.Fprintf(b, "%T", e)
+	}
+}

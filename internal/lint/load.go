@@ -1,0 +1,226 @@
+// Package lint is shamlint: a repo-invariant static-analysis pass that
+// mechanizes the prose contracts earlier PRs established — durable
+// writes go through the blessed snapshot helpers, annotated hot paths
+// stay allocation-free, codec output is deterministic, a request is
+// answered from exactly one engine epoch, Close/Sync errors on writable
+// files are checked, and long-running goroutines carry a cancellation
+// or completion signal.
+//
+// The implementation is pure standard library (go/parser + go/types).
+// Package metadata and export data for imports come from `go list
+// -export -deps -json`, the same source `go vet` uses, so the module
+// stays dependency-free.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/jobstore")
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// exportImporter resolves imports from gc export data. Paths already
+// type-checked from source win; anything else (stdlib, and on the lazy
+// path fixture imports) is resolved through `go list -export`, cached.
+type exportImporter struct {
+	mu      sync.Mutex
+	dir     string // working directory for lazy `go list` runs
+	source  map[string]*types.Package
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+}
+
+func newExportImporter(dir string, fset *token.FileSet) *exportImporter {
+	imp := &exportImporter{
+		dir:     dir,
+		source:  map[string]*types.Package{},
+		exports: map[string]string{},
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, err := imp.exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(e)
+	})
+	return imp
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	imp.mu.Lock()
+	p, ok := imp.source[path]
+	imp.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	return imp.gc.Import(path)
+}
+
+// exportFile returns the export-data file for path, running `go list
+// -export` on a cache miss (fixture packages import stdlib packages the
+// module load may not have pulled in).
+func (imp *exportImporter) exportFile(path string) (string, error) {
+	imp.mu.Lock()
+	defer imp.mu.Unlock()
+	if e, ok := imp.exports[path]; ok {
+		return e, nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "--", path)
+	cmd.Dir = imp.dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -export %s: %w", path, err)
+	}
+	var p listPkg
+	if err := json.Unmarshal(out, &p); err != nil {
+		return "", fmt.Errorf("lint: go list -export %s: %w", path, err)
+	}
+	if p.Export == "" {
+		return "", fmt.Errorf("lint: no export data for %q", path)
+	}
+	imp.exports[path] = p.Export
+	return p.Export, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// LoadPackages type-checks every package matched by patterns in the
+// module rooted at dir. Dependencies resolve from gc export data, so
+// only the module's own source is parsed.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,Module,Error", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+
+	var metas []*listPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		metas = append(metas, &p)
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(dir, fset)
+	var pkgs []*Package
+	// `go list -deps` emits dependencies before dependents, so each
+	// module package's in-module imports are already source-checked
+	// when its turn comes.
+	for _, m := range metas {
+		if m.Export != "" {
+			imp.exports[m.ImportPath] = m.Export
+		}
+		if m.Module == nil || m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		var files []*ast.File
+		for _, gf := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", m.ImportPath, err)
+		}
+		imp.mu.Lock()
+		imp.source[m.ImportPath] = tpkg
+		imp.mu.Unlock()
+		pkgs = append(pkgs, &Package{Path: m.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir type-checks one directory of Go files as the package pkgPath
+// — the fixture loader for testdata packages the go tool ignores.
+// moduleDir anchors the `go list` runs that fetch export data for the
+// fixture's (stdlib) imports.
+func LoadDir(moduleDir, dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	imp := newExportImporter(moduleDir, fset)
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoallocAnalyzer enforces the //shamlint:noalloc contract on the
+// documented hot-path functions (the zone-scale per-line pipeline:
+// normalize, split, decode, probe). Inside an annotated function it
+// flags constructs that force an allocation:
+//
+//   - string <-> []byte/[]rune conversions,
+//   - calls into fmt,
+//   - make/new and slice/map/pointer composite literals,
+//   - closures (func literals),
+//   - string concatenation,
+//   - interface boxing: a concrete value passed to an interface
+//     parameter at a call site.
+//
+// Allocations confined to the hit path (a match was found; the caller
+// is about to do I/O anyway) carry //shamlint:allow noalloc <reason> —
+// the annotation keeps them enumerated and reviewed. The dynamic twin
+// of this rule is the AllocsPerRun gate driven from the same
+// annotation list.
+func NoallocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "//shamlint:noalloc functions must avoid allocation-forcing constructs",
+		Run: func(pkg *Package, cfg *Config) []Diagnostic {
+			var diags []Diagnostic
+			for _, fd := range NoallocFuncs(pkg) {
+				diags = append(diags, noallocFindings(pkg, fd)...)
+			}
+			return diags
+		},
+	}
+}
+
+func noallocFindings(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    "noalloc",
+			Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" in noalloc function %s", FuncDisplayName(fd)),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "closure allocates")
+			return false // don't descend: the closure's own body is not the hot path
+		case *ast.CompositeLit:
+			tv, ok := pkg.Info.Types[x]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(x.Pos(), "%s literal allocates", typeKind(tv.Type))
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "address of composite literal escapes")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := pkg.Info.Types[x]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(x.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			diags = append(diags, noallocCall(pkg, fd, x)...)
+		}
+		return true
+	})
+	return diags
+}
+
+func noallocCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr) []Diagnostic {
+	var diags []Diagnostic
+	report := func(format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(call.Pos()),
+			Rule:    "noalloc",
+			Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" in noalloc function %s", FuncDisplayName(fd)),
+		})
+	}
+	// Conversions between string and byte/rune slices copy.
+	if target, ok := isConversion(pkg.Info, call); ok {
+		if len(call.Args) == 1 {
+			if tv, ok := pkg.Info.Types[call.Args[0]]; ok && stringSliceConversion(tv.Type, target) {
+				report("%s -> %s conversion allocates", tv.Type, target)
+			}
+		}
+		return diags
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				report("%s allocates", id.Name)
+			}
+			return diags
+		}
+	}
+	f := calleeFunc(pkg.Info, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		report("fmt.%s allocates", f.Name())
+		return diags
+	}
+	// Interface boxing: concrete argument to an interface parameter.
+	sigTV, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return diags
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return diags
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			param = last.(*types.Slice).Elem()
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		} else {
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.IsInterface(tv.Type) || isUntypedNil(tv.Type) {
+			continue
+		}
+		// Pointers and other reference kinds box without copying the
+		// pointee, but the interface header itself may still force the
+		// value to escape; flag concrete non-pointer values only, the
+		// unambiguous cases.
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Signature:
+			continue
+		}
+		report("argument %s boxes into interface %s", exprKey(arg), param)
+	}
+	return diags
+}
+
+func stringSliceConversion(from, to types.Type) bool {
+	return (isStringType(from) && isByteOrRuneSlice(to)) ||
+		(isByteOrRuneSlice(from) && isStringType(to))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return strings.TrimPrefix(t.String(), "*")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package lint
+
+// RaceEnabled reports whether this build carries the race detector,
+// whose instrumentation allocates inside measured regions.
+const RaceEnabled = true

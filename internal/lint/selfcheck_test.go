@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestShamlintSelfCheck runs the full rule set over the whole module —
+// the same gate CI's `shamlint ./...` step enforces. The repo must lint
+// clean: every finding is either fixed or carries a reasoned
+// //shamlint:allow, so a regression in any durability/determinism/
+// hot-path contract fails this test before it ships.
+func TestShamlintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := LoadPackages(moduleDir, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("loaded only %d packages — the module load is not seeing the repo", len(pkgs))
+	}
+	diags := Run(pkgs, DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("shamlint: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d finding(s); fix them or add //shamlint:allow <rule> <reason> at the site", len(diags))
+	}
+}

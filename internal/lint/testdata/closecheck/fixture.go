@@ -1,0 +1,63 @@
+// Package closecheck is a shamlint fixture: discarded Close/Sync
+// errors on writable files.
+package closecheck
+
+import "os"
+
+func writeDropsClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want close-check "deferred f.Close"
+	_, err = f.Write(data)
+	return err
+}
+
+func appendDropsBoth(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	f.Sync()  // want close-check "unchecked f.Sync"
+	f.Close() // want close-check "unchecked f.Close"
+	return werr
+}
+
+// readOnlyClose is fine: nothing was written, Close cannot lose data.
+func readOnlyClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// checkedClose is the blessed shape: the Close error joins the return.
+func checkedClose(path string, data []byte) (retErr error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+func allowedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//shamlint:allow close-check fixture: error-path cleanup, the original error is already being returned
+	f.Close()
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package determinism is a shamlint fixture: wall clock, randomness,
+// and unsorted map iteration in a codec package.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want determinism "math/rand in a determinism package"
+	"sort"
+	"time"
+)
+
+func stampHeader(w io.Writer) {
+	fmt.Fprintf(w, "generated %v %d\n", time.Now(), rand.Int()) // want determinism "time.Now in a determinism package"
+}
+
+func encodeUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want determinism "feeds a writer/encoder"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want determinism "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is the blessed idiom: collect, sort, then emit.
+func collectSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// countOnly never leaks iteration order.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func allowedClock() int64 {
+	//shamlint:allow determinism fixture: operational metadata, not encoded output
+	return time.Now().Unix()
+}

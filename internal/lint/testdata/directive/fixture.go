@@ -1,0 +1,13 @@
+// Package directive is a shamlint fixture: the escape hatch itself is
+// validated — unknown rules and missing reasons are findings.
+package directive
+
+import "os"
+
+func bogusDirectives(path string) error {
+	//shamlint:allow no-such-rule because I said so // want directive "unknown rule"
+	_ = path
+	//shamlint:allow durable-write
+	// want-1 directive "needs a written reason"
+	return os.Remove(path)
+}

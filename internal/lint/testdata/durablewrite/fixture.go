@@ -1,0 +1,24 @@
+// Package durablewrite is a shamlint fixture: direct file mutation in
+// a state-persisting package.
+package durablewrite
+
+import "os"
+
+func persistState(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want durable-write "direct os.WriteFile"
+		return err
+	}
+	f, err := os.Create(path + ".new") // want durable-write "direct os.Create"
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".new", path) // want durable-write "direct os.Rename"
+}
+
+func allowedRename(from, to string) error {
+	//shamlint:allow durable-write fixture: rename is part of a commit protocol proven elsewhere
+	return os.Rename(from, to)
+}

@@ -1,0 +1,50 @@
+// Package goroutinectx is a shamlint fixture: goroutines without a
+// cancellation or completion signal in a long-running package.
+package goroutinectx
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func fireAndForget() {
+	go func() { // want goroutine-ctx "no cancellation or completion signal"
+		work()
+	}()
+	go work() // want goroutine-ctx "no cancellation or completion signal"
+}
+
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func withChannel(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func namedWithCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func allowedDetached() {
+	//shamlint:allow goroutine-ctx fixture: process-lifetime helper, intentionally detached
+	go work()
+}

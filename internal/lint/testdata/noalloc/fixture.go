@@ -1,0 +1,41 @@
+// Package noalloc is a shamlint fixture: allocation-forcing constructs
+// inside //shamlint:noalloc functions.
+package noalloc
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+// hot is the annotated hot path; every allocating construct below must
+// be flagged.
+//
+//shamlint:noalloc
+func hot(b []byte, s sink) int {
+	str := string(b)             // want noalloc "conversion allocates"
+	back := []byte(str)          // want noalloc "conversion allocates"
+	buf := make([]byte, 16)      // want noalloc "make allocates"
+	lit := []int{1, 2, 3}        // want noalloc "slice literal allocates"
+	m := map[string]int{}        // want noalloc "map literal allocates"
+	fmt.Println(len(m))          // want noalloc "fmt.Println allocates"
+	f := func() int { return 1 } // want noalloc "closure allocates"
+	joined := str + "suffix"     // want noalloc "string concatenation allocates"
+	s.accept(len(joined))        // want noalloc "boxes into interface"
+	return len(back) + len(buf) + len(lit) + f()
+}
+
+// cold is unannotated: the same constructs are fine here.
+func cold(b []byte) string {
+	return string(b) + fmt.Sprint(len(b))
+}
+
+// warm keeps its miss path clean; the one hit-path allocation is
+// enumerated with an allow.
+//
+//shamlint:noalloc
+func warm(b []byte, found bool) string {
+	if found {
+		//shamlint:allow noalloc fixture: hit path materializes the match string
+		return string(b)
+	}
+	return ""
+}

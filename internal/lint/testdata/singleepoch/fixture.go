@@ -1,0 +1,45 @@
+// Package singleepoch is a shamlint fixture: request paths that
+// consult the engine more than once.
+package singleepoch
+
+type Detector struct{ refs int }
+
+func (d *Detector) DetectBytes(b []byte) int { return d.refs + len(b) }
+
+type Engine struct{ det *Detector }
+
+func (e *Engine) Current() (*Detector, uint64)             { return e.det, 1 }
+func (e *Engine) DetectDomainBytes(b []byte) (int, uint64) { return e.det.DetectBytes(b), 1 }
+
+// handleOnce is the contract: one Current(), everything else on the
+// pinned detector.
+func handleOnce(e *Engine, reqs [][]byte) int {
+	det, _ := e.Current()
+	total := 0
+	for _, r := range reqs {
+		total += det.DetectBytes(r)
+	}
+	return total
+}
+
+func handleTwice(e *Engine, a, b []byte) int {
+	x, _ := e.DetectDomainBytes(a)
+	y, _ := e.DetectDomainBytes(b) // want single-epoch "engine consulted 2 times"
+	return x + y
+}
+
+func handleInLoop(e *Engine, reqs [][]byte) int {
+	total := 0
+	for _, r := range reqs {
+		n, _ := e.DetectDomainBytes(r) // want single-epoch "inside a loop"
+		total += n
+	}
+	return total
+}
+
+func handleAllowed(e *Engine, a []byte) (int, uint64) {
+	_, epoch := e.Current()
+	//shamlint:allow single-epoch fixture: second read is a freshness probe, not part of the answer
+	n, _ := e.DetectDomainBytes(a)
+	return n, epoch
+}
