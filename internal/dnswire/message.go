@@ -155,11 +155,14 @@ func (m *Message) String() string {
 	for _, q := range m.Questions {
 		fmt.Fprintf(&sb, ";; question: %s\n", q)
 	}
-	for name, sec := range map[string][]Record{
-		"answer": m.Answers, "authority": m.Authority, "additional": m.Additional,
+	for _, sec := range []struct {
+		name string
+		rrs  []Record
+	}{
+		{"answer", m.Answers}, {"authority", m.Authority}, {"additional", m.Additional},
 	} {
-		for _, rr := range sec {
-			fmt.Fprintf(&sb, ";; %s: %s\n", name, rr)
+		for _, rr := range sec.rrs {
+			fmt.Fprintf(&sb, ";; %s: %s\n", sec.name, rr)
 		}
 	}
 	return sb.String()

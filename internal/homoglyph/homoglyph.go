@@ -128,8 +128,18 @@ func compile(uc *confusables.DB, sim *simchar.DB) *index {
 		}
 	}
 
+	// Lay the spans out in ascending rune order so the in-memory arena
+	// is identical across runs (the snapshot codec re-lays in this same
+	// order; building it this way makes the two byte-equal).
+	order := make([]rune, 0, len(adj))
+	for r := range adj {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
 	idx := &index{spans: make(map[rune]span, len(adj))}
-	for r, m := range adj {
+	for _, r := range order {
+		m := adj[r]
 		sp := span{start: int32(len(idx.partners))}
 		ps := make([]rune, 0, len(m))
 		for p := range m {
