@@ -226,6 +226,7 @@ func (s *Store) Put(m Manifest) error {
 	if m.ID == "" {
 		return fmt.Errorf("jobstore: manifest without an id")
 	}
+	//shamlint:allow determinism UpdatedUnix is operational metadata on the manifest, never replayed into record bytes
 	m.UpdatedUnix = time.Now().Unix()
 	if m.CreatedUnix == 0 {
 		m.CreatedUnix = m.UpdatedUnix
@@ -372,6 +373,7 @@ func (s *Store) quarantineJob(id string) error {
 		}
 		dst = filepath.Join(s.dir, quarantine, id+"."+strconv.Itoa(n))
 	}
+	//shamlint:allow durable-write quarantine is a same-dir atomic directory rename; a crash loses only the label, never record data
 	return os.Rename(s.jobDir(id), dst)
 }
 
@@ -380,7 +382,7 @@ func (s *Store) quarantineJob(id string) error {
 // surviving complete records come back as the triage resume set. The
 // resumed pipeline appends only records not in this set, so the final
 // log is byte-identical to an uninterrupted run's.
-func (s *Store) PrepareResume(id string) (map[string]triage.Record, error) {
+func (s *Store) PrepareResume(id string) (_ map[string]triage.Record, retErr error) {
 	path := s.RecordsPath(id)
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -389,7 +391,14 @@ func (s *Store) PrepareResume(id string) (map[string]triage.Record, error) {
 		}
 		return nil, fmt.Errorf("jobstore: opening record log: %w", err)
 	}
-	defer f.Close()
+	// The log was opened for writing (the trim below): its Close error
+	// is a write error and must not be swallowed, or the resumed job
+	// would append after a trim that never reached disk.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("jobstore: closing record log: %w", cerr)
+		}
+	}()
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("jobstore: %w", err)
@@ -397,6 +406,9 @@ func (s *Store) PrepareResume(id string) (map[string]triage.Record, error) {
 	if end := completeLineEnd(fileBytesReader{f}, fi.Size()); end < fi.Size() {
 		if err := f.Truncate(end); err != nil {
 			return nil, fmt.Errorf("jobstore: trimming torn record: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("jobstore: syncing trimmed record log: %w", err)
 		}
 	}
 	return triage.LoadCheckpoint(path)

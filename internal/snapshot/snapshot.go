@@ -181,6 +181,9 @@ func WriteFile(path string, db *homoglyph.DB, det *core.Detector) error {
 // in the SHAMSNAP family (snapshots, seen-sets, watch checkpoints)
 // shares: a reader never observes a half-written file, and a crash
 // mid-write leaves the previous artifact intact.
+//
+//shamlint:allow durable-write this IS the blessed helper — temp + fsync + rename is the atomic publish itself
+//shamlint:allow close-check the unchecked Close sits on the error-cleanup path; the write error is already being returned
 func WriteFileAtomic(path string, data []byte) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp*")

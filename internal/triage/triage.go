@@ -496,6 +496,7 @@ func newLimiter(perSecond float64) *limiter {
 
 func (l *limiter) wait(ctx context.Context) error {
 	l.mu.Lock()
+	//shamlint:allow determinism the token bucket paces wall-clock probe rate; time never reaches record bytes
 	now := time.Now()
 	if l.next.Before(now) {
 		l.next = now

@@ -351,17 +351,27 @@ func parseMatchLine(line []byte) (triage.Input, bool) {
 }
 
 // appendDeadLetter records one abandoned probe item for a later batch
-// to retry, in the match-file format the batcher replays.
-func appendDeadLetter(path string, in triage.Input) error {
+// to retry, in the match-file format the batcher replays. The append
+// is fsynced and the Close error checked: a dead letter that never
+// reached disk is a probe silently lost, the exact failure this file
+// exists to prevent.
+func appendDeadLetter(path string, in triage.Input) (retErr error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	if in.Reference == "" && in.Source == "" {
 		_, err = fmt.Fprintf(f, "%s\n", in.FQDN)
 	} else {
 		_, err = fmt.Fprintf(f, "%s\t%s\t%s\n", in.FQDN, in.Reference, in.Source)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return f.Sync()
 }
