@@ -215,6 +215,8 @@ func (d *Detector) DetectLabel(idnLabel string) []Match {
 // feeder can recycle one buffer per in-flight line. Strings (the match's
 // IDN and Unicode forms) are materialized only when a label actually
 // matches.
+//
+//shamlint:noalloc
 func (d *Detector) DetectLabelBytes(label []byte) []Match {
 	return detectLabel(d, label)
 }
@@ -245,6 +247,8 @@ func (d *Detector) DetectDomain(fqdn string) []Match {
 // is retained from fqdn, and a domain that matches nothing allocates
 // nothing — the zone-feeder contract of DetectLabelBytes, lifted to
 // whole FQDNs.
+//
+//shamlint:noalloc
 func (d *Detector) DetectDomainBytes(fqdn []byte) []Match {
 	return detectDomain(d, fqdn)
 }

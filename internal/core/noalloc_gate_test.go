@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestNoallocGate pins the detector's //shamlint:noalloc contract
+// dynamically: with a warm scratch pool, label- and domain-level byte
+// detection must allocate nothing on the miss path — the shape of
+// nearly every line a zone feeder pushes through.
+func TestNoallocGate(t *testing.T) {
+	det := NewDetector(testDB(t), []string{"google", "amazon"})
+	label := []byte("xn--bcher-kva")
+	fqdn := []byte("www.xn--bcher-kva.co.uk")
+	// Warm the scratch pool outside the measured region.
+	det.DetectLabelBytes(label)
+	det.DetectDomainBytes(fqdn)
+
+	lint.CheckNoallocCoverage(t, ".", map[string]func(){
+		"(*Detector).DetectLabelBytes": func() {
+			if ms := det.DetectLabelBytes(label); len(ms) != 0 {
+				panic("unexpected match")
+			}
+		},
+		"(*Detector).DetectDomainBytes": func() {
+			if ms := det.DetectDomainBytes(fqdn); len(ms) != 0 {
+				panic("unexpected match")
+			}
+		},
+	})
+}

@@ -37,6 +37,8 @@ type Span struct {
 // as empty spans so callers see the malformed shape instead of a
 // silently repaired name. With pre-grown dst capacity the call
 // allocates nothing.
+//
+//shamlint:noalloc
 func AppendSpans[S punycode.ByteSeq](dst []Span, name S) []Span {
 	if len(name) == 0 {
 		return dst

@@ -17,6 +17,8 @@ import "repro/internal/punycode"
 // qualify every plain line: those reject here, before the pooled-buffer
 // copy and worker handoff, with zero work beyond one byte scan. The
 // returned domain aliases line's storage.
+//
+//shamlint:noalloc
 func NormalizeZoneLine(line []byte) ([]byte, bool) {
 	start, end := 0, len(line)
 	for start < end && asciiSpace(line[start]) {

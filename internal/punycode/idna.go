@@ -55,6 +55,8 @@ func init() {
 // core.NewDetector, decoded zone labels in ToUnicodeLabelAppend, and
 // encoding in ToASCIILabel — so an uppercase reference and an
 // uppercase-encoded zone label can never disagree about case.
+//
+//shamlint:noalloc
 func Fold(r rune) rune {
 	if r < 0x80 {
 		if r >= 'A' && r <= 'Z' {
@@ -187,6 +189,8 @@ func ToUnicodeLabel(label string) (string, error) {
 // reused buffers through. ASCII letters are lowercased; errors leave dst
 // truncated back to its original length and are preallocated, so even a
 // malformed line costs nothing in steady state.
+//
+//shamlint:noalloc
 func ToUnicodeLabelAppend[S ByteSeq](dst []rune, label S) ([]rune, error) {
 	base := len(dst)
 	if !hasACEPrefix(label) {
@@ -269,12 +273,16 @@ func ToUnicode(domain string) (string, error) {
 // IsIDN reports whether any label of the (ASCII-form) domain carries the
 // ACE prefix — the paper's Step 2 test for extracting IDNs. It allocates
 // nothing: at ~134M lines per zone sweep this test runs on every line.
+//
+//shamlint:noalloc
 func IsIDN(domain string) bool {
 	return isIDN(domain)
 }
 
 // IsIDNBytes is IsIDN over a byte slice — same zero-allocation test,
 // for feeders that keep zone lines in reused buffers.
+//
+//shamlint:noalloc
 func IsIDNBytes(domain []byte) bool {
 	return isIDN(domain)
 }

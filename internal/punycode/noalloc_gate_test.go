@@ -1,0 +1,40 @@
+package punycode
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestNoallocGate is the dynamic half of the //shamlint:noalloc
+// contract: the exercise table below must cover exactly the annotated
+// functions in this package (drift fails the test even under -race),
+// and each steady-state path must measure zero allocations.
+func TestNoallocGate(t *testing.T) {
+	runeBuf := make([]rune, 0, 64)
+	ace := []byte("ggle-55da")
+	full := []byte("xn--ggle-55da")
+	idn := "www.xn--ggle-55da.com"
+	idnBytes := []byte(idn)
+	var foldSink rune
+	var boolSink bool
+
+	lint.CheckNoallocCoverage(t, ".", map[string]func(){
+		"DecodeAppend": func() {
+			runeBuf, _ = DecodeAppend(runeBuf[:0], ace)
+		},
+		"ToUnicodeLabelAppend": func() {
+			runeBuf, _ = ToUnicodeLabelAppend(runeBuf[:0], full)
+		},
+		"Fold": func() {
+			foldSink = Fold('Ä')
+		},
+		"IsIDN": func() {
+			boolSink = IsIDN(idn)
+		},
+		"IsIDNBytes": func() {
+			boolSink = IsIDNBytes(idnBytes)
+		},
+	})
+	_, _ = foldSink, boolSink
+}

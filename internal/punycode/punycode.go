@@ -171,6 +171,8 @@ type ByteSeq interface{ ~string | ~[]byte }
 // When dst has sufficient capacity no allocation occurs, which is what
 // lets a zone feeder decode millions of ACE labels with zero steady-state
 // allocations; Decode is differential-tested against it.
+//
+//shamlint:noalloc
 func DecodeAppend[S ByteSeq](dst []rune, input S) ([]rune, error) {
 	floor := len(dst)
 	for i := 0; i < len(input); i++ {

@@ -1,0 +1,32 @@
+package zonewatch
+
+import (
+	"bufio"
+	"io"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestNoallocGate covers this package's //shamlint:noalloc functions:
+// the per-line field splitter and the delta emitter's miss path (a
+// non-matching name, the overwhelmingly common case) must not allocate.
+func TestNoallocGate(t *testing.T) {
+	line := []byte("  www.example.com. 300 IN A 192.0.2.1")
+	name := []byte("www.example.com")
+	bw := bufio.NewWriter(io.Discard)
+	var fieldSink []byte
+
+	lint.CheckNoallocCoverage(t, ".", map[string]func(){
+		"firstField": func() {
+			fieldSink = firstField(line)
+		},
+		"writeDeltaLine": func() {
+			bw.Reset(io.Discard)
+			if _, err := writeDeltaLine(bw, name, nil); err != nil {
+				panic(err)
+			}
+		},
+	})
+	_ = fieldSink
+}
