@@ -81,10 +81,10 @@ func TestSuffixLabels(t *testing.T) {
 		{"example.net", 1},
 		{"amazon.co.uk", 2},
 		{"www.amazon.co.uk", 2},
-		{"AMAZON.CO.UK", 2}, // case-insensitive
-		{"co.uk", 1},        // never swallows the whole name
+		{"AMAZON.CO.UK", 2},            // case-insensitive
+		{"co.uk", 1},                   // never swallows the whole name
 		{"xn--80ak6aa92e.xn--p1ai", 1}, // ACE TLD is a single-label suffix
-		{"example.uk", 1},   // uk itself, no second-level rule hit
+		{"example.uk", 1},              // uk itself, no second-level rule hit
 		{"shop.example.com.au", 2},
 		{"a.verylonglabel.uk", 1}, // second label not in the uk table
 	}

@@ -49,9 +49,9 @@ func TestSLDsMultiTLD(t *testing.T) {
 	l := NewList([]string{
 		"amazon.co.uk",
 		"google.com",
-		"google.net",                 // duplicate label, lower rank
-		"www.bbc.co.uk",              // subdomain present in the list
-		"xn--80ak6aa92e.xn--p1ai",    // ACE label under an IDN TLD
+		"google.net",              // duplicate label, lower rank
+		"www.bbc.co.uk",           // subdomain present in the list
+		"xn--80ak6aa92e.xn--p1ai", // ACE label under an IDN TLD
 	})
 	got := l.SLDs(10)
 	want := []string{"amazon", "google", "bbc", "xn--80ak6aa92e"}

@@ -268,8 +268,8 @@ func TestNormalizeZoneLine(t *testing.T) {
 	}{
 		{"", "", false},
 		{"   \t", "", false},
-		{"plain.com", "", false},                          // not an IDN
-		{".", "", false},                                  // bare root
+		{"plain.com", "", false}, // not an IDN
+		{".", "", false},         // bare root
 		{"xn--bcher-kva.com", "xn--bcher-kva.com", true},  // FQDN kept, TLD and all
 		{"XN--BCHER-KVA.COM", "xn--bcher-kva.com", true},  // case-folded
 		{"xn--bcher-kva.net", "xn--bcher-kva.net", true},  // non-.com zones visible
@@ -468,11 +468,11 @@ func TestDetectMultiTLDEndToEnd(t *testing.T) {
 	a, _ := ToASCII("amаzon") // Cyrillic а
 
 	zone := []string{
-		"plain.net",           // not an IDN: rejected at the gate
-		g + ".net",            // non-.com gTLD
-		"www." + g + ".com",   // multi-label FQDN, IDN in non-final label
-		g + ".xn--p1ai",       // ACE/IDN TLD
-		a + ".co.uk",          // multi-label public suffix
+		"plain.net",                  // not an IDN: rejected at the gate
+		g + ".net",                   // non-.com gTLD
+		"www." + g + ".com",          // multi-label FQDN, IDN in non-final label
+		g + ".xn--p1ai",              // ACE/IDN TLD
+		a + ".co.uk",                 // multi-label public suffix
 		strings.ToUpper(g) + ".NET.", // uppercase + root dot
 	}
 
