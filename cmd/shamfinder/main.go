@@ -94,11 +94,12 @@ func usage() {
                      [-survey-ttl DUR] [-survey-keep N] [-survey-stall DUR] [-db uc|simchar|both] [-fastfont]
   shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N] [-json]
   shamfinder survey  {-matches FILE | {-refs FILE | -snapshot FILE} [-domains FILE]} -resolver HOST:PORT
-                     [-dns-workers N] [-web-workers N] [-rate QPS] [-retries N] [-stage-timeout DUR] [-dns-timeout DUR]
+                     [-dns-transport udp|tcp|dot|doh] [-dns-workers N] [-web-workers N] [-rate QPS] [-retries N]
+                     [-stage-timeout DUR] [-dns-timeout DUR]
                      [-skip-dns] [-skip-web] [-blacklist NAME=FILE ...] [-parking-ns LIST]
                      [-http-addr HOST:PORT] [-https-addr HOST:PORT] [-o FILE.jsonl] [-resume FILE.jsonl] [-table]
   shamfinder watch-zone -zone FILE -state DIR {-refs FILE | -snapshot FILE} [-deltas FILE] [-interval DUR] [-once]
-                     [-resolver HOST:PORT] [-addr HOST:PORT] [-throttle LPS] [-checkpoint-every N]
+                     [-resolver HOST:PORT] [-dns-transport udp|tcp|dot|doh] [-addr HOST:PORT] [-throttle LPS] [-checkpoint-every N]
                      [-min-zone-fraction F] [-survey-jobs DIR] [-survey-batch N] [-survey-age DUR]
                      [-survey-stall DUR] [-survey-skip-web] [-db uc|simchar|both] [-fastfont]
   shamfinder watch-zone -status -addr HOST:PORT
@@ -121,7 +122,9 @@ quarantined, never silently served.
 survey runs the measurement pipeline (paper §5–6) over detected
 homographs: DNS probing against -resolver, web classification of the
 resolvable set, and blacklist coverage, streaming one JSONL record per
-domain. Input is either a match file (-matches: one FQDN per line,
+domain. -dns-transport selects how probes travel: udp (pooled sockets,
+the default), tcp (pipelined keep-alive pool), dot (DNS over TLS) or
+doh (DNS over HTTPS/2); every transport produces identical records. Input is either a match file (-matches: one FQDN per line,
 optionally TAB-separated reference and source columns) or a domain
 list (-domains/stdin) detected on the fly. -resume loads a previous
 run's JSONL output and skips already-probed domains; the rewritten
@@ -411,6 +414,7 @@ func cmdSurvey(args []string) error {
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	workers := fs.Int("workers", 0, "detection workers; 0 = GOMAXPROCS")
 	resolver := fs.String("resolver", "", "DNS server HOST:PORT to probe (required unless -skip-dns)")
+	dnsTransport := fs.String("dns-transport", "udp", "probing transport: udp, tcp, dot or doh")
 	dnsWorkers := fs.Int("dns-workers", 16, "concurrent DNS probes")
 	webWorkers := fs.Int("web-workers", 16, "concurrent web fetches")
 	rate := fs.Float64("rate", 0, "max DNS probes per second across workers; 0 = unlimited")
@@ -509,12 +513,18 @@ func cmdSurvey(args []string) error {
 		}
 	}
 	if !*skipDNS {
+		transport, err := dnsclient.ParseTransport(*dnsTransport)
+		if err != nil {
+			return fmt.Errorf("survey: %w", err)
+		}
 		client := dnsclient.New(*resolver)
+		client.Transport = transport
 		client.Timeout = *dnsTimeout
 		// -retries is the one retry knob: the pipeline owns the policy,
 		// so the client's own UDP retransmits are disabled rather than
 		// silently multiplying it.
 		client.Retries = 0
+		defer client.Close()
 		cfg.DNS = client
 	}
 	if !*skipWeb {

@@ -34,6 +34,7 @@ func cmdWatchZone(args []string) error {
 	interval := fs.Duration("interval", 0, "zone polling cadence; 0 = 10s")
 	once := fs.Bool("once", false, "run one delta scan, drain probes, and exit (cron mode)")
 	resolver := fs.String("resolver", "", "probe each addition for NS/A/MX against this DNS server (host:port)")
+	dnsTransport := fs.String("dns-transport", "udp", "probing transport: udp, tcp, dot or doh")
 	addr := fs.String("addr", "", "also serve the HTTP API here; /metrics carries the watcher's health")
 	throttle := fs.Int("throttle", 0, "cap scanning at this many zone lines per second; 0 = unthrottled")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "zone lines between durable checkpoints; 0 = 65536")
@@ -74,6 +75,7 @@ func cmdWatchZone(args []string) error {
 		ThrottleLPS:     *throttle,
 		MinZoneFraction: *minFrac,
 		Resolver:        *resolver,
+		Transport:       *dnsTransport,
 		Addr:            *addr,
 		SurveyJobDir:    *surveyJobs,
 		SurveyBatch:     *surveyBatch,

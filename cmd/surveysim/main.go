@@ -14,10 +14,14 @@
 // bound listener addresses:
 //
 //	DNS=127.0.0.1:PORT
+//	DOT=127.0.0.1:PORT
+//	DOH=127.0.0.1:PORT
 //	HTTP=127.0.0.1:PORT
 //	HTTPS=127.0.0.1:PORT
 //
-// so a shell can wait for addrs.env, source it, and run:
+// (DOT and DOH are the same authoritative data behind DNS-over-TLS and
+// DNS-over-HTTPS listeners, for `-dns-transport dot|doh` runs) so a
+// shell can wait for addrs.env, source it, and run:
 //
 //	shamfinder survey -fastfont -refs refs.txt -domains zone.txt \
 //	  -resolver $DNS -http-addr $HTTP -https-addr $HTTPS \
@@ -116,6 +120,14 @@ func run(seed uint64, nrefs int, scale float64, benign int, dir string) error {
 		return err
 	}
 	defer dns.Close()
+	// The encrypted listeners answer from the same store, so a survey
+	// can run over udp, tcp, dot or doh against identical data.
+	if err := dns.EnableDoT("127.0.0.1:0"); err != nil {
+		return err
+	}
+	if err := dns.EnableDoH("127.0.0.1:0"); err != nil {
+		return err
+	}
 
 	mapper, err := hostsim.NewMapper()
 	if err != nil {
@@ -130,7 +142,8 @@ func run(seed uint64, nrefs int, scale float64, benign int, dir string) error {
 
 	// addrs.env goes last and lands atomically (rename), so its
 	// existence means every listener above is live.
-	env := fmt.Sprintf("DNS=%s\nHTTP=%s\nHTTPS=%s\n", dns.Addr(), web.HTTPAddr(), web.HTTPSAddr())
+	env := fmt.Sprintf("DNS=%s\nDOT=%s\nDOH=%s\nHTTP=%s\nHTTPS=%s\n",
+		dns.Addr(), dns.DoTAddr(), dns.DoHAddr(), web.HTTPAddr(), web.HTTPSAddr())
 	tmp := filepath.Join(dir, ".addrs.env.tmp")
 	if err := os.WriteFile(tmp, []byte(env), 0o644); err != nil {
 		return err

@@ -251,7 +251,7 @@ func TestQueryIDsDiffer(t *testing.T) {
 // has no A record, every 5th no MX, and every 7th is absent entirely
 // (NXDOMAIN) — enough outcome diversity that an ordering bug cannot
 // cancel out.
-func startStoreServer(t *testing.T, n int) (*dnsserver.Server, []string) {
+func startStoreServer(t testing.TB, n int) (*dnsserver.Server, []string) {
 	t.Helper()
 	store := dnsserver.NewStore()
 	store.AddApex("com.")
@@ -287,6 +287,7 @@ func TestProbeBatchOrderAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{1, 4, 32} {
 		c := New(srv.Addr())
 		c.Timeout = 2 * time.Second
+		defer c.Close()
 		results := c.ProbeBatch(domains, workers)
 		if len(results) != len(domains) {
 			t.Fatalf("workers=%d: %d results for %d domains", workers, len(results), len(domains))
@@ -345,6 +346,11 @@ func TestProbeBatchTimeoutDrainsWorkers(t *testing.T) {
 		if res.Err == nil {
 			t.Fatalf("probe %d unexpectedly succeeded", i)
 		}
+	}
+	// Close tears down the pooled sockets and their readers; after it,
+	// only the test's own blackhole goroutine may remain.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {

@@ -1,0 +1,164 @@
+package dnsclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// dohPath is the RFC 8484 well-known query path.
+const dohPath = "/dns-query"
+
+const dohContentType = "application/dns-message"
+
+// dohClient lazily builds the one multiplexed http.Client for this
+// server. HTTP/2 keeps every worker's queries on a handful of
+// established connections, so the per-probe cost after warm-up is one
+// POST on an existing stream, not a TLS handshake.
+func (c *Client) dohClient() (*http.Client, *url.URL, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, ErrClosed
+	}
+	if c.doh == nil {
+		// A single *http.Transport funnels every HTTP/2 stream through
+		// one connection (one writer loop, one flow-control window), so
+		// under concurrent probing DoH would bottleneck where the other
+		// transports fan out over PoolSize sockets. Round-robin across
+		// PoolSize inner transports instead: still one multiplexed
+		// http.Client, but with the same connection fan-out as the pools.
+		rr := &rrTransport{ts: make([]*http.Transport, c.poolSize())}
+		for i := range rr.ts {
+			rr.ts[i] = &http.Transport{
+				TLSClientConfig:     c.tlsConfigLocked(false),
+				ForceAttemptHTTP2:   true,
+				MaxIdleConns:        1,
+				MaxIdleConnsPerHost: 1,
+				IdleConnTimeout:     90 * time.Second,
+				// DNS wire messages are tiny and high-entropy; skipping
+				// content-coding negotiation shaves per-exchange overhead.
+				DisableCompression: true,
+				// Wide receive windows: a 64 KiB DNS ceiling never comes
+				// near them, so the connection stops spending syscalls on
+				// WINDOW_UPDATE chatter for 100-byte bodies.
+				HTTP2: &http.HTTP2Config{
+					MaxReceiveBufferPerConnection: 1 << 20,
+					MaxReceiveBufferPerStream:     1 << 20,
+				},
+			}
+		}
+		c.doh = &http.Client{Transport: rr}
+		u, err := url.Parse("https://" + c.Server + dohPath)
+		if err != nil {
+			c.doh = nil
+			return nil, nil, fmt.Errorf("dnsclient: doh url: %w", err)
+		}
+		c.dohURL = u.String()
+		c.dohU = u
+	}
+	return c.doh, c.dohU, nil
+}
+
+// dohExchange performs one RFC 8484 POST exchange. HTTP/2 gives each
+// query its own stream, so unlike the datagram and stream pools there
+// is no demux table: the transport itself rules out reordering, and a
+// response bearing a different ID than the request is ErrIDMismatch.
+func (c *Client) dohExchange(ctx context.Context, wire []byte) (*dnswire.Message, error) {
+	hc, u, err := c.dohClient()
+	if err != nil {
+		return nil, err
+	}
+	id := uint16(c.nextID.Add(1))
+	wire[0], wire[1] = byte(id>>8), byte(id)
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	// Built by hand rather than via http.NewRequestWithContext: the URL
+	// is pre-parsed once per client, and this sits on the per-query hot
+	// path.
+	req := (&http.Request{
+		Method: http.MethodPost,
+		URL:    u,
+		Host:   u.Host,
+		Header: http.Header{
+			"Content-Type": {dohContentType},
+			"Accept":       {dohContentType},
+		},
+		Body:          io.NopCloser(bytes.NewReader(wire)),
+		ContentLength: int64(len(wire)),
+	}).WithContext(actx)
+	resp, err := hc.Do(req)
+	if err != nil {
+		if actx.Err() != nil && ctx.Err() == nil {
+			return nil, ErrTimeout // per-attempt deadline, normalized like every transport
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("dnsclient: doh post: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxMsgSize))
+		return nil, fmt.Errorf("dnsclient: doh status %s", resp.Status)
+	}
+	bufp := readBufs.Get().(*[]byte)
+	defer readBufs.Put(bufp)
+	n, err := readBody(resp.Body, *bufp)
+	if err != nil {
+		return nil, fmt.Errorf("dnsclient: doh body: %w", err)
+	}
+	msg := new(dnswire.Message)
+	if err := msg.Unpack((*bufp)[:n]); err != nil {
+		return nil, fmt.Errorf("dnsclient: doh response: %w", err)
+	}
+	if msg.Header.ID != id {
+		return nil, ErrIDMismatch
+	}
+	return msg, nil
+}
+
+// rrTransport spreads requests round-robin over a fixed set of
+// http.Transports, giving HTTP/2 the same connection-level parallelism
+// as the datagram and stream pools while each inner transport keeps
+// multiplexing its own streams.
+type rrTransport struct {
+	next atomic.Uint32
+	ts   []*http.Transport
+}
+
+func (rr *rrTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return rr.ts[int(rr.next.Add(1))%len(rr.ts)].RoundTrip(req)
+}
+
+// CloseIdleConnections lets http.Client.CloseIdleConnections reach the
+// inner transports.
+func (rr *rrTransport) CloseIdleConnections() {
+	for _, t := range rr.ts {
+		t.CloseIdleConnections()
+	}
+}
+
+// readBody reads r to EOF into buf, erroring when it does not fit.
+func readBody(r io.Reader, buf []byte) (int, error) {
+	total := 0
+	for {
+		n, err := r.Read(buf[total:])
+		total += n
+		switch {
+		case err == io.EOF:
+			return total, nil
+		case err != nil:
+			return total, err
+		case total == len(buf):
+			return total, fmt.Errorf("response exceeds %d octets", len(buf))
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package dnsclient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// maxMsgSize bounds one DNS message on any transport; 64 KiB is the
+// stream-framing maximum.
+const maxMsgSize = 64 * 1024
+
+// readBufs is the shared read-buffer arena. Each pooled connection's
+// reader checks one 64 KiB buffer out for its whole lifetime instead
+// of the seed client's fresh allocation per query, which was ~98%
+// wasted on typical answers. Message.Unpack copies everything it
+// keeps, so a buffer is safe to reuse the moment a message is decoded.
+var readBufs = sync.Pool{New: func() any { b := make([]byte, maxMsgSize); return &b }}
+
+// pool is a fixed-size set of persistent connections to one server,
+// shared by every worker of a batch probe. Connections are dialed
+// lazily, handed out round-robin, and pruned-then-replaced on the use
+// after they die, so a server restart mid-batch costs one failed
+// attempt per in-flight query and a re-dial — not a wedged pool.
+type pool struct {
+	dial     func() (net.Conn, error)
+	framed   bool // RFC 1035 §4.2.2 two-octet length framing (tcp/dot)
+	size     int
+	wtimeout time.Duration
+
+	mu     sync.Mutex
+	conns  []*poolConn
+	rr     uint
+	closed bool
+}
+
+// conn returns a live pooled connection, dialing a replacement when
+// the pool is below size. The dial happens under the pool lock:
+// concurrent workers serialize here only while a dial or TLS
+// handshake is actually in progress, which happens a handful of times
+// per pool lifetime, and a re-dialing pool never thunders a restarted
+// server.
+func (p *pool) conn() (*poolConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	live := p.conns[:0]
+	for _, pc := range p.conns {
+		if !pc.isDead() {
+			live = append(live, pc)
+		}
+	}
+	p.conns = live
+	if len(p.conns) < p.size {
+		nc, err := p.dial()
+		if err != nil {
+			if len(p.conns) == 0 {
+				return nil, err
+			}
+			// Degraded: the server refused a fresh dial but existing
+			// connections still look live; keep using them.
+		} else {
+			pc := newPoolConn(nc, p.framed, p.wtimeout)
+			p.conns = append(p.conns, pc)
+			go pc.readLoop(pc.stop)
+			p.rr++
+			return pc, nil
+		}
+	}
+	pc := p.conns[int(p.rr)%len(p.conns)]
+	p.rr++
+	return pc, nil
+}
+
+// close fails every connection and waits for the reader goroutines to
+// exit, so a closed client leaves nothing running.
+func (p *pool) close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, pc := range conns {
+		pc.fail(ErrClosed)
+	}
+	for _, pc := range conns {
+		<-pc.rdone
+	}
+}
+
+// poolConn is one demultiplexed connection: writers register a query
+// ID and wait on a per-query channel; a single reader goroutine owns
+// the connection's read side and routes each response to its waiter
+// by ID — out-of-order responses (RFC 7766 pipelining) match their
+// waiters regardless of arrival order. A response bearing an ID with
+// no in-flight entry is dropped: with the demux table consulted
+// first, reordering is ruled out and a mismatch is a stale or spoofed
+// datagram (RFC 5452), not a protocol error.
+type poolConn struct {
+	nc       net.Conn
+	framed   bool
+	wtimeout time.Duration
+	stop     chan struct{} // closed by fail; also unblocks the reader via nc.Close
+	rdone    chan struct{} // closed when the reader exits
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	inflight map[uint16]chan *dnswire.Message
+	dead     bool
+	err      error
+}
+
+func newPoolConn(nc net.Conn, framed bool, wtimeout time.Duration) *poolConn {
+	return &poolConn{
+		nc:       nc,
+		framed:   framed,
+		wtimeout: wtimeout,
+		stop:     make(chan struct{}),
+		rdone:    make(chan struct{}),
+		inflight: make(map[uint16]chan *dnswire.Message),
+	}
+}
+
+func (pc *poolConn) isDead() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.dead
+}
+
+// register allocates a query ID unique among this connection's
+// in-flight queries. The seed client's uint16(counter) wrapped
+// silently, so with 65536 queries issued two live queries could share
+// an ID and the second response would resolve the wrong waiter; here
+// busy IDs are skipped.
+func (pc *poolConn) register(next *atomic.Uint32) (uint16, chan *dnswire.Message, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.dead {
+		return 0, nil, pc.errLocked()
+	}
+	for i := 0; i < 65536; i++ {
+		id := uint16(next.Add(1))
+		if id == 0 {
+			continue // 0 is the placeholder in freshly packed queries
+		}
+		if _, busy := pc.inflight[id]; busy {
+			continue
+		}
+		ch := make(chan *dnswire.Message, 1)
+		pc.inflight[id] = ch
+		return id, ch, nil
+	}
+	return 0, nil, errors.New("dnsclient: all query IDs in flight on one connection")
+}
+
+func (pc *poolConn) deregister(id uint16) {
+	pc.mu.Lock()
+	delete(pc.inflight, id)
+	pc.mu.Unlock()
+}
+
+// deliver routes one response to its waiter. Exactly one of deliver
+// and fail touches any given channel: both claim the in-flight entry
+// under the lock before acting on it.
+func (pc *poolConn) deliver(resp *dnswire.Message) {
+	pc.mu.Lock()
+	ch, ok := pc.inflight[resp.Header.ID]
+	if ok {
+		delete(pc.inflight, resp.Header.ID)
+	}
+	pc.mu.Unlock()
+	if ok {
+		ch <- resp // buffered; never blocks
+	}
+}
+
+// fail marks the connection dead, closes it (unblocking the reader),
+// and fails every in-flight query by closing its channel, so waiters
+// see a clean connection error instead of hanging into their
+// timeouts. Idempotent.
+func (pc *poolConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.dead {
+		pc.mu.Unlock()
+		return
+	}
+	pc.dead = true
+	pc.err = err
+	waiters := make([]chan *dnswire.Message, 0, len(pc.inflight))
+	for id, ch := range pc.inflight {
+		delete(pc.inflight, id)
+		waiters = append(waiters, ch)
+	}
+	pc.mu.Unlock()
+	close(pc.stop)
+	pc.nc.Close()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+func (pc *poolConn) lastErr() error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.errLocked()
+}
+
+func (pc *poolConn) errLocked() error {
+	if pc.err != nil {
+		return fmt.Errorf("dnsclient: connection failed: %w", pc.err)
+	}
+	return errors.New("dnsclient: connection failed")
+}
+
+func (pc *poolConn) write(buf []byte) error {
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	pc.nc.SetWriteDeadline(time.Now().Add(pc.wtimeout))
+	_, err := pc.nc.Write(buf)
+	return err
+}
+
+// readLoop is the connection's single reader: it holds one arena
+// buffer for its lifetime, decodes each datagram or frame, and
+// demultiplexes it to the waiter that registered the ID. Undecodable
+// input is skipped (a garbage datagram must not kill a shared
+// connection); a read error fails the connection and every waiter.
+func (pc *poolConn) readLoop(stop <-chan struct{}) {
+	defer close(pc.rdone)
+	bufp := readBufs.Get().(*[]byte)
+	defer readBufs.Put(bufp)
+	buf := *bufp
+	for {
+		var n int
+		var err error
+		if pc.framed {
+			n, err = readFrame(pc.nc, buf)
+		} else {
+			n, err = pc.nc.Read(buf)
+		}
+		if err != nil {
+			select {
+			case <-stop:
+				// fail() already ran (close or write error); keep its cause.
+			default:
+				pc.fail(err)
+			}
+			return
+		}
+		resp := new(dnswire.Message)
+		if resp.Unpack(buf[:n]) != nil || !resp.Header.Response {
+			continue // garbage or an echoed query; keep reading
+		}
+		pc.deliver(resp)
+	}
+}
+
+// readFrame reads one RFC 1035 §4.2.2 length-framed message into buf.
+func readFrame(r io.Reader, buf []byte) (int, error) {
+	if _, err := io.ReadFull(r, buf[:2]); err != nil {
+		return 0, err
+	}
+	n := int(buf[0])<<8 | int(buf[1])
+	if n > len(buf) {
+		return 0, fmt.Errorf("dnsclient: %d-octet frame exceeds %d", n, len(buf))
+	}
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

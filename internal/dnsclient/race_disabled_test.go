@@ -1,0 +1,5 @@
+//go:build !race
+
+package dnsclient
+
+const raceEnabled = false

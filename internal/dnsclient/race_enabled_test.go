@@ -1,0 +1,7 @@
+//go:build race
+
+package dnsclient
+
+// raceEnabled lets allocation-budget tests skip under the race
+// detector, whose instrumentation allocates inside sync.Pool.
+const raceEnabled = true

@@ -1,10 +1,12 @@
 package dnsserver
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,25 +36,31 @@ const (
 	FaultServFail
 )
 
-// Server answers DNS queries over UDP and TCP from a Store. Start it
-// with ListenAndServe on an address like "127.0.0.1:0"; Addr reports
-// the port actually bound so tests and the simulator can point clients
-// at it.
+// Server answers DNS queries over UDP and TCP from a Store, with
+// optional DoT (EnableDoT) and DoH (EnableDoH) listeners sharing the
+// same store and fault hooks. Start it with ListenAndServe on an
+// address like "127.0.0.1:0"; Addr reports the port actually bound so
+// tests and the simulator can point clients at it.
 type Server struct {
 	Store *Store
 
-	// ReadTimeout bounds how long a TCP connection may idle between
-	// queries. Zero means 5 seconds.
+	// ReadTimeout bounds how long a TCP or DoT connection may idle
+	// between queries. Zero means 5 seconds.
 	ReadTimeout time.Duration
 
-	mu      sync.Mutex
-	udpConn *net.UDPConn
-	tcpLn   net.Listener
-	done    chan struct{}
-	wg      sync.WaitGroup
-	started bool
-	queries atomic.Int64
-	OnQuery func(q dnswire.Question) // optional observation hook (passive DNS taps this)
+	mu          sync.Mutex
+	udpConn     *net.UDPConn
+	tcpLn       net.Listener
+	dotLn       net.Listener
+	dohLn       net.Listener
+	dohSrv      *http.Server
+	cert        *tls.Certificate
+	streamConns map[net.Conn]struct{}
+	done        chan struct{}
+	wg          sync.WaitGroup
+	started     bool
+	queries     atomic.Int64
+	OnQuery     func(q dnswire.Question) // optional observation hook (passive DNS taps this)
 	// OnFault, when non-nil, is consulted once per parsed query and may
 	// inject a failure mode instead of the normal answer. udp reports
 	// the transport the query arrived on. The hook runs on the serving
@@ -102,8 +110,8 @@ func (s *Server) ListenAndServe(addr string) error {
 	s.done = make(chan struct{})
 	s.started = true
 	s.wg.Add(2)
-	go s.serveUDP()
-	go s.serveTCP()
+	go s.serveUDP(s.done)
+	go s.serveStream(s.tcpLn, s.done)
 	return nil
 }
 
@@ -120,7 +128,9 @@ func (s *Server) Addr() string {
 // Queries reports how many queries have been answered.
 func (s *Server) Queries() int64 { return s.queries.Load() }
 
-// Close shuts both listeners down and waits for in-flight handlers.
+// Close shuts every listener down and waits for in-flight handlers.
+// A closed server can be started again (and DoT/DoH re-enabled), so
+// tests can prove clients survive a mid-batch restart.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if !s.started {
@@ -130,20 +140,33 @@ func (s *Server) Close() error {
 	close(s.done)
 	s.udpConn.Close()
 	s.tcpLn.Close()
+	if s.dotLn != nil {
+		s.dotLn.Close()
+		s.dotLn = nil
+	}
+	if s.dohSrv != nil {
+		s.dohSrv.Close()
+		s.dohSrv = nil
+		s.dohLn = nil
+	}
+	for conn := range s.streamConns {
+		conn.Close()
+	}
+	s.streamConns = nil
 	s.started = false
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
 }
 
-func (s *Server) serveUDP() {
+func (s *Server) serveUDP(done <-chan struct{}) {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
 		n, raddr, err := s.udpConn.ReadFromUDP(buf)
 		if err != nil {
 			select {
-			case <-s.done:
+			case <-done:
 				return
 			default:
 				continue // transient read error; keep serving
@@ -162,22 +185,43 @@ func (s *Server) serveUDP() {
 	}
 }
 
-func (s *Server) serveTCP() {
+// serveStream accepts length-framed DNS connections — plain TCP and
+// the TLS listener EnableDoT adds both land here.
+func (s *Server) serveStream(ln net.Listener, done <-chan struct{}) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.tcpLn.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			select {
-			case <-s.done:
+			case <-done:
 				return
 			default:
 				continue
 			}
 		}
+		// Track the connection so Close can tear it down immediately;
+		// pooled clients hold keep-alive connections idle in a read, and
+		// waiting out their read deadline would stall every restart.
+		s.mu.Lock()
+		select {
+		case <-done:
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
+		if s.streamConns == nil {
+			s.streamConns = make(map[net.Conn]struct{})
+		}
+		s.streamConns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.serveTCPConn(conn)
+			s.mu.Lock()
+			delete(s.streamConns, conn)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -203,7 +247,11 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		}
 		resp := s.handle(msg, false)
 		if resp == nil {
-			return
+			// An injected drop (or unsalvageable garbage): swallow the
+			// query but keep the connection open, so stream clients see
+			// the same silent-timeout pathology datagram clients do
+			// instead of a clean EOF.
+			continue
 		}
 		out := make([]byte, 2+len(resp))
 		out[0] = byte(len(resp) >> 8)

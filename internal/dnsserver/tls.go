@@ -1,0 +1,190 @@
+package dnsserver
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// dohBodyBufs recycles request-body read buffers across DoH exchanges
+// so the hot path does not pay an io.ReadAll growth sequence per query.
+var dohBodyBufs = sync.Pool{New: func() any {
+	b := make([]byte, 64*1024)
+	return &b
+}}
+
+// The encrypted listeners: EnableDoT serves RFC 7858 DNS-over-TLS
+// (length-framed DNS on a TLS stream), EnableDoH serves RFC 8484
+// DNS-over-HTTPS (wire-format POST to /dns-query, HTTP/2 negotiated
+// via ALPN). Both answer through the same handle() path as UDP and
+// TCP, so the Store, OnQuery and OnFault hooks — and therefore the
+// whole fault-injection harness — cover every transport identically.
+
+// EnableDoT adds a DNS-over-TLS listener on addr. Call after
+// ListenAndServe; the listener shuts down with Close and may be
+// re-enabled after a restart.
+func (s *Server) EnableDoT(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return errors.New("dnsserver: EnableDoT before ListenAndServe")
+	}
+	if s.dotLn != nil {
+		return errors.New("dnsserver: DoT already enabled")
+	}
+	cert, err := s.certLocked()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: dot listen: %w", err)
+	}
+	s.dotLn = tls.NewListener(ln, &tls.Config{
+		Certificates: []tls.Certificate{*cert},
+		NextProtos:   []string{"dot"},
+	})
+	s.wg.Add(1)
+	go s.serveStream(s.dotLn, s.done)
+	return nil
+}
+
+// DoTAddr returns the DoT listener's address, valid after EnableDoT.
+func (s *Server) DoTAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dotLn == nil {
+		return ""
+	}
+	return s.dotLn.Addr().String()
+}
+
+// EnableDoH adds a DNS-over-HTTPS listener on addr, answering
+// wire-format POSTs on /dns-query. Call after ListenAndServe; the
+// listener shuts down with Close and may be re-enabled after a
+// restart.
+func (s *Server) EnableDoH(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return errors.New("dnsserver: EnableDoH before ListenAndServe")
+	}
+	if s.dohSrv != nil {
+		return errors.New("dnsserver: DoH already enabled")
+	}
+	cert, err := s.certLocked()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: doh listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dns-query", s.handleDoH)
+	srv := &http.Server{
+		Handler:   mux,
+		TLSConfig: &tls.Config{Certificates: []tls.Certificate{*cert}},
+		// Receive windows far above the 64 KiB DNS message ceiling keep
+		// the connection from spending syscalls on WINDOW_UPDATE chatter
+		// for tiny wire-format bodies.
+		HTTP2: &http.HTTP2Config{
+			MaxReceiveBufferPerConnection: 1 << 20,
+			MaxReceiveBufferPerStream:     1 << 20,
+		},
+	}
+	s.dohLn = ln
+	s.dohSrv = srv
+	s.wg.Add(1)
+	go s.serveDoH(srv, ln, s.done)
+	return nil
+}
+
+// DoHAddr returns the DoH listener's address, valid after EnableDoH.
+func (s *Server) DoHAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dohLn == nil {
+		return ""
+	}
+	return s.dohLn.Addr().String()
+}
+
+// serveDoH runs the HTTPS listener until Close; ServeTLS adds "h2" to
+// the ALPN set, so clients multiplex queries over HTTP/2 streams.
+func (s *Server) serveDoH(srv *http.Server, ln net.Listener, done <-chan struct{}) {
+	defer s.wg.Done()
+	srv.ServeTLS(ln, "", "")
+	<-done
+}
+
+// handleDoH answers one RFC 8484 POST through the shared handle()
+// path. An injected FaultDrop holds the stream open until the client
+// gives up, mirroring a silent drop rather than a clean HTTP error.
+func (s *Server) handleDoH(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST wire-format queries only", http.StatusMethodNotAllowed)
+		return
+	}
+	bufp := dohBodyBufs.Get().(*[]byte)
+	defer dohBodyBufs.Put(bufp)
+	n, err := io.ReadFull(io.LimitReader(r.Body, int64(len(*bufp))), *bufp)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		http.Error(w, "short read", http.StatusBadRequest)
+		return
+	}
+	resp := s.handle((*bufp)[:n], false)
+	if resp == nil {
+		s.mu.Lock()
+		done := s.done
+		s.mu.Unlock()
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/dns-message")
+	w.Write(resp)
+}
+
+// certLocked lazily self-signs one in-memory loopback certificate,
+// shared by the DoT and DoH listeners and kept across restarts so
+// clients resuming TLS sessions keep verifying against the same
+// identity.
+func (s *Server) certLocked() (*tls.Certificate, error) {
+	if s.cert != nil {
+		return s.cert, nil
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: generating key: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "dnsserver"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageKeyEncipherment | x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: self-signing: %w", err)
+	}
+	s.cert = &tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+	return s.cert, nil
+}

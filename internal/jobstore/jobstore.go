@@ -66,6 +66,7 @@ func Terminal(state string) bool {
 // epoch).
 type Spec struct {
 	Resolver       string  `json:"resolver,omitempty"`
+	Transport      string  `json:"dns_transport,omitempty"`
 	DNSWorkers     int     `json:"dns_workers,omitempty"`
 	WebWorkers     int     `json:"web_workers,omitempty"`
 	Rate           float64 `json:"rate,omitempty"`

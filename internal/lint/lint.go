@@ -100,6 +100,10 @@ func DefaultConfig() *Config {
 			"repro/internal/jobstore",
 			"repro/internal/resilience",
 			"repro/internal/dnsclient",
+			// The server's pooled listeners (UDP, stream, DoT, DoH) spawn
+			// one goroutine per listener and per accepted connection; every
+			// one must carry the done channel.
+			"repro/internal/dnsserver",
 		},
 	}
 }

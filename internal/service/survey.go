@@ -70,6 +70,9 @@ type surveyRequest struct {
 	// Resolver is the DNS server to probe ("host:port"). Required
 	// unless SkipDNS.
 	Resolver string `json:"resolver,omitempty"`
+	// Transport selects the probing transport: "udp" (default), "tcp",
+	// "dot" or "doh".
+	Transport string `json:"dns_transport,omitempty"`
 	// Detect, default true, filters the candidates through the
 	// detection engine first and surveys only the homograph matches.
 	// Explicitly false surveys every submitted FQDN.
@@ -93,6 +96,7 @@ type surveyRequest struct {
 func (req surveyRequest) spec() jobstore.Spec {
 	return jobstore.Spec{
 		Resolver:       req.Resolver,
+		Transport:      req.Transport,
 		DNSWorkers:     req.DNSWorkers,
 		WebWorkers:     req.WebWorkers,
 		Rate:           req.Rate,
@@ -159,6 +163,12 @@ type surveyJob struct {
 	journalPath            string
 	journalFrom, journalTo int64
 	createdUnix            int64
+
+	// closeDNS, set at launch, tears down the job's pooled DNS client
+	// (sockets, reader goroutines, TLS sessions) when the run ends; a
+	// long-lived serve process must not accrete a connection pool per
+	// finished job.
+	closeDNS func() error
 
 	mu         sync.Mutex
 	status     string
@@ -571,7 +581,12 @@ func (s *Server) surveyPipelineConfig(spec jobstore.Spec) (triage.Config, error)
 		if _, _, err := net.SplitHostPort(spec.Resolver); err != nil {
 			return cfg, fmt.Errorf("bad resolver %q: %v", spec.Resolver, err)
 		}
+		transport, err := dnsclient.ParseTransport(spec.Transport)
+		if err != nil {
+			return cfg, fmt.Errorf("bad dns_transport %q: %v", spec.Transport, err)
+		}
 		client := dnsclient.New(spec.Resolver)
+		client.Transport = transport
 		client.Timeout = ms(spec.DNSTimeoutMS, 2000)
 		client.Retries = 0 // the pipeline's "retries" knob owns retry policy
 		cfg.DNS = client

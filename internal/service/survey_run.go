@@ -157,7 +157,13 @@ func (s *Server) launch(job *surveyJob) error {
 	cfg.Resume = resume
 	pipeline, err := triage.New(cfg)
 	if err != nil {
+		if cfg.DNS != nil {
+			cfg.DNS.Close()
+		}
 		return err
+	}
+	if cfg.DNS != nil {
+		job.closeDNS = cfg.DNS.Close
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job.mu.Lock()
@@ -175,6 +181,10 @@ func (s *Server) launch(job *surveyJob) error {
 		// The manifest could not record "running"; refuse to run a job a
 		// crash could not see. Roll the in-memory state back.
 		cancel()
+		if job.closeDNS != nil {
+			job.closeDNS()
+			job.closeDNS = nil
+		}
 		job.mu.Lock()
 		job.status = surveyAccepted
 		job.pipeline = nil
@@ -225,6 +235,11 @@ func (s *Server) releaseSurveySlot() {
 func (s *Server) runSurvey(ctx context.Context, job *surveyJob) {
 	defer s.releaseSurveySlot()
 	defer s.met.surveysActive.Add(-1)
+	defer func() {
+		if job.closeDNS != nil {
+			job.closeDNS()
+		}
+	}()
 	defer job.cancelFn()()
 
 	// The per-job watchdog: when the pipeline's counters freeze for

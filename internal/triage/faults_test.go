@@ -107,6 +107,12 @@ func startFaultEnv(t *testing.T) *faultEnv {
 	if err := dns.ListenAndServe("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
+	if err := dns.EnableDoT("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dns.EnableDoH("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { dns.Close() })
 
 	web := websim.NewServer()
@@ -128,10 +134,27 @@ func startFaultEnv(t *testing.T) *faultEnv {
 
 	env.dns = dns
 	env.web = web
-	env.client = dnsclient.New(dns.Addr())
-	env.client.Timeout = 250 * time.Millisecond
-	env.client.Retries = 1
+	env.client = env.clientFor(t, dnsclient.TransportUDP)
 	return env
+}
+
+// clientFor builds a probing client for one transport against the
+// fault server, with the harness's tight timeout/retry budget.
+func (env *faultEnv) clientFor(t *testing.T, tr dnsclient.Transport) *dnsclient.Client {
+	t.Helper()
+	addr := env.dns.Addr()
+	switch tr {
+	case dnsclient.TransportDoT:
+		addr = env.dns.DoTAddr()
+	case dnsclient.TransportDoH:
+		addr = env.dns.DoHAddr()
+	}
+	c := dnsclient.New(addr)
+	c.Transport = tr
+	c.Timeout = 250 * time.Millisecond
+	c.Retries = 1
+	t.Cleanup(func() { c.Close() })
+	return c
 }
 
 func (env *faultEnv) pipeline(t *testing.T, workers int) *Pipeline {
@@ -192,8 +215,20 @@ func faultInputs() []Input {
 	return inputs
 }
 
+// TestFaultInjectionEndToEnd runs the full 14-pathology population
+// over every probing transport: the same faults are injected by the
+// shared handle() path, so every record-level outcome and tally must
+// be transport-independent (the one exception being the TC bit, which
+// only exists on UDP and is proven separately below).
 func TestFaultInjectionEndToEnd(t *testing.T) {
+	for _, tr := range dnsclient.Transports() {
+		t.Run(string(tr), func(t *testing.T) { testFaultInjectionEndToEnd(t, tr) })
+	}
+}
+
+func testFaultInjectionEndToEnd(t *testing.T, tr dnsclient.Transport) {
 	env := startFaultEnv(t)
+	env.client = env.clientFor(t, tr)
 	workers := 8
 	if raceEnabled {
 		workers = 4
@@ -311,15 +346,18 @@ func TestFaultInjectionEndToEnd(t *testing.T) {
 		return ""
 	})
 
-	// Transport-level proof of the fault paths.
-	env.mu.Lock()
-	if !env.tcpSeen["xn--truncated.com."] {
-		t.Error("truncation did not force a TCP retry")
+	// Transport-level proof of the fault paths; only the datagram
+	// transport has a TC bit to fall back from or datagrams to drop.
+	if tr == dnsclient.TransportUDP {
+		env.mu.Lock()
+		if !env.tcpSeen["xn--truncated.com."] {
+			t.Error("truncation did not force a TCP retry")
+		}
+		if env.udpDrops["xn--dropped.com."] < 2 {
+			t.Errorf("dropped domain saw %d UDP queries, want ≥2 (client retry)", env.udpDrops["xn--dropped.com."])
+		}
+		env.mu.Unlock()
 	}
-	if env.udpDrops["xn--dropped.com."] < 2 {
-		t.Errorf("dropped domain saw %d UDP queries, want ≥2 (client retry)", env.udpDrops["xn--dropped.com."])
-	}
-	env.mu.Unlock()
 
 	// Tally assertions: the Table 12/13/14 aggregates over this
 	// population are fully determined by the ground truth above.

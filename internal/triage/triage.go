@@ -364,25 +364,20 @@ func (p *Pipeline) dnsStage(ctx context.Context, rec Record) Record {
 	return rec
 }
 
-// probeWithTimeout runs one probe bounded by the stage timeout. The
-// probe goroutine owns its result until it sends it; on timeout the
-// result is abandoned unread (the goroutine exits on the DNS client's
-// own per-attempt deadlines), so no shared state races.
+// probeWithTimeout runs one probe bounded by the stage timeout,
+// expressed as a context deadline the DNS client honors directly: on
+// expiry the probe stops retransmitting, stops sleeping through its
+// backoff schedule, and releases its pooled-connection slots before
+// returning — nothing is abandoned to keep probing a domain the
+// window already moved past.
 func (p *Pipeline) probeWithTimeout(ctx context.Context, fqdn string) (dnsclient.ProbeResult, bool) {
-	ch := make(chan dnsclient.ProbeResult, 1)
-	go func() {
-		ch <- p.cfg.DNS.Probe(fqdn)
-	}()
-	t := time.NewTimer(p.cfg.StageTimeout)
-	defer t.Stop()
-	select {
-	case res := <-ch:
-		return res, false
-	case <-t.C:
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.StageTimeout)
+	defer cancel()
+	res := p.cfg.DNS.ProbeContext(pctx, fqdn)
+	if res.Err != nil && pctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
 		return dnsclient.ProbeResult{Name: fqdn}, true
-	case <-ctx.Done():
-		return dnsclient.ProbeResult{Name: fqdn, Err: ctx.Err()}, false
 	}
+	return res, false
 }
 
 // webStage classifies one record's website. The §6.2 gate: only

@@ -204,6 +204,7 @@ func TestStageTimeoutUnsticksThePipeline(t *testing.T) {
 	if !strings.Contains(records[0].DNSError, "stage timeout") {
 		t.Fatalf("DNSError = %q, want stage-timeout marker", records[0].DNSError)
 	}
+	dead.Close() // tear down the pooled sockets before counting goroutines
 	waitForGoroutineSettle(t, baseline)
 }
 
@@ -247,6 +248,7 @@ func TestCancellationDrainsWithoutLeaks(t *testing.T) {
 		t.Fatalf("only %d records before close", got)
 	}
 	cancel()
+	dead.Close() // tear down the pooled sockets before counting goroutines
 	waitForGoroutineSettle(t, baseline)
 }
 

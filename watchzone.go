@@ -52,6 +52,9 @@ type WatchZoneOptions struct {
 	// NS/A/MX against this "host:port" DNS server — the paper's §6.1
 	// liveness sweep running continuously on the delta stream.
 	Resolver string
+	// Transport selects the probing transport ("udp", "tcp", "dot" or
+	// "doh"; empty = udp). Batched survey jobs inherit it.
+	Transport string
 
 	// Addr, when non-empty, also serves the HTTP API on this address;
 	// /metrics then carries the watcher's health block alongside the
@@ -123,11 +126,17 @@ func WatchZone(ctx context.Context, opt WatchZoneOptions) error {
 		return err
 	}
 
+	transport, err := dnsclient.ParseTransport(opt.Transport)
+	if err != nil {
+		return fmt.Errorf("shamfinder: %w", err)
+	}
 	var probe func(context.Context, triage.Input) error
 	if opt.Resolver != "" {
 		client := dnsclient.New(opt.Resolver)
-		probe = func(_ context.Context, in triage.Input) error {
-			return client.Probe(in.FQDN).Err
+		client.Transport = transport
+		defer client.Close()
+		probe = func(pctx context.Context, in triage.Input) error {
+			return client.ProbeContext(pctx, in.FQDN).Err
 		}
 	}
 	w, err := zonewatch.New(zonewatch.Config{
@@ -192,9 +201,10 @@ func WatchZone(ctx context.Context, opt WatchZoneOptions) error {
 			// uses; without one the DNS stage is skipped rather than left
 			// to dial a default it was never given.
 			spec := jobstore.Spec{
-				Resolver: opt.Resolver,
-				SkipDNS:  opt.Resolver == "",
-				SkipWeb:  opt.SurveySkipWeb,
+				Resolver:  opt.Resolver,
+				Transport: string(transport),
+				SkipDNS:   opt.Resolver == "",
+				SkipWeb:   opt.SurveySkipWeb,
 			}
 			batcher, err := zonewatch.NewSurveyBatcher(zonewatch.SurveyBatcherConfig{
 				JournalPath: journal,
