@@ -1,0 +1,77 @@
+// Command confusablesgen deterministically regenerates the embedded
+// synthetic confusables table (internal/confusables/confusables_data.txt)
+// from the curated seeds and quota tables compiled into the binary, pinned
+// to one Unicode version and stamped with a generation time. Data updates
+// become reviewed diffs: CI reruns the generator and fails if the
+// committed file differs from the regenerated one.
+//
+// With -generated-at keep (the default) the stamp is copied from the
+// existing output file, so a no-change regeneration is byte-identical —
+// exactly the property the CI `git diff --exit-code` gate needs.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/confusables"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "internal/confusables/confusables_data.txt", "output path ('-' for stdout)")
+		version = flag.String("version", confusables.SyntheticUnicodeVersion, "pinned Unicode version to stamp")
+		genAt   = flag.String("generated-at", "keep", "RFC 3339 generation stamp, or 'keep' to reuse the existing file's stamp")
+	)
+	flag.Parse()
+
+	stamp := *genAt
+	if stamp == "keep" {
+		stamp = existingStamp(*out)
+	}
+
+	var buf bytes.Buffer
+	if err := confusables.WriteGenerated(&buf, *version, stamp); err != nil {
+		fmt.Fprintln(os.Stderr, "confusablesgen:", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "confusablesgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := snapshot.WriteFileAtomic(*out, buf.Bytes()); err != nil {
+		fmt.Fprintln(os.Stderr, "confusablesgen:", err)
+		os.Exit(1)
+	}
+	db := confusables.BuildSynthetic()
+	fmt.Fprintf(os.Stderr, "confusablesgen: wrote %s (%d entries, Unicode %s)\n", *out, db.Len(), *version)
+}
+
+// existingStamp recovers the GeneratedAt header from the committed file,
+// falling back to a fixed epoch stamp for a first-time generation so the
+// output is still deterministic.
+func existingStamp(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return "1970-01-01T00:00:00Z"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if v, ok := strings.CutPrefix(sc.Text(), "# GeneratedAt:"); ok {
+			return strings.TrimSpace(v)
+		}
+		if !strings.HasPrefix(sc.Text(), "#") {
+			break
+		}
+	}
+	return "1970-01-01T00:00:00Z"
+}

@@ -91,11 +91,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   shamfinder compile -o FILE [-refs FILE] [-db uc|simchar|both] [-fastfont]
   shamfinder serve   {-refs FILE | -snapshot FILE} [-addr HOST:PORT] [-watch DUR] [-max-inflight N] [-job-dir DIR]
-                     [-survey-ttl DUR] [-survey-keep N] [-survey-stall DUR] [-db uc|simchar|both] [-fastfont]
-  shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-db uc|simchar|both] [-fastfont] [-workers N] [-json]
+                     [-survey-ttl DUR] [-survey-keep N] [-survey-stall DUR] [-backend postings|skeleton|both]
+                     [-db uc|simchar|both] [-fastfont]
+  shamfinder detect  {-refs FILE | -snapshot FILE} [-domains FILE] [-backend postings|skeleton|both]
+                     [-db uc|simchar|both] [-fastfont] [-workers N] [-json]
   shamfinder survey  {-matches FILE | {-refs FILE | -snapshot FILE} [-domains FILE]} -resolver HOST:PORT
                      [-dns-transport udp|tcp|dot|doh] [-dns-workers N] [-web-workers N] [-rate QPS] [-retries N]
-                     [-stage-timeout DUR] [-dns-timeout DUR]
+                     [-stage-timeout DUR] [-dns-timeout DUR] [-backend postings|skeleton|both]
                      [-skip-dns] [-skip-web] [-blacklist NAME=FILE ...] [-parking-ns LIST]
                      [-http-addr HOST:PORT] [-https-addr HOST:PORT] [-o FILE.jsonl] [-resume FILE.jsonl] [-table]
   shamfinder watch-zone -zone FILE -state DIR {-refs FILE | -snapshot FILE} [-deltas FILE] [-interval DUR] [-once]
@@ -110,6 +112,13 @@ func usage() {
 domain lists may span any TLD (.com, .net, co.uk, xn--p1ai, ...); full
 FQDNs are scanned label-aware and references index on their registrable
 label (amazon.co.uk protects "amazon").
+
+-backend selects the detection backend: postings (the per-position
+index, pinpoints each substituted character), skeleton (the TR39
+whole-label prototype map, catches many-to-one homographs like
+rnicrosoft/vvikipedia that no same-length comparison can see — and
+therefore scans pure-ASCII names too), or both (the union, each match
+tagged with the backend(s) that found it).
 
 serve exposes the hot-swappable engine as an HTTP JSON API (POST
 /v1/detect, GET /v1/explain, POST /v1/reload, POST /v1/survey, GET
@@ -268,9 +277,14 @@ func cmdServe(args []string) error {
 	surveyTTL := fs.Duration("survey-ttl", 0, "evict finished survey jobs this long after they finish; 0 = no TTL")
 	surveyKeep := fs.Int("survey-keep", 0, "max retained finished survey jobs; 0 = 32")
 	surveyStall := fs.Duration("survey-stall", 0, "fail a survey job whose pipeline freezes this long; 0 = no watchdog")
+	backend := fs.String("backend", "", "default detection backend: postings (default), skeleton or both")
 	fs.Parse(args)
 	if *watch > 0 && *snapPath == "" {
 		return fmt.Errorf("serve: -watch needs -snapshot (it polls the snapshot file)")
+	}
+	be, err := shamfinder.ParseBackend(*backend)
+	if err != nil {
+		return err
 	}
 	cfg, err := buildConfig(*fast, *db)
 	if err != nil {
@@ -286,6 +300,7 @@ func cmdServe(args []string) error {
 		Watch:        *watch,
 		Build:        cfg,
 		MaxInFlight:  *maxInFlight,
+		Backend:      be,
 		JobDir:       *jobDir,
 		SurveyTTL:    *surveyTTL,
 		SurveyKeep:   *surveyKeep,
@@ -303,7 +318,12 @@ func cmdDetect(args []string) error {
 	fast := fs.Bool("fastfont", false, "skip CJK/Hangul font generation")
 	workers := fs.Int("workers", 0, "detection workers; 0 = GOMAXPROCS")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per match (the serve API's wire format)")
+	backend := fs.String("backend", "", "detection backend: postings (default), skeleton or both")
 	fs.Parse(args)
+	be, err := shamfinder.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
 	_, det, err := loadEngine(*snapPath, *refsPath, *fast, *db, true)
 	if err != nil {
 		return err
@@ -318,7 +338,7 @@ func cmdDetect(args []string) error {
 		in = f
 	}
 
-	matches, scanned, err := streamDetect(det, in, *workers)
+	matches, scanned, err := streamDetectBackend(det, in, *workers, be)
 	if err != nil {
 		return err
 	}
@@ -339,9 +359,9 @@ func cmdDetect(args []string) error {
 	} else {
 		for _, m := range matches {
 			// The matched FQDN as seen in the zone, the decoded label,
-			// and the imitated domain under the zone's own suffix — no
-			// TLD is assumed.
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.FQDN, m.Unicode, m.Imitated(), diffsText(m))
+			// the imitated domain under the zone's own suffix — no TLD
+			// is assumed — the backend that found it, and the diffs.
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", m.FQDN, m.Unicode, m.Imitated(), m.Backend, diffsText(m))
 		}
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d IDNs, detected %d homograph matches\n", scanned, len(matches))
@@ -358,8 +378,21 @@ func cmdDetect(args []string) error {
 // for any worker count. Shared by detect (which prints them) and
 // survey (which pipes them into the triage pipeline).
 func streamDetect(det *shamfinder.Detector, in io.Reader, workers int) ([]shamfinder.Match, int, error) {
+	return streamDetectBackend(det, in, workers, shamfinder.BackendPostings)
+}
+
+// streamDetectBackend is streamDetect with an explicit backend. When
+// the backend includes the skeleton index the feeder keeps every
+// non-blank line (NormalizeZoneLineAll): pure-ASCII names like
+// "rnicrosoft.com" are exactly the class that backend catches, so the
+// posting backend's ACE/non-ASCII gate must not drop them.
+func streamDetectBackend(det *shamfinder.Detector, in io.Reader, workers int, be shamfinder.Backend) ([]shamfinder.Match, int, error) {
 	labels := make(chan *[]byte, 1024)
 	pool := &sync.Pool{New: func() any { b := make([]byte, 0, 80); return &b }}
+	normalize := shamfinder.NormalizeZoneLine
+	if be&shamfinder.BackendSkeleton != 0 {
+		normalize = shamfinder.NormalizeZoneLineAll
+	}
 	scanned := 0
 	var scanErr error
 	go func() {
@@ -367,7 +400,7 @@ func streamDetect(det *shamfinder.Detector, in io.Reader, workers int) ([]shamfi
 		sc := bufio.NewScanner(in)
 		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 		for sc.Scan() {
-			label, ok := shamfinder.NormalizeZoneLine(sc.Bytes())
+			label, ok := normalize(sc.Bytes())
 			if !ok {
 				continue
 			}
@@ -379,7 +412,7 @@ func streamDetect(det *shamfinder.Detector, in io.Reader, workers int) ([]shamfi
 		scanErr = sc.Err()
 	}()
 	var matches []shamfinder.Match
-	for m := range det.DetectStreamBytes(labels, workers, pool) {
+	for m := range det.DetectStreamBytesBackend(labels, workers, pool, be) {
 		matches = append(matches, m)
 	}
 	// The stream has drained, so the feeder is done: scanErr is safe to
@@ -434,10 +467,15 @@ func cmdSurvey(args []string) error {
 	outPath := fs.String("o", "", "write JSONL records here (the checkpoint file); empty = stdout")
 	resumePath := fs.String("resume", "", "previous JSONL output: domains already recorded there are not re-probed")
 	table := fs.Bool("table", false, "print Tables 12–14-shaped summaries after the run")
+	backend := fs.String("backend", "", "detection backend for -domains input: postings (default), skeleton or both")
 	fs.Parse(args)
 
 	if !*skipDNS && *resolver == "" {
 		return fmt.Errorf("survey: need -resolver HOST:PORT (or -skip-dns)")
+	}
+	be, err := shamfinder.ParseBackend(*backend)
+	if err != nil {
+		return err
 	}
 
 	// Resolve the input set: a pre-detected match file, or run
@@ -471,7 +509,7 @@ func cmdSurvey(args []string) error {
 			defer f.Close()
 			in = f
 		}
-		matches, scanned, err := streamDetect(det, in, *workers)
+		matches, scanned, err := streamDetectBackend(det, in, *workers, be)
 		if err != nil {
 			return err
 		}

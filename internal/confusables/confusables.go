@@ -28,6 +28,12 @@ type Entry struct {
 type DB struct {
 	entries map[rune][]rune
 	comment map[rune]string
+
+	// Provenance: the pinned Unicode version the table was generated
+	// against and the generation timestamp, carried through Parse/Write
+	// so regenerating the committed data file is a reviewable diff.
+	unicodeVersion string
+	generatedAt    string
 }
 
 // New returns an empty database.
@@ -52,21 +58,39 @@ func (db *DB) Lookup(source rune) ([]rune, bool) {
 }
 
 // Confusable reports whether a and b share a skeleton: either one maps to
-// the other, or both map to the same prototype. This is the pair test the
-// detection algorithm uses ("r[i] and x[i] are listed as a pair").
+// the other, or both map to the same prototype sequence. This is the pair
+// test the detection algorithm uses ("r[i] and x[i] are listed as a
+// pair"). The comparison is over the FULL prototype sequences, so a rune
+// whose prototype is multi-rune ('m' → "rn") is never pairwise-confusable
+// with the first rune of that sequence — such pairs are the many-to-one
+// class only whole-label skeleton comparison can catch.
 func (db *DB) Confusable(a, b rune) bool {
 	if a == b {
 		return true
 	}
-	sa := db.SkeletonRune(a)
-	sb := db.SkeletonRune(b)
-	return sa == sb
+	var bufA, bufB [16]rune
+	sa := db.SkeletonAppend(bufA[:0], a)
+	sb := db.SkeletonAppend(bufB[:0], b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
 }
 
-// SkeletonRune resolves a single code point to its prototype, following
-// chains (bounded, to tolerate accidental cycles in hand-edited files).
-// Multi-rune targets resolve to the first rune, which suffices for the
-// per-character comparisons of Algorithm 1.
+// SkeletonRune resolves a single code point to the first rune of its
+// prototype, following chains (bounded, to tolerate accidental cycles in
+// hand-edited files).
+//
+// Deprecated: a multi-rune prototype ("ﬃ" → "ffi") is silently truncated
+// to its first rune, losing exactly the many-to-one mappings TR39
+// skeletons exist for. Use SkeletonAppend, which returns the complete
+// sequence; this survives only for callers that depend on the historical
+// single-rune behavior.
 func (db *DB) SkeletonRune(r rune) rune {
 	cur := r
 	for depth := 0; depth < 8; depth++ {
@@ -82,14 +106,106 @@ func (db *DB) SkeletonRune(r rune) rune {
 	return cur
 }
 
-// Skeleton maps every rune of s to its prototype, TR39's skeleton(X)
-// operation restricted to single-rune targets.
-func (db *DB) Skeleton(s string) string {
-	var sb strings.Builder
-	for _, r := range s {
-		sb.WriteRune(db.SkeletonRune(r))
+// SkeletonAppend appends r's full prototype sequence to dst and returns
+// the extended slice. Unlike the deprecated SkeletonRune, a multi-rune
+// target is expanded in full — and each rune of the target is itself
+// resolved recursively (bounded, to tolerate accidental cycles), so the
+// result is the fixed point TR39 calls the prototype. A rune with no
+// entry appends itself.
+func (db *DB) SkeletonAppend(dst []rune, r rune) []rune {
+	return db.skeletonExpand(dst, r, 0)
+}
+
+func (db *DB) skeletonExpand(dst []rune, r rune, depth int) []rune {
+	t, ok := db.entries[r]
+	if !ok || len(t) == 0 || depth >= 8 || (len(t) == 1 && t[0] == r) {
+		return append(dst, r)
 	}
-	return sb.String()
+	for _, tr := range t {
+		dst = db.skeletonExpand(dst, tr, depth+1)
+	}
+	return dst
+}
+
+// CanonicalRune resolves r through the single-rune portion of its chain:
+// it follows entries only while the target is a single rune, stopping
+// before any multi-rune expansion. This is the "most plausible original
+// character" used for §6.4 reversion — a rune that prototypes to a
+// sequence has no one-rune original, so the walk stops at the last
+// single-rune form.
+func (db *DB) CanonicalRune(r rune) rune {
+	cur := r
+	for depth := 0; depth < 8; depth++ {
+		t, ok := db.entries[cur]
+		if !ok || len(t) != 1 || t[0] == cur {
+			return cur
+		}
+		if nt, ok := db.entries[t[0]]; ok && len(nt) > 1 {
+			return t[0]
+		}
+		cur = t[0]
+	}
+	return cur
+}
+
+// Hangul syllable decomposition constants (UAX #15 §3.12).
+const (
+	hangulSBase  = 0xAC00
+	hangulLBase  = 0x1100
+	hangulVBase  = 0x1161
+	hangulTBase  = 0x11A7
+	hangulVCount = 21
+	hangulTCount = 28
+	hangulNCount = hangulVCount * hangulTCount
+	hangulSCount = 19 * hangulNCount
+)
+
+// decomposeAppend applies the NFD step of skeleton(X). Hangul syllables
+// decompose algorithmically; every other code point is carried through
+// unchanged — the embedded dataset keys no entries on non-Hangul
+// precomposed forms, so the table-driven remainder of NFD would be a
+// no-op over it (a documented restriction of the synthetic data, not of
+// the algorithm).
+func decomposeAppend(dst []rune, r rune) []rune {
+	if r >= hangulSBase && r < hangulSBase+hangulSCount {
+		si := r - hangulSBase
+		dst = append(dst, hangulLBase+si/hangulNCount, hangulVBase+(si%hangulNCount)/hangulTCount)
+		if t := si % hangulTCount; t > 0 {
+			dst = append(dst, hangulTBase+t)
+		}
+		return dst
+	}
+	return append(dst, r)
+}
+
+// Skeleton implements TR39's skeleton(X): decompose (NFD), map every rune
+// to its full prototype sequence, and concatenate. Two strings are
+// confusable iff their skeletons are equal — including many-to-one
+// confusions ("rn" vs "m") that no per-character comparison can see.
+func (db *DB) Skeleton(s string) string {
+	out := make([]rune, 0, len(s))
+	var nfd [3]rune
+	for _, r := range s {
+		for _, dr := range decomposeAppend(nfd[:0], r) {
+			out = db.SkeletonAppend(out, dr)
+		}
+	}
+	return string(out)
+}
+
+// UnicodeVersion returns the pinned Unicode version the table was
+// generated against ("" when unrecorded).
+func (db *DB) UnicodeVersion() string { return db.unicodeVersion }
+
+// GeneratedAt returns the table's generation timestamp ("" when
+// unrecorded).
+func (db *DB) GeneratedAt() string { return db.generatedAt }
+
+// SetProvenance records the pinned Unicode version and generation stamp
+// that Write emits and Parse recovers.
+func (db *DB) SetProvenance(unicodeVersion, generatedAt string) {
+	db.unicodeVersion = unicodeVersion
+	db.generatedAt = generatedAt
 }
 
 // Sources returns all source code points in ascending order.
@@ -138,6 +254,7 @@ func (db *DB) Pairs() int { return len(db.entries) }
 // keep — e.g. UC ∩ IDNA, the paper's Figure 3 intersection.
 func (db *DB) RestrictSources(keep *ucd.RuneSet) *DB {
 	out := New()
+	out.unicodeVersion, out.generatedAt = db.unicodeVersion, db.generatedAt
 	for src, tgt := range db.entries {
 		if keep.Contains(src) {
 			out.Add(src, tgt, db.comment[src])
@@ -159,6 +276,14 @@ func Parse(r io.Reader) (*DB, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimPrefix(sc.Text(), "\uFEFF")
+		if v, ok := strings.CutPrefix(line, "# UnicodeVersion:"); ok {
+			db.unicodeVersion = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "# GeneratedAt:"); ok {
+			db.generatedAt = strings.TrimSpace(v)
+			continue
+		}
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
@@ -212,6 +337,16 @@ func (db *DB) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "# confusables.txt — synthetic UC database (ShamFinder reproduction)"); err != nil {
 		return err
+	}
+	if db.unicodeVersion != "" {
+		if _, err := fmt.Fprintf(bw, "# UnicodeVersion: %s\n", db.unicodeVersion); err != nil {
+			return err
+		}
+	}
+	if db.generatedAt != "" {
+		if _, err := fmt.Fprintf(bw, "# GeneratedAt: %s\n", db.generatedAt); err != nil {
+			return err
+		}
 	}
 	for _, src := range db.Sources() {
 		tgt := db.entries[src]

@@ -1,6 +1,8 @@
 package confusables
 
 import (
+	_ "embed"
+	"strings"
 	"sync"
 
 	"repro/internal/ucd"
@@ -94,12 +96,24 @@ var blockQuota = []struct {
 	{0x1000, 0x102A, 10, 3},   // Myanmar
 }
 
-// buildDefault assembles the synthetic confusables database.
-func buildDefault() *DB {
+// SyntheticUnicodeVersion is the Unicode version the synthetic dataset is
+// pinned against: the IsPValid/block tables in internal/ucd and the
+// curated seed lists were written from this version's data files, and the
+// generator CLI stamps it into the committed table so a data refresh is a
+// reviewable diff.
+const SyntheticUnicodeVersion = "16.0.0"
+
+// BuildSynthetic assembles the synthetic confusables database from the
+// curated seeds and quota tables in this file. It is the generator the
+// confusablesgen CLI runs; normal callers use Default(), which parses the
+// committed generated form (the two are pinned equal by test).
+func BuildSynthetic() *DB {
 	db := New()
 	addLatinTargeted(db)
 	addBlockQuotas(db)
 	addCompatibilityTail(db)
+	addManyToOne(db)
+	db.SetProvenance(SyntheticUnicodeVersion, "")
 	return db
 }
 
@@ -263,6 +277,31 @@ func addCompatibilityTail(db *DB) {
 	db.Add(0x3007, []rune{'o'}, "") // ideographic zero (PVALID exception)
 }
 
+// addManyToOne adds the many-to-one confusables of the real TR39 table:
+// sequences of narrow letters that render as one wide letter ("rn" ≈ "m",
+// "vv" ≈ "w", "cl" ≈ "d") and the typographic ligatures ("ﬃ" ≈ "ffi").
+// These entries have multi-rune prototypes, so the pairwise model cannot
+// represent them at all — only whole-label skeleton comparison catches a
+// label built from them ("rnicrosoft").
+func addManyToOne(db *DB) {
+	db.Add('m', []rune("rn"), "")
+	db.Add('w', []rune("vv"), "")
+	db.Add('d', []rune("cl"), "")
+	db.Add(0xFB00, []rune("ff"), "")  // ﬀ
+	db.Add(0xFB01, []rune("fi"), "")  // ﬁ
+	db.Add(0xFB02, []rune("fl"), "")  // ﬂ
+	db.Add(0xFB03, []rune("ffi"), "") // ﬃ
+	db.Add(0xFB04, []rune("ffl"), "") // ﬄ
+}
+
+// embeddedData is the committed generated form of the synthetic dataset,
+// produced by cmd/confusablesgen. Default() parses it rather than calling
+// BuildSynthetic so the table every binary detects with is exactly the
+// reviewed bytes in the repository.
+//
+//go:embed confusables_data.txt
+var embeddedData string
+
 var (
 	defaultOnce sync.Once
 	defaultDB   *DB
@@ -271,6 +310,14 @@ var (
 // Default returns the embedded UC database, built once. Callers must treat
 // it as read-only.
 func Default() *DB {
-	defaultOnce.Do(func() { defaultDB = buildDefault() })
+	defaultOnce.Do(func() {
+		db, err := Parse(strings.NewReader(embeddedData))
+		if err != nil {
+			// The embedded table is generated and diff-gated in CI; a
+			// parse failure means a corrupted build, not bad input.
+			panic("confusables: embedded table: " + err.Error())
+		}
+		defaultDB = db
+	})
 	return defaultDB
 }

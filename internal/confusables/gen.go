@@ -1,0 +1,14 @@
+package confusables
+
+import "io"
+
+// WriteGenerated writes the synthetic dataset in its committed on-disk
+// form: the confusables.txt serialization of BuildSynthetic() with the
+// provenance header. This is the single code path cmd/confusablesgen and
+// the regeneration-parity test share, so "the CLI's output" and "what CI
+// diffs against" can never drift.
+func WriteGenerated(w io.Writer, unicodeVersion, generatedAt string) error {
+	db := BuildSynthetic()
+	db.SetProvenance(unicodeVersion, generatedAt)
+	return db.Write(w)
+}

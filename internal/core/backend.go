@@ -1,0 +1,53 @@
+package core
+
+import "fmt"
+
+// Backend selects which detection index answers a query. The two
+// backends see different attack classes: the per-(length,position)
+// posting lists (BackendPostings) prove exactly which characters were
+// substituted but can only represent same-length, rune-for-rune
+// substitutions; the TR39 skeleton index (BackendSkeleton) compares
+// whole-label prototypes in one hash probe, catching many-to-one and
+// length-changing confusions ("rn"→"m", "vv"→"w") the pairwise model
+// provably cannot. BackendBoth unions the two, tagging each match with
+// the backend(s) that found it.
+type Backend uint8
+
+const (
+	// BackendPostings is the per-(length,position) posting-list index.
+	BackendPostings Backend = 1 << iota
+	// BackendSkeleton is the whole-label TR39 skeleton hash index.
+	BackendSkeleton
+	// BackendBoth runs both backends and unions their matches.
+	BackendBoth = BackendPostings | BackendSkeleton
+)
+
+// String names the backend the way the CLI flag and wire field spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendPostings:
+		return "postings"
+	case BackendSkeleton:
+		return "skeleton"
+	case BackendBoth:
+		return "both"
+	default:
+		return "none"
+	}
+}
+
+// ParseBackend parses the CLI/wire spelling. The empty string selects
+// BackendPostings — the pre-existing behavior of every caller that does
+// not ask for a backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "postings":
+		return BackendPostings, nil
+	case "skeleton":
+		return BackendSkeleton, nil
+	case "both":
+		return BackendBoth, nil
+	default:
+		return 0, fmt.Errorf(`core: unknown backend %q (want "postings", "skeleton", or "both")`, s)
+	}
+}

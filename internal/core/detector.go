@@ -47,7 +47,8 @@ type Match struct {
 	Reference string // targeted reference label (registrable label, suffix removed)
 	FQDN      string // full domain the label was matched in (equals IDN for bare-label input)
 	TLD       string // public suffix of FQDN ("com", "co.uk", "xn--p1ai"); "" for bare labels
-	Diffs     []CharDiff
+	Backend   Backend
+	Diffs     []CharDiff // per-character substitutions (posting backend only)
 }
 
 // Imitated returns the domain the match imitates: the reference label
@@ -84,6 +85,7 @@ type scratch struct {
 	lists [][]int32
 	cand  []int32
 	next  []int32
+	skel  []byte
 }
 
 // Detector holds the reference list bucketed by length, the candidate
@@ -93,6 +95,7 @@ type Detector struct {
 	db      *homoglyph.DB
 	byLen   map[int]*bucket
 	refs    []string
+	skel    *skelIndex
 	scratch sync.Pool
 }
 
@@ -145,6 +148,7 @@ func NewDetector(db *homoglyph.DB, references []string) *Detector {
 	for _, b := range d.byLen {
 		b.buildIndex(homoglyphs)
 	}
+	d.skel = buildSkelIndex(db, d.refs)
 	return d
 }
 
@@ -207,7 +211,12 @@ func (d *Detector) matchAgainst(ref []rune, idn []rune) ([]CharDiff, bool) {
 // the same-length references via the candidate index and returns all
 // matches, in reference insertion order. Safe for concurrent use.
 func (d *Detector) DetectLabel(idnLabel string) []Match {
-	return detectLabel(d, idnLabel)
+	return detectLabel(d, idnLabel, BackendPostings)
+}
+
+// DetectLabelBackend is DetectLabel with an explicit backend choice.
+func (d *Detector) DetectLabelBackend(idnLabel string, be Backend) []Match {
+	return detectLabel(d, idnLabel, be)
 }
 
 // DetectLabelBytes is DetectLabel over a reused line buffer: nothing is
@@ -218,15 +227,24 @@ func (d *Detector) DetectLabel(idnLabel string) []Match {
 //
 //shamlint:noalloc
 func (d *Detector) DetectLabelBytes(label []byte) []Match {
-	return detectLabel(d, label)
+	return detectLabel(d, label, BackendPostings)
+}
+
+// DetectLabelBytesBackend is DetectLabelBytes with an explicit backend;
+// the skeleton path keeps the same contract — one map probe on borrowed
+// scratch, nothing allocated unless the label matches.
+//
+//shamlint:noalloc
+func (d *Detector) DetectLabelBytesBackend(label []byte, be Backend) []Match {
+	return detectLabel(d, label, be)
 }
 
 // detectLabel is the label-level entry point: it borrows scratch and
 // runs the shared hot path.
-func detectLabel[S punycode.ByteSeq](d *Detector, idnLabel S) []Match {
+func detectLabel[S punycode.ByteSeq](d *Detector, idnLabel S, be Backend) []Match {
 	sc := d.scratch.Get().(*scratch)
 	defer d.scratch.Put(sc)
-	return detectLabelIn(d, sc, idnLabel)
+	return detectLabelIn(d, sc, idnLabel, be)
 }
 
 // DetectDomain checks a dotted FQDN — any TLD, any label count,
@@ -240,7 +258,16 @@ func detectLabel[S punycode.ByteSeq](d *Detector, idnLabel S) []Match {
 // reports can name the imitated domain on the zone it was actually
 // found in. Safe for concurrent use.
 func (d *Detector) DetectDomain(fqdn string) []Match {
-	return detectDomain(d, fqdn)
+	return detectDomain(d, fqdn, BackendPostings)
+}
+
+// DetectDomainBackend is DetectDomain with an explicit backend choice.
+// With the skeleton backend enabled every non-empty label left of the
+// public suffix is a candidate — a pure-ASCII label ("rnicrosoft") can
+// be a many-to-one homograph, which the posting backend's non-ASCII
+// candidate gate rightly excludes for itself.
+func (d *Detector) DetectDomainBackend(fqdn string, be Backend) []Match {
+	return detectDomain(d, fqdn, be)
 }
 
 // DetectDomainBytes is DetectDomain over a reused line buffer: nothing
@@ -250,7 +277,15 @@ func (d *Detector) DetectDomain(fqdn string) []Match {
 //
 //shamlint:noalloc
 func (d *Detector) DetectDomainBytes(fqdn []byte) []Match {
-	return detectDomain(d, fqdn)
+	return detectDomain(d, fqdn, BackendPostings)
+}
+
+// DetectDomainBytesBackend is DetectDomainBytes with an explicit
+// backend, preserving the zero-allocation miss path.
+//
+//shamlint:noalloc
+func (d *Detector) DetectDomainBytesBackend(fqdn []byte, be Backend) []Match {
+	return detectDomain(d, fqdn, be)
 }
 
 // detectDomain is the domain-level hot path, compiled for both
@@ -263,7 +298,7 @@ func (d *Detector) DetectDomainBytes(fqdn []byte) []Match {
 // (scratch-backed, no allocation); the candidate labels left of the
 // public suffix are scanned, and matches are enriched with the
 // FQDN/TLD context (materialized only when a label actually matched).
-func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S) []Match {
+func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S, be Backend) []Match {
 	end := len(fqdn)
 	if end > 0 && fqdn[end-1] == '.' {
 		end-- // trailing root dot
@@ -277,12 +312,12 @@ func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S) []Match {
 		}
 	}
 	if firstDot < 0 { // bare label
-		if !candidateLabel(trimmed) {
+		if !candidateLabelFor(trimmed, be) {
 			return nil
 		}
 		sc := d.scratch.Get().(*scratch)
 		defer d.scratch.Put(sc)
-		ms := detectLabelIn(d, sc, trimmed)
+		ms := detectLabelIn(d, sc, trimmed, be)
 		if len(ms) > 0 && end != len(fqdn) { // root-dot spelling: echo it
 			fq := string(fqdn)
 			for i := range ms {
@@ -304,9 +339,9 @@ func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S) []Match {
 	// past the feeder gate.
 	var out []Match
 	var sc *scratch
-	if label := trimmed[:firstDot]; candidateLabel(label) {
+	if label := trimmed[:firstDot]; candidateLabelFor(label, be) {
 		sc = d.scratch.Get().(*scratch)
-		out = detectLabelIn(d, sc, label)
+		out = detectLabelIn(d, sc, label, be)
 	}
 	secondLastStart, lastStart := 0, firstDot+1
 	start := firstDot + 1
@@ -314,11 +349,11 @@ func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S) []Match {
 		if trimmed[i] != '.' {
 			continue
 		}
-		if label := trimmed[start:i]; candidateLabel(label) {
+		if label := trimmed[start:i]; candidateLabelFor(label, be) {
 			if sc == nil {
 				sc = d.scratch.Get().(*scratch)
 			}
-			out = append(out, detectLabelIn(d, sc, label)...)
+			out = append(out, detectLabelIn(d, sc, label, be)...)
 		}
 		secondLastStart, lastStart = lastStart, i+1
 		start = i + 1
@@ -345,10 +380,10 @@ func detectDomain[S punycode.ByteSeq](d *Detector, fqdn S) []Match {
 	return out
 }
 
-// candidateLabel reports whether a label can be a homograph at all: an
-// ACE label decodes to non-ASCII by construction, and a raw label must
-// carry a non-ASCII byte (ASCII-to-ASCII pairs are never homoglyphs —
-// the soundness property the engine's tests pin).
+// candidateLabel reports whether a label can be a homograph under the
+// posting backend: an ACE label decodes to non-ASCII by construction,
+// and a raw label must carry a non-ASCII byte (ASCII-to-ASCII pairs are
+// never homoglyphs — the soundness property the engine's tests pin).
 func candidateLabel[S punycode.ByteSeq](label S) bool {
 	if punycode.HasACEPrefix(label) {
 		return true
@@ -361,15 +396,42 @@ func candidateLabel[S punycode.ByteSeq](label S) bool {
 	return false
 }
 
+// candidateLabelFor is the backend-aware candidate gate. The skeleton
+// backend must see every non-empty label: a many-to-one homograph
+// ("rnicrosoft") is pure ASCII, exactly the shape the posting gate
+// rejects as impossible for itself.
+func candidateLabelFor[S punycode.ByteSeq](label S, be Backend) bool {
+	if be&BackendSkeleton != 0 {
+		return len(label) > 0
+	}
+	return candidateLabel(label)
+}
+
 // detectLabelIn is the shared per-label hot path, compiled for both
-// label spellings, running on borrowed scratch.
-func detectLabelIn[S punycode.ByteSeq](d *Detector, sc *scratch, idnLabel S) []Match {
+// label spellings, running on borrowed scratch: decode once, then run
+// each selected backend over the decoded runes. In both-mode the
+// skeleton pass merges into the posting results, OR-ing the Backend mask
+// of references both indexes found.
+func detectLabelIn[S punycode.ByteSeq](d *Detector, sc *scratch, idnLabel S, be Backend) []Match {
 	runes, err := punycode.ToUnicodeLabelAppend(sc.runes[:0], idnLabel)
 	sc.runes = runes
 	if err != nil {
 		return nil
 	}
+	var out []Match
+	if be&BackendPostings != 0 {
+		out = detectPostingsIn(d, sc, runes, idnLabel)
+	}
+	if be&BackendSkeleton != 0 {
+		out = detectSkeletonIn(d, sc, runes, idnLabel, out)
+	}
+	return out
+}
 
+// detectPostingsIn is the posting-list backend over an already-decoded
+// label: gather per-position lists, intersect rarest-first, verify
+// survivors character-by-character.
+func detectPostingsIn[S punycode.ByteSeq](d *Detector, sc *scratch, runes []rune, idnLabel S) []Match {
 	b := d.byLen[len(runes)]
 	if b == nil {
 		return nil
@@ -428,6 +490,7 @@ func detectLabelIn[S punycode.ByteSeq](d *Detector, sc *scratch, idnLabel S) []M
 				Unicode:   uni,
 				Reference: ref.label,
 				FQDN:      idn, // bare-label context; detectDomain overwrites
+				Backend:   BackendPostings,
 				Diffs:     diffs,
 			})
 		}
@@ -507,6 +570,7 @@ func (d *Detector) DetectLabelLinear(idnLabel string) []Match {
 				Unicode:   uni,
 				Reference: b.refs[i].label,
 				FQDN:      idnLabel,
+				Backend:   BackendPostings,
 				Diffs:     diffs,
 			})
 		}

@@ -115,3 +115,16 @@ func (e *Engine) DetectDomainBytes(fqdn []byte) ([]Match, uint64) {
 	s := e.state.Load()
 	return s.det.DetectDomainBytes(fqdn), s.epoch
 }
+
+// DetectDomainBackend is DetectDomain with an explicit backend choice.
+func (e *Engine) DetectDomainBackend(fqdn string, be Backend) ([]Match, uint64) {
+	s := e.state.Load()
+	return s.det.DetectDomainBackend(fqdn, be), s.epoch
+}
+
+// DetectDomainBytesBackend is DetectDomainBytes with an explicit backend
+// choice — the serving layer's hot path when a request selects one.
+func (e *Engine) DetectDomainBytesBackend(fqdn []byte, be Backend) ([]Match, uint64) {
+	s := e.state.Load()
+	return s.det.DetectDomainBytesBackend(fqdn, be), s.epoch
+}

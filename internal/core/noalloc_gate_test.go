@@ -14,9 +14,14 @@ func TestNoallocGate(t *testing.T) {
 	det := NewDetector(testDB(t), []string{"google", "amazon"})
 	label := []byte("xn--bcher-kva")
 	fqdn := []byte("www.xn--bcher-kva.co.uk")
+	// A pure-ASCII miss: only the skeleton backend even considers it,
+	// and its whole-label probe must stay allocation-free too.
+	asciiFqdn := []byte("plain-ascii-miss.example.com")
 	// Warm the scratch pool outside the measured region.
 	det.DetectLabelBytes(label)
 	det.DetectDomainBytes(fqdn)
+	det.DetectLabelBytesBackend(label, BackendBoth)
+	det.DetectDomainBytesBackend(asciiFqdn, BackendBoth)
 
 	lint.CheckNoallocCoverage(t, ".", map[string]func(){
 		"(*Detector).DetectLabelBytes": func() {
@@ -26,6 +31,19 @@ func TestNoallocGate(t *testing.T) {
 		},
 		"(*Detector).DetectDomainBytes": func() {
 			if ms := det.DetectDomainBytes(fqdn); len(ms) != 0 {
+				panic("unexpected match")
+			}
+		},
+		"(*Detector).DetectLabelBytesBackend": func() {
+			if ms := det.DetectLabelBytesBackend(label, BackendBoth); len(ms) != 0 {
+				panic("unexpected match")
+			}
+		},
+		"(*Detector).DetectDomainBytesBackend": func() {
+			if ms := det.DetectDomainBytesBackend(fqdn, BackendSkeleton); len(ms) != 0 {
+				panic("unexpected match")
+			}
+			if ms := det.DetectDomainBytesBackend(asciiFqdn, BackendBoth); len(ms) != 0 {
 				panic("unexpected match")
 			}
 		},

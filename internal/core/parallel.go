@@ -112,6 +112,12 @@ func (d *Detector) DetectStream(in <-chan string, workers int) <-chan Match {
 // state on the miss path — the common case at zone scale, where ~99% of
 // domains match nothing.
 func (d *Detector) DetectStreamBytes(in <-chan *[]byte, workers int, recycle *sync.Pool) <-chan Match {
+	return d.DetectStreamBytesBackend(in, workers, recycle, BackendPostings)
+}
+
+// DetectStreamBytesBackend is DetectStreamBytes with an explicit backend
+// choice — the CLI's `detect -backend` stream path.
+func (d *Detector) DetectStreamBytesBackend(in <-chan *[]byte, workers int, recycle *sync.Pool, be Backend) <-chan Match {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -122,7 +128,7 @@ func (d *Detector) DetectStreamBytes(in <-chan *[]byte, workers int, recycle *sy
 		go func() {
 			defer wg.Done()
 			for bp := range in {
-				for _, m := range d.DetectDomainBytes(*bp) {
+				for _, m := range d.DetectDomainBytesBackend(*bp, be) {
 					out <- m
 				}
 				if recycle != nil {

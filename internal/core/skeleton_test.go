@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// manyToOneFixtures pins the false-negative class this backend closes:
+// homographs built from many-to-one confusables ("rn"→"m", "vv"→"w",
+// "cl"→"d") that the posting backend PROVABLY cannot represent — they
+// change the label's rune length, so no per-(length,position) index can
+// pair them with the reference.
+var manyToOneFixtures = []struct {
+	label string // attacker-registered, pure ASCII
+	ref   string
+}{
+	{"rnicrosoft", "microsoft"},
+	{"vvikipedia", "wikipedia"},
+	{"close", "dose"}, // "cl" renders as 'd': close ≈ dose
+	{"rnozilla", "mozilla"},
+	{"vvard", "ward"},
+}
+
+func manyToOneDetector(t testing.TB) *Detector {
+	refs := make([]string, 0, len(manyToOneFixtures))
+	for _, f := range manyToOneFixtures {
+		refs = append(refs, f.ref)
+	}
+	return NewDetector(testDB(t), refs)
+}
+
+func TestSkeletonCatchesManyToOne(t *testing.T) {
+	d := manyToOneDetector(t)
+	for _, f := range manyToOneFixtures {
+		if ms := d.DetectLabelBackend(f.label, BackendPostings); len(ms) != 0 {
+			t.Errorf("postings unexpectedly matched %q: %v", f.label, ms)
+		}
+		ms := d.DetectLabelBackend(f.label, BackendSkeleton)
+		found := false
+		for _, m := range ms {
+			if m.Reference == f.ref {
+				found = true
+				if m.Backend != BackendSkeleton {
+					t.Errorf("%q: Backend = %v, want skeleton", f.label, m.Backend)
+				}
+				if m.Unicode != f.label {
+					t.Errorf("%q: Unicode = %q", f.label, m.Unicode)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("skeleton backend missed %q → %q (got %v)", f.label, f.ref, ms)
+		}
+	}
+}
+
+// The skeleton backend must keep working at the domain level, where the
+// posting candidate gate would have rejected the pure-ASCII label before
+// detection even ran.
+func TestSkeletonDomainLevel(t *testing.T) {
+	d := manyToOneDetector(t)
+	if ms := d.DetectDomainBackend("rnicrosoft.com", BackendPostings); len(ms) != 0 {
+		t.Fatalf("postings matched an ASCII label: %v", ms)
+	}
+	ms := d.DetectDomainBackend("rnicrosoft.com", BackendSkeleton)
+	if len(ms) != 1 || ms[0].Reference != "microsoft" {
+		t.Fatalf("skeleton DetectDomain = %v, want microsoft", ms)
+	}
+	if ms[0].FQDN != "rnicrosoft.com" || ms[0].TLD != "com" {
+		t.Fatalf("domain context = %q/%q", ms[0].FQDN, ms[0].TLD)
+	}
+	if ms[0].Imitated() != "microsoft.com" {
+		t.Fatalf("Imitated = %q", ms[0].Imitated())
+	}
+	bs := d.DetectDomainBytesBackend([]byte("www.rnicrosoft.co.uk"), BackendBoth)
+	if len(bs) != 1 || bs[0].TLD != "co.uk" || bs[0].Backend != BackendSkeleton {
+		t.Fatalf("bytes both-mode = %+v", bs)
+	}
+}
+
+// In both-mode a reference found by the two backends carries the union
+// mask and keeps the posting match's diffs; a skeleton-only find is
+// tagged skeleton.
+func TestBothModeUnionTagging(t *testing.T) {
+	d := NewDetector(testDB(t), []string{"google", "microsoft"})
+	idn := ace(t, "gооgle") // Cyrillic о twice: visible to both backends
+	ms := d.DetectLabelBackend(idn, BackendBoth)
+	if len(ms) != 1 {
+		t.Fatalf("matches = %v", ms)
+	}
+	if ms[0].Backend != BackendBoth {
+		t.Fatalf("Backend = %v, want both", ms[0].Backend)
+	}
+	if len(ms[0].Diffs) != 2 {
+		t.Fatalf("merged match lost its diffs: %v", ms[0].Diffs)
+	}
+	ms = d.DetectLabelBackend("rnicrosoft", BackendBoth)
+	if len(ms) != 1 || ms[0].Backend != BackendSkeleton || len(ms[0].Diffs) != 0 {
+		t.Fatalf("skeleton-only both-mode match = %+v", ms)
+	}
+}
+
+// The reference itself must never match itself through the skeleton map
+// (every ref's skeleton trivially hits its own entry).
+func TestSkeletonRejectsIdentity(t *testing.T) {
+	d := NewDetector(testDB(t), []string{"google", "microsoft"})
+	for _, be := range []Backend{BackendSkeleton, BackendBoth} {
+		if ms := d.DetectLabelBackend("google", be); len(ms) != 0 {
+			t.Errorf("%v: identical label matched: %v", be, ms)
+		}
+	}
+	// But a label that equals another reference's skeleton form still
+	// matches that OTHER reference ("rnicrosoft" is not a reference here,
+	// "microsoft" is — and "microsoft" skeletonizes with its own 'm').
+	if ms := d.DetectLabelBackend("rnicrosoft", BackendSkeleton); len(ms) != 1 {
+		t.Errorf("non-identity skeleton match lost: %v", ms)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", BackendPostings, true},
+		{"postings", BackendPostings, true},
+		{"skeleton", BackendSkeleton, true},
+		{"both", BackendBoth, true},
+		{"tr39", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseBackend(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	for _, b := range []Backend{BackendPostings, BackendSkeleton, BackendBoth} {
+		back, err := ParseBackend(b.String())
+		if err != nil || back != b {
+			t.Errorf("round trip %v: %v, %v", b, back, err)
+		}
+	}
+}
+
+// TestDifferentialParity is the fuzzed backend-parity bugfix test: every
+// single-rune substitution the posting backend finds, the skeleton
+// backend must find too. The skeleton index is built from the same
+// pairwise graph via union-find, so Confusable(a,b) ⇒ same component ⇒
+// equal skeletons — this test pins that construction against fold-order
+// and expansion-order regressions with a seeded random corpus.
+func TestDifferentialParity(t *testing.T) {
+	db := testDB(t)
+	refs := []string{
+		"google", "microsoft", "wikipedia", "amazon", "facebook",
+		"close", "ward", "example", "payments", "bank",
+	}
+	d := NewDetector(db, refs)
+	rng := rand.New(rand.NewSource(42))
+	labels := 0
+	for trial := 0; trial < 3000; trial++ {
+		ref := refs[rng.Intn(len(refs))]
+		runes := []rune(ref)
+		// Substitute 1..3 positions with pairwise homoglyphs.
+		subs := 1 + rng.Intn(3)
+		changed := false
+		for s := 0; s < subs; s++ {
+			p := rng.Intn(len(runes))
+			hs := db.Homoglyphs(runes[p])
+			if len(hs) == 0 {
+				continue
+			}
+			runes[p] = hs[rng.Intn(len(hs))]
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		labels++
+		label := string(runes)
+		post := d.DetectLabelBackend(label, BackendPostings)
+		skel := d.DetectLabelBackend(label, BackendSkeleton)
+		for _, pm := range post {
+			found := false
+			for _, sm := range skel {
+				if sm.Reference == pm.Reference {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("parity violated: postings found %q → %q, skeleton did not (skeleton: %v)",
+					label, pm.Reference, skel)
+			}
+		}
+	}
+	if labels < 1000 {
+		t.Fatalf("fuzz corpus too small: %d substituted labels", labels)
+	}
+}
+
+// Snapshot round trip of the skeleton index is byte-for-byte: flatten,
+// rebuild, re-flatten must reproduce the identical layout, and the
+// rebuilt detector must answer skeleton queries identically.
+func TestSkeletonSnapshotRoundTrip(t *testing.T) {
+	db := testDB(t)
+	d := NewDetector(db, []string{"google", "microsoft", "wikipedia", "close"})
+	s1 := d.Snapshot()
+	d2, err := NewDetectorFromSnapshot(db, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := d2.Snapshot()
+
+	if len(s1.SkelKeys) == 0 || len(s1.SkelSeqRunes) == 0 {
+		t.Fatalf("skeleton sections empty: %d keys, %d seqs", len(s1.SkelKeys), len(s1.SkelSeqRunes))
+	}
+	if !runesEq(s1.SkelRepRunes, s2.SkelRepRunes) || !runesEq(s1.SkelReps, s2.SkelReps) ||
+		!runesEq(s1.SkelSeqRunes, s2.SkelSeqRunes) || !runesEq(s1.SkelSeqs, s2.SkelSeqs) ||
+		!i32Eq(s1.SkelSeqLens, s2.SkelSeqLens) || !i32Eq(s1.SkelListLens, s2.SkelListLens) ||
+		!i32Eq(s1.SkelListIDs, s2.SkelListIDs) || !stringsEq(s1.SkelKeys, s2.SkelKeys) {
+		t.Fatal("skeleton snapshot not byte-for-byte across load/re-flatten")
+	}
+
+	for _, f := range manyToOneFixtures[:3] {
+		a := d.DetectLabelBackend(f.label, BackendBoth)
+		b := d2.DetectLabelBackend(f.label, BackendBoth)
+		if len(a) != len(b) {
+			t.Fatalf("rebuilt detector diverges on %q: %v vs %v", f.label, a, b)
+		}
+	}
+}
+
+// Corrupt skeleton sections must be rejected, not silently loaded.
+func TestSkeletonSnapshotValidation(t *testing.T) {
+	db := testDB(t)
+	d := NewDetector(db, []string{"google"})
+
+	s := d.Snapshot()
+	s.SkelReps = s.SkelReps[:len(s.SkelReps)-1]
+	if _, err := NewDetectorFromSnapshot(db, s); err == nil {
+		t.Error("truncated rep table accepted")
+	}
+
+	s = d.Snapshot()
+	if len(s.SkelListIDs) == 0 {
+		t.Fatal("no skeleton posting ids")
+	}
+	s.SkelListIDs[0] = 999
+	if _, err := NewDetectorFromSnapshot(db, s); err == nil {
+		t.Error("out-of-range skeleton ref id accepted")
+	}
+
+	s = d.Snapshot()
+	if len(s.SkelSeqLens) > 0 {
+		s.SkelSeqLens[0] = 1
+		if _, err := NewDetectorFromSnapshot(db, s); err == nil {
+			t.Error("single-rune skeleton sequence accepted")
+		}
+	}
+}
+
+func runesEq(a, b []rune) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func i32Eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func stringsEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkSkeletonLookup vs BenchmarkPostingIntersection: the ns/label
+// cost of a whole-label skeleton probe against the posting-list
+// intersection, both on the miss path (the zone-scale common case). CI
+// publishes these as BENCH_skeleton.json.
+func BenchmarkSkeletonLookup(b *testing.B) {
+	d := NewDetector(testDB(b), benchRefs())
+	fqdn := []byte("xn--ggle-55da.example.com")
+	d.DetectDomainBytesBackend(fqdn, BackendSkeleton)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DetectDomainBytesBackend(fqdn, BackendSkeleton)
+	}
+}
+
+func BenchmarkPostingIntersection(b *testing.B) {
+	d := NewDetector(testDB(b), benchRefs())
+	fqdn := []byte("xn--ggle-55da.example.com")
+	d.DetectDomainBytesBackend(fqdn, BackendPostings)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DetectDomainBytesBackend(fqdn, BackendPostings)
+	}
+}
+
+func benchRefs() []string {
+	var refs []string
+	var buf bytes.Buffer
+	for i := 0; i < 1000; i++ {
+		buf.Reset()
+		buf.WriteString("brand")
+		buf.WriteByte(byte('a' + i%26))
+		buf.WriteByte(byte('a' + (i/26)%26))
+		buf.WriteByte(byte('0' + i%10))
+		refs = append(refs, buf.String())
+	}
+	return refs
+}

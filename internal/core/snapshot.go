@@ -22,6 +22,26 @@ type Snapshot struct {
 	// Buckets holds one entry per distinct reference rune length,
 	// ascending.
 	Buckets []BucketSnapshot
+
+	// The skeleton backend, flattened (format v2). The three maps are
+	// laid out keys-ascending so identical detectors serialize
+	// byte-identically and a load/re-snapshot round trip is exact.
+
+	// SkelRepRunes/SkelReps are the non-identity component-representative
+	// pairs, SkelRepRunes ascending.
+	SkelRepRunes []rune
+	SkelReps     []rune
+	// SkelSeqRunes (ascending) key the multi-rune skeletons; entry i's
+	// sequence is the next SkelSeqLens[i] runes of SkelSeqs.
+	SkelSeqRunes []rune
+	SkelSeqLens  []int32
+	SkelSeqs     []rune
+	// SkelKeys (ascending, byte order) are the reference skeletons; key
+	// i's posting list is the next SkelListLens[i] entries of
+	// SkelListIDs — indexes into Refs, ascending within each list.
+	SkelKeys     []string
+	SkelListLens []int32
+	SkelListIDs  []int32
 }
 
 // BucketSnapshot flattens one length bucket. For each position p in
@@ -74,6 +94,29 @@ func (d *Detector) Snapshot() *Snapshot {
 			}
 		}
 		s.Buckets = append(s.Buckets, bs)
+	}
+	if d.skel != nil {
+		for _, r := range sortedRuneKeys(d.skel.rep) {
+			s.SkelRepRunes = append(s.SkelRepRunes, r)
+			s.SkelReps = append(s.SkelReps, d.skel.rep[r])
+		}
+		for _, r := range sortedRuneKeys(d.skel.seq) {
+			seq := d.skel.seq[r]
+			s.SkelSeqRunes = append(s.SkelSeqRunes, r)
+			s.SkelSeqLens = append(s.SkelSeqLens, int32(len(seq)))
+			s.SkelSeqs = append(s.SkelSeqs, seq...)
+		}
+		keys := make([]string, 0, len(d.skel.refs))
+		for k := range d.skel.refs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ids := d.skel.refs[k]
+			s.SkelKeys = append(s.SkelKeys, k)
+			s.SkelListLens = append(s.SkelListLens, int32(len(ids)))
+			s.SkelListIDs = append(s.SkelListIDs, ids...)
+		}
 	}
 	return s
 }
@@ -154,5 +197,63 @@ func NewDetectorFromSnapshot(db *homoglyph.DB, s *Snapshot) (*Detector, error) {
 		}
 		d.byLen[n] = b
 	}
+	skel, err := skelFromSnapshot(s, len(d.refs))
+	if err != nil {
+		return nil, err
+	}
+	d.skel = skel
 	return d, nil
+}
+
+// skelFromSnapshot rebuilds the skeleton index verbatim from its
+// flattened form — no union-find, no re-expansion — validating every
+// count and reference id so a crafted snapshot fails loudly.
+func skelFromSnapshot(s *Snapshot, numRefs int) (*skelIndex, error) {
+	if len(s.SkelReps) != len(s.SkelRepRunes) {
+		return nil, fmt.Errorf("core: snapshot skeleton rep table: %d runes, %d reps", len(s.SkelRepRunes), len(s.SkelReps))
+	}
+	if len(s.SkelSeqLens) != len(s.SkelSeqRunes) {
+		return nil, fmt.Errorf("core: snapshot skeleton seq table: %d runes, %d lengths", len(s.SkelSeqRunes), len(s.SkelSeqLens))
+	}
+	if len(s.SkelListLens) != len(s.SkelKeys) {
+		return nil, fmt.Errorf("core: snapshot skeleton ref index: %d keys, %d lengths", len(s.SkelKeys), len(s.SkelListLens))
+	}
+	x := &skelIndex{
+		rep:  make(map[rune]rune, len(s.SkelRepRunes)),
+		seq:  make(map[rune][]rune, len(s.SkelSeqRunes)),
+		refs: make(map[string][]int32, len(s.SkelKeys)),
+	}
+	for i, r := range s.SkelRepRunes {
+		x.rep[r] = s.SkelReps[i]
+	}
+	off := 0
+	for i, r := range s.SkelSeqRunes {
+		l := int(s.SkelSeqLens[i])
+		if l < 2 || off+l > len(s.SkelSeqs) {
+			return nil, fmt.Errorf("core: snapshot skeleton seq %d: bad length %d", i, l)
+		}
+		x.seq[r] = s.SkelSeqs[off : off+l : off+l]
+		off += l
+	}
+	if off != len(s.SkelSeqs) {
+		return nil, fmt.Errorf("core: snapshot skeleton seqs: %d trailing runes", len(s.SkelSeqs)-off)
+	}
+	idOff := 0
+	for i, k := range s.SkelKeys {
+		l := int(s.SkelListLens[i])
+		if l < 0 || idOff+l > len(s.SkelListIDs) {
+			return nil, fmt.Errorf("core: snapshot skeleton key %d: truncated posting list", i)
+		}
+		for _, id := range s.SkelListIDs[idOff : idOff+l] {
+			if id < 0 || int(id) >= numRefs {
+				return nil, fmt.Errorf("core: snapshot skeleton key %d: reference id %d out of range", i, id)
+			}
+		}
+		x.refs[k] = s.SkelListIDs[idOff : idOff+l : idOff+l]
+		idOff += l
+	}
+	if idOff != len(s.SkelListIDs) {
+		return nil, fmt.Errorf("core: snapshot skeleton ids: %d trailing entries", len(s.SkelListIDs)-idOff)
+	}
+	return x, nil
 }

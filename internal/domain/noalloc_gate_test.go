@@ -23,5 +23,9 @@ func TestNoallocGate(t *testing.T) {
 			copy(buf, line)
 			NormalizeZoneLine(buf[:len(line)])
 		},
+		"NormalizeZoneLineAll": func() {
+			copy(buf, line)
+			NormalizeZoneLineAll(buf[:len(line)])
+		},
 	})
 }

@@ -49,6 +49,38 @@ func NormalizeZoneLine(line []byte) ([]byte, bool) {
 // (firstACE == 0) — otherwise it is the name's TLD, which the detector
 // never scans. The prefix probe runs on the label tail; "xn--" cannot
 // span a dot, so no cross-label false positive exists.
+// NormalizeZoneLineAll is NormalizeZoneLine without the ACE/non-ASCII
+// candidate gate: every non-blank name is kept. The skeleton detection
+// backend compares whole-label prototypes, so a pure-ASCII name like
+// "rnicrosoft.com" is a live candidate there — feeders select this
+// variant whenever the chosen backend includes the skeleton index, and
+// keep the gated NormalizeZoneLine for postings-only runs where the
+// early reject saves the pooled-buffer copy and worker handoff.
+//
+//shamlint:noalloc
+func NormalizeZoneLineAll(line []byte) ([]byte, bool) {
+	start, end := 0, len(line)
+	for start < end && asciiSpace(line[start]) {
+		start++
+	}
+	for end > start && asciiSpace(line[end-1]) {
+		end--
+	}
+	if end > start && line[end-1] == '.' {
+		end--
+	}
+	line = line[start:end]
+	if len(line) == 0 {
+		return nil, false
+	}
+	for i, c := range line {
+		if c >= 'A' && c <= 'Z' {
+			line[i] = c + 'a' - 'A'
+		}
+	}
+	return line, true
+}
+
 func scannableZoneName(line []byte) bool {
 	firstACE := -1
 	labelStart := true

@@ -110,14 +110,31 @@ func compile(uc *confusables.DB, sim *simchar.DB) *index {
 		}
 	}
 	if uc != nil {
-		classes := make(map[rune][]rune)
+		// UC confusability is FULL-skeleton equality: every rune sharing a
+		// prototype sequence forms a clique. Keying classes by the complete
+		// sequence (not its first rune, the pre-fix truncation) keeps a
+		// multi-rune-prototype source ('Ⅱ' → "II") out of the prototype's
+		// single-rune clique — pairing it with 'I' would let the pairwise
+		// backend claim confusions TR39 does not list, and could even mint
+		// ASCII↔ASCII pairs ('m' ~ 'r'), breaking posting soundness. Runes
+		// whose sequences agree ('w' and 'Ԝ' both → "vv") still pair up.
+		classes := make(map[string][]rune)
+		var skel []rune
 		for _, s := range uc.Sources() {
-			if sk := uc.SkeletonRune(s); sk != s {
-				classes[sk] = append(classes[sk], s)
+			skel = uc.SkeletonAppend(skel[:0], s)
+			if len(skel) == 1 && skel[0] == s {
+				continue // self-prototype: nothing to pair with
 			}
+			classes[string(skel)] = append(classes[string(skel)], s)
 		}
 		for sk, members := range classes {
-			members = append(members, sk)
+			// A single-rune prototype belongs to its own class, unless it
+			// maps onward itself (then it sits in the class it maps into).
+			if prot := []rune(sk); len(prot) == 1 {
+				if t := uc.SkeletonAppend(nil, prot[0]); len(t) == 1 && t[0] == prot[0] {
+					members = append(members, prot[0])
+				}
+			}
 			for _, a := range members {
 				for _, b := range members {
 					if a != b {
@@ -152,7 +169,11 @@ func compile(uc *confusables.DB, sim *simchar.DB) *index {
 		}
 		sp.end = int32(len(idx.partners))
 		if uc != nil {
-			if sk := uc.SkeletonRune(r); sk != r {
+			// CanonicalRune follows the chain only through single-rune
+			// targets: a rune whose prototype is a sequence has no one-rune
+			// original, so it canonicalizes no further (SkeletonRune would
+			// have truncated "II" to 'I' here).
+			if sk := uc.CanonicalRune(r); sk != r {
 				sp.ucSkel = sk
 			}
 		}
@@ -269,6 +290,9 @@ func (db *DB) Chars() *ucd.RuneSet {
 	}
 	return s
 }
+
+// Use returns the view's active source mask.
+func (db *DB) Use() Source { return db.use }
 
 // UC returns the UC component (may be nil).
 func (db *DB) UC() *confusables.DB { return db.uc }

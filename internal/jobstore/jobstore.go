@@ -65,8 +65,12 @@ func Terminal(state string) bool {
 // Inputs instead, so a resume never re-detects against a newer engine
 // epoch).
 type Spec struct {
-	Resolver       string  `json:"resolver,omitempty"`
-	Transport      string  `json:"dns_transport,omitempty"`
+	Resolver  string `json:"resolver,omitempty"`
+	Transport string `json:"dns_transport,omitempty"`
+	// Backend names the detection backend the submit-time detect stage
+	// ran with ("postings", "skeleton", "both"); recorded so a replayed
+	// manifest shows how its inputs were selected.
+	Backend        string  `json:"backend,omitempty"`
 	DNSWorkers     int     `json:"dns_workers,omitempty"`
 	WebWorkers     int     `json:"web_workers,omitempty"`
 	Rate           float64 `json:"rate,omitempty"`

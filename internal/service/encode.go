@@ -15,6 +15,7 @@ type Match struct {
 	Reference string `json:"reference"`
 	Imitated  string `json:"imitated"`
 	TLD       string `json:"tld,omitempty"`
+	Backend   string `json:"backend"`
 	Diffs     []Diff `json:"diffs"`
 }
 
@@ -44,6 +45,7 @@ func NewMatch(m core.Match) Match {
 		Reference: m.Reference,
 		Imitated:  m.Imitated(),
 		TLD:       m.TLD,
+		Backend:   m.Backend.String(),
 		Diffs:     diffs,
 	}
 }

@@ -5,8 +5,9 @@
 //
 // Routes:
 //
-//	POST /v1/detect        {"fqdn":"..."} or {"fqdns":["...", ...]}
-//	GET  /v1/explain       ?fqdn=...          (matches + Figure-12 warnings)
+//	POST /v1/detect        {"fqdn":"..."} or {"fqdns":["...", ...]},
+//	                       optional "backend": postings|skeleton|both
+//	GET  /v1/explain       ?fqdn=...[&backend=...]  (matches + Figure-12 warnings)
 //	POST /v1/reload        {"snapshot":"path"} | {"refs":"path"} |
 //	                       {"references":["google", ...]}
 //	POST   /v1/survey      {"fqdns":[...], "resolver":"host:port", ...}
@@ -61,6 +62,10 @@ type Config struct {
 	// MaxBatch bounds the FQDN count of one /v1/detect request.
 	// 0 means 10000.
 	MaxBatch int
+	// Backend selects the default detection backend for requests that
+	// do not name one ("backend" in /v1/detect bodies, ?backend= on
+	// /v1/explain). The zero value means the posting-list backend.
+	Backend core.Backend
 	// Survey wires the async triage job API (POST /v1/survey). The
 	// zero value works; see SurveyConfig.
 	Survey SurveyConfig
@@ -79,6 +84,7 @@ type Server struct {
 	engine    *core.Engine
 	sem       chan struct{}
 	maxBatch  int
+	backend   core.Backend
 	logf      func(string, ...any)
 	mux       *http.ServeMux
 	met       metrics
@@ -119,10 +125,15 @@ func New(cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	backend := cfg.Backend
+	if backend == 0 {
+		backend = core.BackendPostings
+	}
 	s := &Server{
 		engine:    cfg.Engine,
 		sem:       make(chan struct{}, maxInFlight),
 		maxBatch:  maxBatch,
+		backend:   backend,
 		logf:      logf,
 		mux:       http.NewServeMux(),
 		surveyCfg: cfg.Survey,
@@ -213,18 +224,21 @@ func (s *Server) putBuf(buf *[]byte) {
 // --- request/response shapes ---
 
 type detectRequest struct {
-	FQDN  string   `json:"fqdn,omitempty"`
-	FQDNs []string `json:"fqdns,omitempty"`
+	FQDN    string   `json:"fqdn,omitempty"`
+	FQDNs   []string `json:"fqdns,omitempty"`
+	Backend string   `json:"backend,omitempty"`
 }
 
 type detectResponse struct {
 	Epoch   uint64  `json:"epoch"`
 	Queried int     `json:"queried"`
+	Backend string  `json:"backend"`
 	Matches []Match `json:"matches"`
 }
 
 type explainResponse struct {
 	Epoch    uint64   `json:"epoch"`
+	Backend  string   `json:"backend"`
 	Matches  []Match  `json:"matches"`
 	Warnings []string `json:"warnings"`
 }
@@ -256,16 +270,32 @@ type errorResponse struct {
 // scan normalizes one incoming name into the pooled buffer and scans
 // it against det. The zone-line rules decide everything: trailing root
 // dot dropped, ASCII uppercase folded (non-ASCII folding happens in
-// the punycode decode, same as ingestion), and names with no scannable
-// candidate label — plain ASCII, or an ACE-TLD-only shape — return no
-// matches without touching the index.
-func scan(det *core.Detector, buf *[]byte, name string) []core.Match {
+// the punycode decode, same as ingestion). Under the posting backend,
+// names with no scannable candidate label — plain ASCII, or an
+// ACE-TLD-only shape — return no matches without touching the index;
+// when the chosen backend includes the skeleton index, every non-blank
+// name is scanned, because a pure-ASCII "rnicrosoft.com" is exactly the
+// class that backend exists to catch.
+func scan(det *core.Detector, buf *[]byte, name string, be core.Backend) []core.Match {
 	*buf = append((*buf)[:0], name...)
-	fqdn, ok := domain.NormalizeZoneLine(*buf)
+	normalize := domain.NormalizeZoneLine
+	if be&core.BackendSkeleton != 0 {
+		normalize = domain.NormalizeZoneLineAll
+	}
+	fqdn, ok := normalize(*buf)
 	if !ok {
 		return nil
 	}
-	return det.DetectDomainBytes(fqdn)
+	return det.DetectDomainBytesBackend(fqdn, be)
+}
+
+// requestBackend resolves a request's backend name against the server
+// default; an unknown name is the caller's error.
+func (s *Server) requestBackend(name string) (core.Backend, error) {
+	if name == "" {
+		return s.backend, nil
+	}
+	return core.ParseBackend(name)
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -290,6 +320,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d exceeds limit %d", len(names), s.maxBatch))
 		return
 	}
+	be, err := s.requestBackend(req.Backend)
+	if err != nil {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	// One engine load for the whole request: every name in the batch is
 	// answered by the same epoch, even if a reload lands mid-loop.
@@ -297,7 +333,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	buf := s.bufs.Get().(*[]byte)
 	var matches []core.Match
 	for _, name := range names {
-		matches = append(matches, scan(det, buf, name)...)
+		matches = append(matches, scan(det, buf, name, be)...)
 	}
 	s.putBuf(buf)
 	core.SortMatches(matches)
@@ -306,6 +342,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, detectResponse{
 		Epoch:   epoch,
 		Queried: len(names),
+		Backend: be.String(),
 		Matches: NewMatches(matches),
 	})
 }
@@ -317,9 +354,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `need ?fqdn=`)
 		return
 	}
+	be, err := s.requestBackend(r.URL.Query().Get("backend"))
+	if err != nil {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	det, epoch := s.engine.Current()
 	buf := s.bufs.Get().(*[]byte)
-	matches := scan(det, buf, name)
+	matches := scan(det, buf, name, be)
 	s.putBuf(buf)
 	core.SortMatches(matches)
 	s.met.domains.Add(1)
@@ -330,6 +373,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, explainResponse{
 		Epoch:    epoch,
+		Backend:  be.String(),
 		Matches:  NewMatches(matches),
 		Warnings: warnings,
 	})

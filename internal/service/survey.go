@@ -77,6 +77,9 @@ type surveyRequest struct {
 	// detection engine first and surveys only the homograph matches.
 	// Explicitly false surveys every submitted FQDN.
 	Detect *bool `json:"detect,omitempty"`
+	// Backend selects the detection backend for that filter ("postings",
+	// "skeleton", "both"); empty means the server default.
+	Backend string `json:"backend,omitempty"`
 
 	DNSWorkers     int     `json:"dns_workers,omitempty"`
 	WebWorkers     int     `json:"web_workers,omitempty"`
@@ -93,10 +96,14 @@ type surveyRequest struct {
 // spec maps the request's pipeline knobs onto the durable job spec —
 // the two shapes are field-for-field identical so a manifest replays
 // exactly what the client asked for.
-func (req surveyRequest) spec() jobstore.Spec {
+// The detect-stage backend is recorded in its resolved form (spec
+// callers pass it through requestBackend first), so a manifest always
+// names the backend that actually ran, not the empty default.
+func (req surveyRequest) spec(be core.Backend) jobstore.Spec {
 	return jobstore.Spec{
 		Resolver:       req.Resolver,
 		Transport:      req.Transport,
+		Backend:        be.String(),
 		DNSWorkers:     req.DNSWorkers,
 		WebWorkers:     req.WebWorkers,
 		Rate:           req.Rate,
@@ -443,6 +450,12 @@ func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `need "resolver" (or "skip_dns")`)
 		return
 	}
+	be, err := s.requestBackend(req.Backend)
+	if err != nil {
+		s.met.badInput.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	// Claim the running-job slot FIRST: a request the cap will reject
 	// must be shed before it pays for detection, the way /v1/detect's
@@ -463,7 +476,7 @@ func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
 		buf := s.bufs.Get().(*[]byte)
 		var matches []core.Match
 		for _, name := range req.FQDNs {
-			if ms := scan(det, buf, name); len(ms) > 0 {
+			if ms := scan(det, buf, name, be); len(ms) > 0 {
 				matches = append(matches, ms...)
 			}
 		}
@@ -486,7 +499,7 @@ func (s *Server) handleSurveySubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job, err := s.startSurvey(surveyStart{
-		spec:    req.spec(),
+		spec:    req.spec(be),
 		inputs:  inputs,
 		queried: len(req.FQDNs),
 		epoch:   epoch,

@@ -45,7 +45,11 @@ const Magic = "SHAMSNAP"
 // Version is the current format version. Readers reject anything else:
 // a compiled artifact silently misread as an older layout would corrupt
 // detection, the one failure mode a checksum cannot catch.
-const Version = 1
+//
+// v2 extended the detector section with the TR39 skeleton index (rep
+// map, many-to-one sequences, skeleton→refs posting lists); v1 files
+// must be recompiled.
+const Version = 2
 
 // Section flag bits.
 const (
@@ -285,6 +289,15 @@ func writeDetector(e *enc, s *core.Snapshot) {
 		e.i32s(b.ListLens)
 		e.i32s(b.ListIDs)
 	}
+	// v2: the skeleton index.
+	e.runes(s.SkelRepRunes)
+	e.runes(s.SkelReps)
+	e.runes(s.SkelSeqRunes)
+	e.i32s(s.SkelSeqLens)
+	e.runes(s.SkelSeqs)
+	e.strings(s.SkelKeys)
+	e.i32s(s.SkelListLens)
+	e.i32s(s.SkelListIDs)
 }
 
 // --- section readers ---
@@ -381,6 +394,14 @@ func readDetector(d *dec) *core.Snapshot {
 			return s
 		}
 	}
+	s.SkelRepRunes = d.runes(d.count(4))
+	s.SkelReps = d.runes(d.count(4))
+	s.SkelSeqRunes = d.runes(d.count(4))
+	s.SkelSeqLens = d.i32s(d.count(4))
+	s.SkelSeqs = d.runes(d.count(4))
+	s.SkelKeys = d.strings()
+	s.SkelListLens = d.i32s(d.count(4))
+	s.SkelListIDs = d.i32s(d.count(4))
 	return s
 }
 

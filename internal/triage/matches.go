@@ -28,8 +28,14 @@ func NormalizeFQDN(domain string) string {
 // SourceOf derives a match's detecting-database attribution for the
 // Table 14 split: the homograph is detectable by a database only if
 // every substituted character is vouched for by that database, so the
-// attribution is the intersection of the per-diff source masks.
+// attribution is the intersection of the per-diff source masks. A
+// skeleton-only match carries no per-character diffs — whole-label
+// prototype equality has no per-position substitution to attribute —
+// so it is credited to the TR39 skeleton mapping itself.
 func SourceOf(m core.Match) string {
+	if m.Backend == core.BackendSkeleton && len(m.Diffs) == 0 {
+		return "TR39"
+	}
 	mask := homoglyph.SourceUC | homoglyph.SourceSimChar
 	for _, d := range m.Diffs {
 		mask &= d.Source

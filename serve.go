@@ -67,6 +67,17 @@ func (e *Engine) DetectDomainBytes(fqdn []byte) ([]Match, uint64) {
 	return e.inner.DetectDomainBytes(fqdn)
 }
 
+// DetectDomainBackend is DetectDomain with an explicit backend choice.
+func (e *Engine) DetectDomainBackend(fqdn string, be Backend) ([]Match, uint64) {
+	return e.inner.DetectDomainBackend(fqdn, be)
+}
+
+// DetectDomainBytesBackend is DetectDomainBytes with an explicit
+// backend choice.
+func (e *Engine) DetectDomainBytesBackend(fqdn []byte, be Backend) ([]Match, uint64) {
+	return e.inner.DetectDomainBytesBackend(fqdn, be)
+}
+
 // ServeOptions configures Serve.
 type ServeOptions struct {
 	// Addr is the listen address; empty means "127.0.0.1:8080".
@@ -92,6 +103,9 @@ type ServeOptions struct {
 	// MaxInFlight bounds concurrently served detection requests;
 	// overload sheds with 503. 0 means the service default.
 	MaxInFlight int
+	// Backend is the default detection backend for requests that do not
+	// name one. The zero value means BackendPostings.
+	Backend Backend
 	// JobDir, when non-empty, makes /v1/survey jobs durable: each job's
 	// manifest and record log live under this directory, and jobs a
 	// crash interrupted resume on startup with byte-identical output.
@@ -157,6 +171,7 @@ func Serve(ctx context.Context, opt ServeOptions) error {
 	srv := service.New(service.Config{
 		Engine:      engine.inner,
 		MaxInFlight: opt.MaxInFlight,
+		Backend:     opt.Backend,
 		Survey:      surveyCfg,
 		Logf:        logf,
 	})

@@ -58,6 +58,25 @@ type Match = core.Match
 // CharDiff pinpoints one substituted character within a match.
 type CharDiff = core.CharDiff
 
+// Backend selects a detection backend: the per-(length,position)
+// posting-list index, the TR39 whole-label skeleton index, or both.
+type Backend = core.Backend
+
+// Detection backends. The posting backend pinpoints per-character
+// substitutions but only sees same-length homographs; the skeleton
+// backend catches many-to-one confusions ("rn"→"m", "vv"→"w") by
+// whole-label prototype equality; BackendBoth unions them, tagging
+// each match with the backend(s) that found it.
+const (
+	BackendPostings = core.BackendPostings
+	BackendSkeleton = core.BackendSkeleton
+	BackendBoth     = core.BackendBoth
+)
+
+// ParseBackend parses a backend name: "postings", "skeleton", "both".
+// The empty string means BackendPostings.
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
 // Warning is the user-facing countermeasure context of Section 7.2.
 type Warning = core.Warning
 
@@ -230,6 +249,14 @@ func NormalizeZoneLine(line []byte) ([]byte, bool) {
 	return domain.NormalizeZoneLine(line)
 }
 
+// NormalizeZoneLineAll is NormalizeZoneLine without the ACE/non-ASCII
+// candidate gate: every non-blank name is kept. Pair it with the
+// skeleton backend, whose many-to-one targets ("rnicrosoft.com") are
+// pure ASCII and would be rejected by the posting backend's gate.
+func NormalizeZoneLineAll(line []byte) ([]byte, bool) {
+	return domain.NormalizeZoneLineAll(line)
+}
+
 // DB exposes the underlying homoglyph database for advanced callers
 // (the measurement pipeline in cmd/experiments).
 func (f *Framework) DB() *homoglyph.DB { return f.db }
@@ -343,12 +370,36 @@ func (d *Detector) DetectDomainBytes(fqdn []byte) []Match {
 	return d.inner.DetectDomainBytes(fqdn)
 }
 
+// DetectLabelBackend is DetectLabel with an explicit backend choice.
+func (d *Detector) DetectLabelBackend(idnLabel string, be Backend) []Match {
+	return d.inner.DetectLabelBackend(idnLabel, be)
+}
+
+// DetectDomainBackend is DetectDomain with an explicit backend choice.
+// Note the skeleton backend also scans pure-ASCII labels — feeders
+// should pair it with NormalizeZoneLineAll, not NormalizeZoneLine.
+func (d *Detector) DetectDomainBackend(fqdn string, be Backend) []Match {
+	return d.inner.DetectDomainBackend(fqdn, be)
+}
+
+// DetectDomainBytesBackend is DetectDomainBytes with an explicit
+// backend choice, zero-allocation on the miss path for every backend.
+func (d *Detector) DetectDomainBytesBackend(fqdn []byte, be Backend) []Match {
+	return d.inner.DetectDomainBytesBackend(fqdn, be)
+}
+
 // DetectStreamBytes is DetectStream for pooled line buffers: each *[]byte
 // drained from in is handed back to recycle (when non-nil) as soon as its
 // label has been scanned, making the whole line→match pipeline
 // allocation-free in steady state on the miss path.
 func (d *Detector) DetectStreamBytes(in <-chan *[]byte, workers int, recycle *sync.Pool) <-chan Match {
 	return d.inner.DetectStreamBytes(in, workers, recycle)
+}
+
+// DetectStreamBytesBackend is DetectStreamBytes with an explicit
+// backend choice for every scanned line.
+func (d *Detector) DetectStreamBytesBackend(in <-chan *[]byte, workers int, recycle *sync.Pool, be Backend) <-chan Match {
+	return d.inner.DetectStreamBytesBackend(in, workers, recycle, be)
 }
 
 // SortMatches sorts matches into the deterministic batch order (IDN,
